@@ -1,0 +1,28 @@
+# Convenience targets for the SAPLA reproduction.
+
+.PHONY: install test bench bench-full examples results clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# the paper's full grid (hours in pure Python; see DESIGN.md)
+bench-full:
+	REPRO_LENGTH=1024 REPRO_SERIES=100 REPRO_QUERIES=5 REPRO_DATASETS=all \
+	REPRO_COEFFICIENTS=12,18,24 REPRO_KS=4,8,16,32,64 \
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+results:
+	python -m repro experiment all --output results
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,76 @@
+"""Ablation — SAPLA design choices (DESIGN.md).
+
+* paper's O(1) conditional bounds vs exact per-segment deviations as the
+  iteration signal: exact steering is slower and buys little quality;
+* dropping the endpoint-movement stage: faster but worse deviations;
+* increment-area initialization vs uniform seeding.
+"""
+
+import numpy as np
+
+from repro.bench import run_bound_ablation
+from repro.bench.harness import ExperimentConfig
+from repro.core import SAPLA, SeriesStats, split_merge
+from repro.core.segment import LinearSegmentation, Segment
+from repro.metrics import max_deviation
+
+from conftest import publish_table
+
+
+def small_config(config):
+    return ExperimentConfig(
+        dataset_names=tuple(config.dataset_names[:4]),
+        length=min(config.length, 256),
+        n_series=min(config.n_series, 12),
+        n_queries=1,
+    )
+
+
+def test_ablation_bound_modes(benchmark, config):
+    cfg = small_config(config)
+    rows = run_bound_ablation(cfg)
+    publish_table("ablation_bounds", "Ablation — SAPLA bound modes & stages", rows)
+    by = {r["variant"]: r for r in rows}
+
+    # exact steering may win slightly on quality but costs time
+    assert by["exact-bounds"]["reduction_time_s"] >= by["paper-bounds"]["reduction_time_s"] * 0.5
+    # dropping the endpoint stage must not *improve* quality materially
+    assert (
+        by["no-endpoint-stage"]["max_deviation"]
+        >= by["paper-bounds"]["max_deviation"] * 0.8
+    )
+
+    series = np.random.default_rng(3).normal(size=cfg.length).cumsum()
+    benchmark(SAPLA(n_segments=4, bound_mode="exact").transform, series)
+
+
+def test_ablation_initialization_vs_uniform(benchmark, config):
+    """Increment-area initialization vs a uniform seeding of the same size."""
+    cfg = small_config(config)
+    n_segments = 4
+    rows = []
+    for label in ("increment-area", "uniform-seed"):
+        devs = []
+        for dataset in cfg.datasets():
+            for series in dataset.data:
+                stats = SeriesStats(series)
+                if label == "increment-area":
+                    rep = SAPLA(n_segments=n_segments).transform(series)
+                else:
+                    n = len(series)
+                    bounds = np.linspace(0, n, n_segments + 1).astype(int)
+                    seeds = [
+                        Segment.fit(stats, int(s), int(e) - 1)
+                        for s, e in zip(bounds, bounds[1:])
+                    ]
+                    segments = split_merge(stats, seeds, n_segments)
+                    rep = LinearSegmentation(segments)
+                devs.append(max_deviation(series, rep.reconstruct()))
+        rows.append({"initialization": label, "max_deviation": float(np.mean(devs))})
+    publish_table("ablation_init", "Ablation — initialization strategy", rows)
+    by = {r["initialization"]: r["max_deviation"] for r in rows}
+    # increment-area seeding should not be materially worse than uniform
+    assert by["increment-area"] <= by["uniform-seed"] * 1.5 + 0.1
+
+    series = np.random.default_rng(4).normal(size=cfg.length).cumsum()
+    benchmark(SAPLA(n_segments=n_segments).transform, series)

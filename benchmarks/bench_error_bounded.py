@@ -1,0 +1,57 @@
+"""Extension — compression ratio at matched quality (the paper's ref. [9]).
+
+The paper excludes the user-defined-max-deviation compression method from
+its comparison because the two formulations are duals (fixed N, best error
+vs fixed error, best N).  Having both lets us close the loop: for a target
+deviation, how many coefficients does the greedy error-bounded method spend
+vs what SAPLA achieves when given that same budget?
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentConfig
+from repro.reduction import ErrorBoundedPLA, SAPLAReducer
+
+from conftest import publish_table
+
+BOUNDS = (0.5, 1.0, 2.0)
+
+
+def test_error_bounded_duality(benchmark, config):
+    cfg = ExperimentConfig(
+        dataset_names=("Adiac", "EOGHorizontalSignal"),
+        length=min(config.length, 256),
+        n_series=min(config.n_series, 12),
+        n_queries=1,
+    )
+    rows = []
+    for bound in BOUNDS:
+        ratios, sapla_devs, segment_counts = [], [], []
+        for dataset in cfg.datasets():
+            for series in dataset.data:
+                greedy = ErrorBoundedPLA(bound)
+                rep = greedy.transform(series)
+                ratios.append(rep.n_coefficients / len(series))
+                segment_counts.append(rep.n_segments)
+                sapla = SAPLAReducer(max(3 * rep.n_segments, 3)).transform(series)
+                sapla_devs.append(float(np.abs(series - sapla.reconstruct()).max()))
+        rows.append(
+            {
+                "bound": bound,
+                "mean_segments": float(np.mean(segment_counts)),
+                "compression_ratio": float(np.mean(ratios)),
+                "sapla_dev_at_same_budget": float(np.mean(sapla_devs)),
+            }
+        )
+    publish_table("error_bounded", "Extension — error-bounded compression duality", rows)
+
+    by = {r["bound"]: r for r in rows}
+    # looser bounds compress harder
+    assert by[2.0]["compression_ratio"] < by[0.5]["compression_ratio"]
+    assert by[2.0]["mean_segments"] < by[0.5]["mean_segments"]
+    # SAPLA at the same budget lands in the same quality regime
+    for bound in BOUNDS:
+        assert by[bound]["sapla_dev_at_same_budget"] <= bound * 3
+
+    series = np.random.default_rng(0).normal(size=cfg.length).cumsum()
+    benchmark(ErrorBoundedPLA(1.0).transform, series)

@@ -1,0 +1,58 @@
+"""Fig. 10 — the lower-bounding distance comparison.
+
+The paper's example: two series reduced to two adaptive segments each give
+``Dist_LB = 11 < Dist_PAR = 14 < Dist = 17 < Dist_AE = 20`` — Dist_PAR is a
+tighter approximation than Dist_LB while staying below the true distance,
+and Dist_AE overshoots.  This bench reproduces the ordering on a population
+of random-walk pairs and reports the mean tightness ratios.
+"""
+
+import numpy as np
+
+from repro.distance import dist_ae, dist_lb, dist_par, euclidean
+from repro.reduction import SAPLAReducer
+
+from conftest import publish_table
+
+
+def test_fig10_distance_ordering(benchmark):
+    reducer = SAPLAReducer(12)
+    ratios = {"Dist_LB": [], "Dist_PAR": [], "Dist_AE": []}
+    par_ge_lb = 0
+    lb_violations = 0
+    trials = 40
+    for seed in range(trials):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=128).cumsum()
+        c = rng.normal(size=128).cumsum()
+        rep_q, rep_c = reducer.transform(q), reducer.transform(c)
+        true = euclidean(q, c)
+        lb = dist_lb(q, rep_c)
+        par = dist_par(rep_q, rep_c)
+        ae = dist_ae(q, rep_c)
+        ratios["Dist_LB"].append(lb / true)
+        ratios["Dist_PAR"].append(par / true)
+        ratios["Dist_AE"].append(ae / true)
+        par_ge_lb += par >= lb
+        lb_violations += lb > true + 1e-9
+
+    rows = [
+        {"measure": name, "mean_ratio_to_dist": float(np.mean(vals))}
+        for name, vals in ratios.items()
+    ]
+    publish_table("fig10_distance_ordering", "Fig 10 — distance tightness ratios", rows)
+
+    by = {r["measure"]: r["mean_ratio_to_dist"] for r in rows}
+    # the paper's ordering, on average: LB <= PAR <= 1 (Dist) and AE ~ 1
+    assert by["Dist_LB"] <= by["Dist_PAR"] + 1e-9
+    assert by["Dist_PAR"] <= 1.0 + 1e-9
+    assert by["Dist_AE"] >= by["Dist_PAR"]
+    # Dist_LB never breaks the lower-bounding lemma
+    assert lb_violations == 0
+    # Dist_PAR dominates Dist_LB on nearly every pair (tightness, Sec. A.6)
+    assert par_ge_lb >= 0.9 * trials
+
+    rng = np.random.default_rng(99)
+    q = rng.normal(size=128).cumsum()
+    rep_c = reducer.transform(rng.normal(size=128).cumsum())
+    benchmark(dist_lb, q, rep_c)

@@ -1,0 +1,40 @@
+"""Fig. 12 — max deviation (12a) and dimensionality reduction time (12b).
+
+Paper shape: the adaptive-length methods (SAPLA, APLA, APCA) achieve better
+max deviation than the equal-length methods at the same coefficient budget;
+APLA has the best deviation and by far the worst reduction time; SAPLA's
+deviation is close to APLA's at a small fraction of its time.
+"""
+
+import numpy as np
+
+from repro.bench import run_maxdev_and_time
+from repro.bench.experiments import make_reducer
+
+from conftest import publish_table
+
+
+def test_fig12_maxdev_and_reduction_time(benchmark, config):
+    rows = run_maxdev_and_time(config)
+    publish_table(
+        "fig12_maxdev_and_time", "Fig 12 — max deviation & reduction time", rows
+    )
+    for m in config.coefficients:
+        at_m = {r["method"]: r for r in rows if r["M"] == m}
+
+        # 12b: APLA is the slowest reducer; the O(n) family the fastest tier
+        times = {k: v["reduction_time_s"] for k, v in at_m.items()}
+        assert times["APLA"] == max(times.values())
+        assert times["SAPLA"] < times["APLA"]
+        fastest = min(times, key=times.get)
+        assert fastest in ("PLA", "PAA", "PAALM", "SAX")
+
+        # 12a: the adaptive family is competitive with the equal-length one
+        adaptive = min(at_m[name]["max_deviation"] for name in ("SAPLA", "APLA", "APCA"))
+        equal = min(at_m[name]["max_deviation"] for name in ("PLA", "PAA", "PAALM"))
+        assert adaptive <= equal * 1.25
+        # SAPLA sacrifices little vs APLA (the paper's "minor loss")
+        assert at_m["SAPLA"]["max_deviation"] <= at_m["APLA"]["max_deviation"] * 3 + 0.5
+
+    series = np.random.default_rng(2).normal(size=config.length).cumsum()
+    benchmark(make_reducer("SAPLA", config.coefficients[0]).transform, series)

@@ -1,0 +1,33 @@
+"""Fig. 1 / Figs. 5, 6, 8 — the paper's worked 20-point example.
+
+Paper values (M = 12): SAPLA reaches max deviation 9.27273 with N = 4
+(10.6061 after split & merge only); APCA 18.4167 and PLA 19.3999 with N = 6.
+Our exact O(1) refits do strictly better (SAPLA 5.07); the orderings the
+figure illustrates — adaptive linear methods beat the sum-of-deviations of
+equal-length and constant methods at the same coefficient budget — hold.
+"""
+
+from repro.bench import run_worked_example
+from repro.bench.experiments import WORKED_SERIES, make_reducer
+
+from conftest import publish_table
+
+
+def test_fig1_worked_example(benchmark):
+    rows = run_worked_example()
+    publish_table("fig1_worked_example", "Fig 1 — worked example (M=12)", rows)
+    by_method = {row["method"]: row for row in rows}
+
+    # SAPLA must at least match the paper's reported quality
+    assert by_method["SAPLA"]["max_deviation"] <= 9.27273 + 1e-6
+    assert by_method["SAPLA"]["N"] == 4
+    assert by_method["APLA"]["N"] == 4
+    # APLA's objective (sum of segment deviations) is optimal at N = 4
+    assert (
+        by_method["APLA"]["sum_segment_deviation"]
+        <= by_method["SAPLA"]["sum_segment_deviation"] + 1e-9
+    )
+    # the adaptive linear methods beat PLA's sum of deviations (Fig. 1 story)
+    assert by_method["SAPLA"]["sum_segment_deviation"] < by_method["PLA"]["sum_segment_deviation"]
+
+    benchmark(make_reducer("SAPLA", 12).transform, WORKED_SERIES)

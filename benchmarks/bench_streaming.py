@@ -1,0 +1,58 @@
+"""Extension — streaming SAPLA: throughput and quality vs offline.
+
+The online variant keeps O(N) memory over an unbounded stream; this bench
+measures its per-point cost and how much max deviation the online
+constraint gives up against the offline three-stage pipeline on identical
+data.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import SAPLA, StreamingSAPLA
+from repro.metrics import max_deviation
+
+from conftest import publish_table
+
+
+def test_streaming_quality_and_throughput(benchmark, config):
+    rng = np.random.default_rng(5)
+    rows = []
+    for n in (1000, 4000):
+        series = rng.normal(size=n).cumsum()
+        budget = 10
+
+        stream = StreamingSAPLA(max_segments=budget)
+        started = time.process_time()
+        stream.extend(series)
+        elapsed = time.process_time() - started
+        online_dev = max_deviation(series, stream.reconstruct())
+
+        offline = SAPLA(n_segments=budget).transform(series)
+        offline_dev = max_deviation(series, offline.reconstruct())
+
+        rows.append(
+            {
+                "n": n,
+                "points_per_second": n / max(elapsed, 1e-9),
+                "online_max_deviation": online_dev,
+                "offline_max_deviation": offline_dev,
+                "premium": online_dev / max(offline_dev, 1e-9),
+            }
+        )
+    publish_table("streaming", "Extension — streaming vs offline SAPLA", rows)
+
+    for row in rows:
+        # memory-bounded online segmentation pays at most a small premium
+        assert row["premium"] <= 5.0
+        assert row["points_per_second"] > 1000
+
+    chunk = rng.normal(size=500).cumsum()
+
+    def feed():
+        s = StreamingSAPLA(max_segments=10)
+        s.extend(chunk)
+        return s.n_segments
+
+    benchmark(feed)

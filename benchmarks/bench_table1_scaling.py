@@ -1,0 +1,52 @@
+"""Table 1 — reduction-time scaling of each method with series length.
+
+The paper's complexity claims, checked empirically: the O(n) family
+(PLA/PAA) is fastest; APCA's O(n log n) stays close; SAPLA's
+O(n (N + log n)) lands in between; APLA's error matrix dominates everything
+and grows fastest with n, which is the gap SAPLA exists to close.
+"""
+
+import numpy as np
+
+from repro.bench import run_scaling
+from repro.bench.experiments import make_reducer
+
+from conftest import publish_table
+
+LENGTHS = (64, 128, 256)
+
+
+def test_table1_scaling(benchmark):
+    rows = run_scaling(lengths=LENGTHS, repeats=3)
+    publish_table("table1_scaling", "Table 1 — reduction time vs series length", rows)
+
+    at_longest = {
+        row["method"]: row["reduction_time_s"] for row in rows if row["n"] == LENGTHS[-1]
+    }
+    # APLA is the slowest method at the longest length (the paper's headline)
+    assert at_longest["APLA"] == max(at_longest.values())
+    # SAPLA beats APLA by a widening factor as n grows
+    assert at_longest["SAPLA"] < at_longest["APLA"]
+    ratios = []
+    for n in LENGTHS:
+        at_n = {r["method"]: r["reduction_time_s"] for r in rows if r["n"] == n}
+        if at_n["SAPLA"] > 0:
+            ratios.append(at_n["APLA"] / at_n["SAPLA"])
+    assert ratios[-1] > 1.0  # APLA slower at the largest n
+    # the O(n) family is the fastest tier
+    assert min(at_longest, key=at_longest.get) in ("PLA", "PAA")
+
+    series = np.random.default_rng(0).normal(size=LENGTHS[-1]).cumsum()
+    benchmark(make_reducer("SAPLA", 12).transform, series)
+
+
+def test_table1_apla_vs_sapla_gap_grows(benchmark):
+    """The SAPLA speedup over APLA grows with n (paper: about n times)."""
+    rows = run_scaling(lengths=(64, 256), methods=("SAPLA", "APLA"), repeats=3)
+    by = {(r["method"], r["n"]): r["reduction_time_s"] for r in rows}
+    small_ratio = by[("APLA", 64)] / max(by[("SAPLA", 64)], 1e-9)
+    large_ratio = by[("APLA", 256)] / max(by[("SAPLA", 256)], 1e-9)
+    assert large_ratio > small_ratio
+
+    series = np.random.default_rng(1).normal(size=128).cumsum()
+    benchmark(make_reducer("APLA", 12).transform, series)

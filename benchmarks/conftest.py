@@ -1,0 +1,45 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Scale knobs (defaults are CI-sized; see DESIGN.md for the full-grid knobs):
+
+    REPRO_LENGTH, REPRO_SERIES, REPRO_QUERIES, REPRO_DATASETS,
+    REPRO_COEFFICIENTS, REPRO_KS, REPRO_APLA_MAX_LENGTH
+
+Each bench renders its figure's rows as a table; tables are written to
+``benchmarks/results/`` and echoed in the terminal summary.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import config_from_env, render_table, run_index_grid
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES: "list[str]" = []
+
+
+def publish_table(name: str, title: str, rows) -> None:
+    """Render, persist and queue a results table for the terminal summary."""
+    text = render_table(title, rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _TABLES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    for text in _TABLES:
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return config_from_env()
+
+
+@pytest.fixture(scope="session")
+def index_grid(config):
+    """The Figs. 13-16 record grid, computed once per session."""
+    return run_index_grid(config)

@@ -1,0 +1,53 @@
+"""Anomaly localisation with adaptive segmentation.
+
+A domain scenario from the paper's motivation: device telemetry carries a
+short fault burst.  Reducing the signal with SAPLA concentrates segment
+boundaries around structure; the segment whose max deviation explodes under
+a *small* segment budget localises the anomaly — a cheap screening pass
+before any heavyweight detector runs.
+
+Run with ``python examples/anomaly_localization.py``.
+"""
+
+import numpy as np
+
+from repro import SAPLA
+from repro.metrics import segment_deviations
+
+
+def make_telemetry(n=768, fault_at=500, seed=3):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 6 * np.pi, n)
+    signal = 2.0 * np.sin(t / 3) + 0.05 * rng.normal(size=n)
+    # a short high-frequency fault burst
+    burst = slice(fault_at, fault_at + 24)
+    signal[burst] += np.sin(np.linspace(0, 20 * np.pi, 24)) * 3.0
+    return signal, burst
+
+
+def main():
+    signal, burst = make_telemetry()
+    print(f"Telemetry: {len(signal)} points, injected fault at "
+          f"[{burst.start}, {burst.stop})\n")
+
+    sapla = SAPLA(n_coefficients=18)  # N = 6 segments for 768 points
+    representation = sapla.transform(signal)
+    deviations = segment_deviations(signal, representation)
+
+    print(f"{'segment':>8} {'window':>14} {'length':>7} {'max deviation':>14}")
+    for i, (seg, dev) in enumerate(zip(representation, deviations)):
+        marker = "  <-- anomaly candidate" if dev == max(deviations) else ""
+        print(f"{i:>8} [{seg.start:>5}, {seg.end:>5}] {seg.length:>7} {dev:>14.4f}{marker}")
+
+    worst = representation[int(np.argmax(deviations))]
+    # a fault can straddle a segment boundary, so localisation means the
+    # worst segment *overlaps* the fault window
+    hit = worst.start < burst.stop and burst.start <= worst.end
+    print(f"\nworst segment window: [{worst.start}, {worst.end}]")
+    print(f"fault overlapped by worst segment: {hit}")
+    if not hit:
+        raise SystemExit("anomaly not localised — unexpected for this scenario")
+
+
+if __name__ == "__main__":
+    main()

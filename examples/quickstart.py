@@ -1,0 +1,61 @@
+"""Quickstart: reduce a time series with SAPLA, reconstruct, and compare.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import numpy as np
+
+from repro import SAPLA
+from repro.metrics import max_deviation
+from repro.reduction import APCA, PAA, PLA
+
+
+def ascii_plot(series, recon, width=72, height=14):
+    """A tiny terminal plot: '.' original, 'x' reconstruction, '*' both."""
+    n = len(series)
+    cols = np.linspace(0, n - 1, width).astype(int)
+    lo = min(series.min(), recon.min())
+    hi = max(series.max(), recon.max())
+    scale = (height - 1) / (hi - lo if hi > lo else 1.0)
+    grid = [[" "] * width for _ in range(height)]
+    for j, t in enumerate(cols):
+        row_s = height - 1 - int((series[t] - lo) * scale)
+        row_r = height - 1 - int((recon[t] - lo) * scale)
+        grid[row_s][j] = "."
+        grid[row_r][j] = "*" if row_r == row_s else "x"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main():
+    # a bursty series: smooth trend + one localised event + noise
+    rng = np.random.default_rng(7)
+    n = 512
+    t = np.linspace(0, 4 * np.pi, n)
+    series = np.sin(t) + 0.1 * rng.normal(size=n)
+    series[200:230] += 4.0 * np.exp(-0.5 * ((np.arange(30) - 15) / 5.0) ** 2)
+
+    # SAPLA with a budget of M = 18 coefficients -> N = 6 adaptive segments
+    sapla = SAPLA(n_coefficients=18)
+    representation = sapla.transform(series)
+    recon = representation.reconstruct()
+
+    print("SAPLA quickstart")
+    print(f"  series length        : {n}")
+    print(f"  segments (N)         : {representation.n_segments}")
+    print(f"  segment endpoints    : {representation.right_endpoints}")
+    print(f"  max deviation        : {max_deviation(series, recon):.4f}")
+    print()
+    print(ascii_plot(series, recon))
+    print()
+
+    # the same coefficient budget spent by the baselines
+    print("Same budget (M = 18) through the baselines:")
+    for reducer in (APCA(18), PLA(18), PAA(18)):
+        print(
+            f"  {reducer.name:<5} N={reducer.n_segments:<3} "
+            f"max deviation = {reducer.max_deviation(series):.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of SAPLA (EDBT 2022).
+
+Self Adaptive Piecewise Linear Approximation, lower-bounding distance
+measures for adaptive-length representations, and the DBCH-tree index for
+time series similarity search, together with every baseline the paper
+evaluates against (APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX), the R-tree /
+GEMINI k-NN substrate, a synthetic UCR2018-like archive, and the task suite
+the paper's introduction motivates.
+
+The most-used entry points are re-exported here::
+
+    from repro import SAPLA, SeriesDatabase, UCRLikeArchive
+"""
+
+from .core import SAPLA, LinearSegmentation, Segment, StreamingSAPLA, sapla_transform
+from .data import UCRLikeArchive
+from .index import SeriesDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SAPLA",
+    "StreamingSAPLA",
+    "sapla_transform",
+    "Segment",
+    "LinearSegmentation",
+    "SeriesDatabase",
+    "UCRLikeArchive",
+    "__version__",
+]

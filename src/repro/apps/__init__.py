@@ -1,0 +1,34 @@
+"""Application-level workloads the paper's introduction motivates:
+classification, motif discovery, anomaly (discord) detection, clustering,
+and semantic segmentation — all built on the reduced representations."""
+
+from .classification import ClassificationReport, KNNClassifier
+from .clustering import ClusteringResult, kmeans_time_series
+from .discords import Discord, find_discord
+from .forecasting import AnalogForecaster, Forecast
+from .hierarchy import Dendrogram, agglomerative_cluster
+from .motifs import Motif, find_motifs
+from .segmentation import ChangePoint, detect_change_points
+from .subsequence import SubsequenceIndex, SubsequenceMatch
+from .windows import sliding_windows, windows_overlap
+
+__all__ = [
+    "KNNClassifier",
+    "ClassificationReport",
+    "Motif",
+    "find_motifs",
+    "Discord",
+    "find_discord",
+    "ClusteringResult",
+    "kmeans_time_series",
+    "ChangePoint",
+    "detect_change_points",
+    "SubsequenceIndex",
+    "SubsequenceMatch",
+    "AnalogForecaster",
+    "Forecast",
+    "Dendrogram",
+    "agglomerative_cluster",
+    "sliding_windows",
+    "windows_overlap",
+]

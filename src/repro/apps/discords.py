@@ -1,0 +1,86 @@
+"""Discord (anomaly) discovery: the subsequence farthest from its neighbours.
+
+The time series *discord* is the window whose nearest non-overlapping
+neighbour is farthest away — the classic anomaly-detection formulation the
+paper's introduction cites.  The search is HOT-SAX-shaped: an outer loop over
+candidate windows, an inner nearest-neighbour scan ordered by the cheap
+representation-space distance, with two early exits (abandon a candidate as
+soon as any neighbour lands under the best-so-far; stop the inner scan when
+the lower bound exceeds the current candidate's running minimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distance.euclidean import euclidean
+from ..distance.segmentwise import aligned_distance
+from ..reduction.base import Reducer
+from ..reduction.paa import PAA
+from .windows import sliding_windows, windows_overlap
+
+__all__ = ["Discord", "find_discord"]
+
+
+@dataclass(frozen=True)
+class Discord:
+    """The discovered discord."""
+
+    start: int
+    window: int
+    nn_distance: float
+    nn_start: int
+    n_verified: int  # raw distance computations spent (pruning accounting)
+
+
+def find_discord(
+    series: np.ndarray,
+    window: int,
+    stride: int = 1,
+    reducer: "Reducer | None" = None,
+) -> Discord:
+    """Find the top discord of ``series`` at the given window length."""
+    reducer = reducer or PAA(12)
+    windows, starts = sliding_windows(series, window, stride)
+    if len(windows) < 2:
+        raise ValueError("series too short for discord discovery at this window")
+    representations = [reducer.transform(w) for w in windows]
+
+    best_start = best_nn_start = -1
+    best_nn = -np.inf
+    verified = 0
+    for i in range(len(windows)):
+        # order neighbours by the representation bound: true neighbours come
+        # first, so the abandon threshold triggers quickly
+        bounds = [
+            (aligned_distance(representations[i], representations[j]), j)
+            for j in range(len(windows))
+            if not windows_overlap(starts[i], starts[j], window)
+        ]
+        if not bounds:
+            continue
+        bounds.sort()
+        nn = np.inf
+        nn_j = bounds[0][1]
+        for bound, j in bounds:
+            if bound >= nn:
+                break  # no closer neighbour can exist below this bound
+            true = euclidean(windows[i], windows[j])
+            verified += 1
+            if true < nn:
+                nn, nn_j = true, j
+            if nn <= best_nn:
+                break  # candidate i cannot beat the best discord
+        if nn > best_nn and np.isfinite(nn):
+            best_nn = nn
+            best_start = int(starts[i])
+            best_nn_start = int(starts[nn_j])
+    return Discord(
+        start=best_start,
+        window=window,
+        nn_distance=float(best_nn),
+        nn_start=best_nn_start,
+        n_verified=verified,
+    )

@@ -1,0 +1,101 @@
+"""k-NN analog forecasting over the subsequence index.
+
+"Prediction" is the remaining task on the paper's motivation list.  The
+classic analog method fits here directly: find the historical windows most
+similar to the most recent observations (through the reduced-representation
+subsequence index), then average what followed each of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..reduction.base import Reducer
+from .subsequence import SubsequenceIndex
+
+__all__ = ["Forecast", "AnalogForecaster"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A horizon of predicted values plus the analogs that produced it."""
+
+    values: np.ndarray
+    analog_starts: "list[int]"
+    analog_distances: "list[float]"
+
+
+class AnalogForecaster:
+    """Forecast a series' continuation from its own nearest historical analogs.
+
+    Args:
+        window: context length matched against history.
+        horizon: how many future points to predict.
+        k: number of analogs averaged (inverse-distance weighted).
+        stride: subsequence sampling stride of the history index.
+        reducer: reduction method for the window index (default PAA).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        horizon: int,
+        k: int = 3,
+        stride: int = 1,
+        reducer: "Reducer | None" = None,
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.window = int(window)
+        self.horizon = int(horizon)
+        self.k = int(k)
+        self.stride = int(stride)
+        self._reducer = reducer
+        self._history: "np.ndarray | None" = None
+        self._index: "SubsequenceIndex | None" = None
+
+    def fit(self, history: np.ndarray) -> "AnalogForecaster":
+        """Index the history; only windows with a full future horizon count."""
+        history = np.asarray(history, dtype=float)
+        usable = history.shape[0] - self.horizon
+        if usable < self.window + 1:
+            raise ValueError("history too short for this window and horizon")
+        self._history = history
+        self._index = SubsequenceIndex(
+            window=self.window, stride=self.stride, reducer=self._reducer
+        ).fit(history[:usable])
+        return self
+
+    def forecast(self, context: "np.ndarray | None" = None) -> Forecast:
+        """Predict the next ``horizon`` values.
+
+        ``context`` defaults to the last ``window`` points of the history.
+        """
+        if self._history is None or self._index is None:
+            raise RuntimeError("fit the forecaster before forecasting")
+        if context is None:
+            context = self._history[-self.window :]
+        context = np.asarray(context, dtype=float)
+        if context.shape[0] != self.window:
+            raise ValueError(f"context must have length {self.window}")
+
+        matches = self._index.search(context, k=self.k)
+        if not matches:
+            raise RuntimeError("no analog windows found")
+        futures, weights = [], []
+        for match in matches:
+            start = match.start + self.window
+            futures.append(self._history[start : start + self.horizon])
+            weights.append(1.0 / (match.distance + 1e-9))
+        weights = np.asarray(weights)
+        weights /= weights.sum()
+        values = np.average(np.stack(futures), axis=0, weights=weights)
+        return Forecast(
+            values=values,
+            analog_starts=[m.start for m in matches],
+            analog_distances=[m.distance for m in matches],
+        )

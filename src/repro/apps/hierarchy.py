@@ -1,0 +1,114 @@
+"""Agglomerative clustering over reduced representations.
+
+Complements the k-means of :mod:`repro.apps.clustering`: average-linkage
+agglomeration driven purely by the representation distance (Dist_PAR for
+segment methods), so the raw series never need to be touched once reduced —
+the "cluster in the reduced space" workflow the paper's motivation implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..distance.dist_par import dist_par
+from ..reduction.base import Reducer
+
+__all__ = ["Dendrogram", "agglomerative_cluster"]
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """Result of an agglomerative run.
+
+    Attributes:
+        labels: flat cluster assignment at the requested cluster count.
+        merges: the merge history as ``(cluster_a, cluster_b, distance)``
+            tuples in merge order (clusters >= count are merge products, as
+            in scipy's linkage convention).
+    """
+
+    labels: np.ndarray
+    merges: "List[tuple[int, int, float]]"
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+def agglomerative_cluster(
+    data: np.ndarray,
+    n_clusters: int,
+    reducer: "Optional[Reducer]" = None,
+    distance: "Optional[Callable]" = None,
+) -> Dendrogram:
+    """Average-linkage agglomeration of the rows of ``data``.
+
+    With ``reducer`` given, rows are reduced first and distances are
+    Dist_PAR between representations; otherwise ``distance`` (default:
+    Euclidean on raw rows) drives the linkage.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("agglomerative_cluster expects a non-empty (count, n) array")
+    count = data.shape[0]
+    if not 1 <= n_clusters <= count:
+        raise ValueError("n_clusters must be in [1, count]")
+
+    if reducer is not None:
+        items = [reducer.transform(row) for row in data]
+        metric = dist_par
+    else:
+        items = list(data)
+        metric = distance or (lambda a, b: float(np.linalg.norm(a - b)))
+
+    # pairwise distance matrix (symmetric)
+    matrix = np.zeros((count, count))
+    for i in range(count):
+        for j in range(i + 1, count):
+            matrix[i, j] = matrix[j, i] = metric(items[i], items[j])
+
+    # average linkage via the Lance-Williams update
+    active = list(range(count))
+    sizes = {i: 1 for i in range(count)}
+    members = {i: [i] for i in range(count)}
+    distances = {
+        (i, j): matrix[i, j] for i in range(count) for j in range(i + 1, count)
+    }
+
+    def pair_key(a: int, b: int) -> "tuple[int, int]":
+        return (a, b) if a < b else (b, a)
+
+    merges: "List[tuple[int, int, float]]" = []
+    next_id = count
+    while len(active) > n_clusters:
+        (a, b), best = min(
+            (
+                (pair_key(x, y), distances[pair_key(x, y)])
+                for idx, x in enumerate(active)
+                for y in active[idx + 1 :]
+            ),
+            key=lambda kv: kv[1],
+        )
+        merges.append((a, b, best))
+        merged = next_id
+        next_id += 1
+        sizes[merged] = sizes[a] + sizes[b]
+        members[merged] = members[a] + members[b]
+        for other in active:
+            if other in (a, b):
+                continue
+            da = distances[pair_key(a, other)]
+            db = distances[pair_key(b, other)]
+            distances[pair_key(merged, other)] = (
+                sizes[a] * da + sizes[b] * db
+            ) / sizes[merged]
+        active = [x for x in active if x not in (a, b)] + [merged]
+
+    labels = np.empty(count, dtype=int)
+    for label, cluster in enumerate(active):
+        for member in members[cluster]:
+            labels[member] = label
+    return Dendrogram(labels=labels, merges=merges)

@@ -1,0 +1,96 @@
+"""Motif discovery: the closest pair of non-overlapping subsequences.
+
+One of the high-level tasks the paper's introduction motivates.  The search
+follows the GEMINI recipe at the pair level: all window pairs are ordered by
+their cheap representation-space distance (a lower bound for equal-length
+layouts), then verified with true Euclidean distances until the next pair's
+bound exceeds the best verified distance — at which point every remaining
+pair is provably worse and the scan stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..distance.euclidean import euclidean
+from ..distance.segmentwise import aligned_distance
+from ..reduction.base import Reducer
+from ..reduction.paa import PAA
+from .windows import sliding_windows, windows_overlap
+
+__all__ = ["Motif", "find_motifs"]
+
+
+@dataclass(frozen=True)
+class Motif:
+    """One discovered motif pair."""
+
+    start_a: int
+    start_b: int
+    window: int
+    distance: float
+
+
+def find_motifs(
+    series: np.ndarray,
+    window: int,
+    top_k: int = 1,
+    stride: int = 1,
+    reducer: "Reducer | None" = None,
+) -> "List[Motif]":
+    """Return the ``top_k`` closest non-overlapping subsequence pairs.
+
+    Args:
+        series: the long series to mine.
+        window: motif length.
+        top_k: number of (mutually non-overlapping) motif pairs to return.
+        stride: window sampling stride (1 = every position).
+        reducer: equal-length reducer used for the pre-filter
+            (default: ``PAA(12)``); its aligned distance must lower-bound
+            the Euclidean distance, which holds for PAA/PLA.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    reducer = reducer or PAA(12)
+    windows, starts = sliding_windows(series, window, stride)
+    representations = [reducer.transform(w) for w in windows]
+
+    pairs = []
+    for i in range(len(windows)):
+        for j in range(i + 1, len(windows)):
+            if windows_overlap(starts[i], starts[j], window):
+                continue
+            bound = aligned_distance(representations[i], representations[j])
+            pairs.append((bound, i, j))
+    pairs.sort()
+
+    motifs: "List[Motif]" = []
+    best = np.inf
+    candidates: "List[Motif]" = []
+    for bound, i, j in pairs:
+        if bound > best and len(candidates) >= top_k:
+            break  # every remaining pair lower-bounds above the worst kept
+        true = euclidean(windows[i], windows[j])
+        candidates.append(
+            Motif(start_a=int(starts[i]), start_b=int(starts[j]), window=window, distance=true)
+        )
+        candidates.sort(key=lambda m: m.distance)
+        candidates = candidates[: max(top_k * 4, 8)]
+        best = candidates[min(top_k, len(candidates)) - 1].distance
+
+    # keep the best pairs whose windows do not overlap previously chosen ones
+    chosen: "List[Motif]" = []
+    for motif in sorted(candidates, key=lambda m: m.distance):
+        clash = any(
+            windows_overlap(motif.start_a, kept.start_a, window)
+            and windows_overlap(motif.start_b, kept.start_b, window)
+            for kept in chosen
+        )
+        if not clash:
+            chosen.append(motif)
+        if len(chosen) == top_k:
+            break
+    return chosen

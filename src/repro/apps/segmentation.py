@@ -1,0 +1,57 @@
+"""Semantic segmentation / change-point detection from SAPLA boundaries.
+
+SAPLA's segment endpoints *are* structural change points: the pipeline
+places boundaries where one line stops describing the data.  This module
+exposes them as a change-point detector and scores each boundary by the
+Reconstruction Area that merging its two sides would re-introduce — a large
+area means the regimes on either side genuinely differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.linefit import SeriesStats
+from ..core.sapla import SAPLA
+from ..core.split_merge import merge_pair_area
+
+__all__ = ["ChangePoint", "detect_change_points"]
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A detected regime boundary."""
+
+    position: int  # last index of the left regime
+    score: float  # reconstruction area across the boundary (higher = stronger)
+
+
+def detect_change_points(
+    series: np.ndarray,
+    n_change_points: int,
+    candidate_factor: int = 3,
+) -> "List[ChangePoint]":
+    """Detect up to ``n_change_points`` regime boundaries in ``series``.
+
+    SAPLA runs with ``candidate_factor`` times as many segments as requested
+    change points; the boundaries are then ranked by their merge
+    Reconstruction Area and the strongest kept.
+    """
+    if n_change_points < 1:
+        raise ValueError("n_change_points must be >= 1")
+    series = np.asarray(series, dtype=float)
+    candidates = max(n_change_points * candidate_factor + 1, 2)
+    representation = SAPLA(n_segments=candidates).transform(series)
+    stats = SeriesStats(series)
+
+    scored = []
+    segments = representation.segments
+    for left, right in zip(segments, segments[1:]):
+        score = merge_pair_area(stats, left, right)
+        scored.append(ChangePoint(position=left.end, score=float(score)))
+    scored.sort(key=lambda cp: cp.score, reverse=True)
+    kept = scored[:n_change_points]
+    return sorted(kept, key=lambda cp: cp.position)

@@ -1,0 +1,34 @@
+"""Sliding-window utilities shared by the subsequence-level tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.normalize import z_normalize
+
+__all__ = ["sliding_windows", "windows_overlap"]
+
+
+def sliding_windows(
+    series: np.ndarray, window: int, stride: int = 1, normalize: bool = False
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Extract windows of length ``window`` every ``stride`` points.
+
+    Returns ``(windows, starts)`` where ``windows`` has shape
+    ``(count, window)`` and ``starts`` holds each window's start index.
+    """
+    series = np.asarray(series, dtype=float)
+    if window < 2 or window > series.shape[0]:
+        raise ValueError("window must be in [2, len(series)]")
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    starts = np.arange(0, series.shape[0] - window + 1, stride)
+    windows = np.stack([series[s : s + window] for s in starts])
+    if normalize:
+        windows = np.stack([z_normalize(w) for w in windows])
+    return windows, starts
+
+
+def windows_overlap(start_a: int, start_b: int, window: int) -> bool:
+    """Trivial-match test: windows sharing any point are not independent."""
+    return abs(int(start_a) - int(start_b)) < window

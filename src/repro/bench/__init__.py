@@ -1,0 +1,42 @@
+"""Benchmark harness: configuration, experiment drivers, table rendering."""
+
+from .experiments import (
+    make_reducer,
+    run_bound_ablation,
+    run_dbch_ablation,
+    run_index_grid,
+    run_maxdev_and_time,
+    run_scaling,
+    run_worked_example,
+    summarise_ingest_knn,
+    summarise_pruning_accuracy,
+    summarise_tree_shape,
+)
+from .charts import bar_chart, grouped_bar_chart
+from .full_run import EXPERIMENT_TITLES, run_all
+from .report import generate_report
+from .harness import DEFAULT_METHODS, ExperimentConfig, config_from_env
+from .reporting import print_table, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "config_from_env",
+    "DEFAULT_METHODS",
+    "make_reducer",
+    "run_maxdev_and_time",
+    "run_index_grid",
+    "summarise_pruning_accuracy",
+    "summarise_ingest_knn",
+    "summarise_tree_shape",
+    "run_scaling",
+    "run_worked_example",
+    "run_bound_ablation",
+    "run_dbch_ablation",
+    "print_table",
+    "render_table",
+    "run_all",
+    "EXPERIMENT_TITLES",
+    "bar_chart",
+    "grouped_bar_chart",
+    "generate_report",
+]

@@ -1,0 +1,77 @@
+"""ASCII bar charts: terminal renderings of the paper's bar figures.
+
+The paper's Figs. 12-16 are grouped bar charts; ``bar_chart`` renders the
+same rows the tables report as horizontal bars so the orderings are visible
+at a glance in a terminal or a text log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _render_bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    units = value / scale * width
+    whole = int(units)
+    return _BAR * whole + (_HALF if units - whole >= 0.5 else "")
+
+
+def bar_chart(
+    title: str,
+    rows: "Sequence[Mapping]",
+    label_key: str,
+    value_key: str,
+    width: int = 40,
+) -> str:
+    """Render one horizontal bar per row, scaled to the maximum value."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    values = [float(row[value_key]) for row in rows]
+    labels = [str(row[label_key]) for row in rows]
+    scale = max(values) if max(values) > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title, "-" * (label_width + width + 14)]
+    for label, value in zip(labels, values):
+        bar = _render_bar(value, scale, width)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    rows: "Sequence[Mapping]",
+    group_key: str,
+    label_key: str,
+    value_key: str,
+    width: int = 40,
+) -> str:
+    """Render bars grouped by ``group_key`` (e.g. one block per method).
+
+    This is the shape of the paper's Figs. 13-16: per method, one bar for
+    the R-tree and one for the DBCH-tree.
+    """
+    if not rows:
+        return f"{title}\n(no rows)"
+    values = [float(row[value_key]) for row in rows]
+    scale = max(values) if max(values) > 0 else 1.0
+    groups: "dict[str, list]" = {}
+    for row in rows:
+        groups.setdefault(str(row[group_key]), []).append(row)
+    label_width = max(len(str(row[label_key])) for row in rows)
+    lines = [title, "=" * (label_width + width + 16)]
+    for group, members in groups.items():
+        lines.append(group)
+        for row in members:
+            bar = _render_bar(float(row[value_key]), scale, width)
+            lines.append(
+                f"  {str(row[label_key]).ljust(label_width)}  {bar} "
+                f"{float(row[value_key]):.4g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""One-shot orchestration: run every experiment and persist the results.
+
+``run_all`` executes the complete evaluation (worked example, Table 1,
+Figs. 12-16, both ablations) for a given configuration, writes each
+experiment's raw rows as JSON plus a rendered table, and returns the
+summary.  Per-experiment JSON makes the full-grid reproduction resumable:
+existing result files are skipped unless ``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, List, Union
+
+from .experiments import (
+    run_bound_ablation,
+    run_dbch_ablation,
+    run_index_grid,
+    run_maxdev_and_time,
+    run_scaling,
+    run_worked_example,
+    summarise_ingest_knn,
+    summarise_pruning_accuracy,
+    summarise_tree_shape,
+)
+from .harness import ExperimentConfig
+from .reporting import render_table
+
+__all__ = ["run_all", "EXPERIMENT_TITLES"]
+
+PathLike = Union[str, pathlib.Path]
+
+EXPERIMENT_TITLES = {
+    "fig1_worked_example": "Fig 1 — worked example (M=12)",
+    "table1_scaling": "Table 1 — reduction time vs series length",
+    "fig12_maxdev_and_time": "Fig 12 — max deviation & reduction time",
+    "fig13_pruning_accuracy": "Fig 13 — pruning power & accuracy",
+    "fig14_ingest_knn": "Fig 14 — ingest & k-NN CPU time",
+    "fig15_16_tree_shape": "Figs 15/16 — node counts & height",
+    "ablation_bounds": "Ablation — SAPLA bound modes & stages",
+    "ablation_dbch": "Ablation — DBCH query bound",
+}
+
+
+def run_all(
+    config: ExperimentConfig,
+    output_dir: PathLike,
+    overwrite: bool = False,
+    progress: "Callable[[str], None] | None" = None,
+) -> "Dict[str, List[dict]]":
+    """Run every experiment, persisting ``<name>.json`` and ``<name>.txt``.
+
+    Returns a mapping from experiment name to its rows.  Experiments whose
+    JSON already exists are loaded instead of re-run unless ``overwrite``.
+    """
+    output_dir = pathlib.Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    say = progress or (lambda message: None)
+    results: "Dict[str, List[dict]]" = {}
+
+    def produce(name: str, compute: "Callable[[], List[dict]]") -> "List[dict]":
+        json_path = output_dir / f"{name}.json"
+        if json_path.exists() and not overwrite:
+            say(f"{name}: cached")
+            rows = json.loads(json_path.read_text())
+        else:
+            say(f"{name}: running")
+            rows = compute()
+            json_path.write_text(json.dumps(rows, indent=1))
+            (output_dir / f"{name}.txt").write_text(
+                render_table(EXPERIMENT_TITLES[name], rows) + "\n"
+            )
+        results[name] = rows
+        return rows
+
+    produce("fig1_worked_example", run_worked_example)
+    produce(
+        "table1_scaling",
+        lambda: run_scaling(lengths=(64, 128, min(config.length, 256))),
+    )
+    produce("fig12_maxdev_and_time", lambda: run_maxdev_and_time(config))
+
+    grid_path = output_dir / "index_grid.json"
+    if grid_path.exists() and not overwrite:
+        say("index_grid: cached")
+        grid = json.loads(grid_path.read_text())
+    else:
+        say("index_grid: running")
+        grid = run_index_grid(config)
+        grid_path.write_text(json.dumps(grid, indent=1))
+    produce("fig13_pruning_accuracy", lambda: summarise_pruning_accuracy(grid))
+    produce("fig14_ingest_knn", lambda: summarise_ingest_knn(grid))
+    produce("fig15_16_tree_shape", lambda: summarise_tree_shape(grid))
+
+    produce("ablation_bounds", lambda: run_bound_ablation(config))
+    produce("ablation_dbch", lambda: run_dbch_ablation(config))
+    return results

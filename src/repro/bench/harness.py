@@ -1,0 +1,88 @@
+"""Experiment configuration and shared plumbing for the benchmark harness.
+
+The paper's full grid (117 datasets x M in {12,18,24} x K in {4..64} x eight
+methods x two indexes, series length 1024, 100 series per dataset) takes
+hours in pure Python, so the default configuration is a stratified CI-sized
+slice: one dataset per shape family, shorter series, fewer series.  The full
+grid is reachable through environment knobs:
+
+    REPRO_LENGTH=1024 REPRO_SERIES=100 REPRO_QUERIES=5 REPRO_DATASETS=all \
+        pytest benchmarks/ --benchmark-only
+
+``REPRO_DATASETS`` accepts ``all``, ``family`` (default) or a comma-separated
+list of dataset names.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..data.archive import UCRLikeArchive
+
+__all__ = ["ExperimentConfig", "config_from_env", "DEFAULT_METHODS"]
+
+#: figure order used throughout the paper's bar charts
+DEFAULT_METHODS = ("SAPLA", "APLA", "APCA", "PLA", "PAA", "PAALM", "CHEBY", "SAX")
+
+
+@dataclass
+class ExperimentConfig:
+    """Scales every experiment; defaults are CI-sized (see module docstring)."""
+
+    dataset_names: "Sequence[str]" = ()
+    length: int = 256
+    n_series: int = 24
+    n_queries: int = 3
+    coefficients: "Sequence[int]" = (12,)
+    ks: "Sequence[int]" = (4, 8)
+    methods: "Sequence[str]" = DEFAULT_METHODS
+    #: APLA's error matrix is O(n^3)-ish in Python; series longer than this
+    #: are resampled for APLA only (recorded in the output)
+    apla_max_length: int = 256
+    max_entries: int = 5
+    min_entries: int = 2
+
+    archive: UCRLikeArchive = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.archive = UCRLikeArchive(
+            length=self.length, n_series=self.n_series, n_queries=self.n_queries
+        )
+        if not self.dataset_names:
+            self.dataset_names = tuple(self.archive.one_per_family())
+
+    def datasets(self):
+        """Yield each configured dataset, loaded from the archive."""
+        for name in self.dataset_names:
+            yield self.archive.load(name)
+
+
+def config_from_env() -> ExperimentConfig:
+    """Build a configuration from ``REPRO_*`` environment variables."""
+    length = int(os.environ.get("REPRO_LENGTH", "256"))
+    n_series = int(os.environ.get("REPRO_SERIES", "24"))
+    n_queries = int(os.environ.get("REPRO_QUERIES", "3"))
+    selector = os.environ.get("REPRO_DATASETS", "family")
+    coefficients = tuple(
+        int(m) for m in os.environ.get("REPRO_COEFFICIENTS", "12").split(",")
+    )
+    ks = tuple(int(k) for k in os.environ.get("REPRO_KS", "4,8").split(","))
+
+    archive = UCRLikeArchive(length=length, n_series=n_series, n_queries=n_queries)
+    if selector == "all":
+        names: "tuple[str, ...]" = tuple(archive.names)
+    elif selector == "family":
+        names = ()
+    else:
+        names = tuple(s.strip() for s in selector.split(",") if s.strip())
+    return ExperimentConfig(
+        dataset_names=names,
+        length=length,
+        n_series=n_series,
+        n_queries=n_queries,
+        coefficients=coefficients,
+        ks=ks,
+        apla_max_length=int(os.environ.get("REPRO_APLA_MAX_LENGTH", "256")),
+    )

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``     list the synthetic archive (optionally one family)
+``generate``     materialise one dataset to a ``.npz`` file
+``reduce``       reduce a series file to a representation JSON
+``reconstruct``  rebuild a series from a representation JSON
+``knn``          run k-NN over a dataset with a chosen method and index
+``experiment``   regenerate one of the paper's tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .bench import (
+    ExperimentConfig,
+    print_table,
+    run_bound_ablation,
+    run_dbch_ablation,
+    run_index_grid,
+    run_maxdev_and_time,
+    run_scaling,
+    run_worked_example,
+    summarise_ingest_knn,
+    summarise_pruning_accuracy,
+    summarise_tree_shape,
+)
+from .data import DATASETS, UCRLikeArchive
+from .index import SeriesDatabase
+from .io import from_jsonable, load_dataset, save_dataset, to_jsonable
+from .reduction import REDUCERS
+
+__all__ = ["main"]
+
+
+def _read_series(path: str) -> np.ndarray:
+    """Load a single series from .npy, .csv or .txt (one value per line)."""
+    p = pathlib.Path(path)
+    if p.suffix == ".npy":
+        series = np.load(p)
+    else:
+        series = np.loadtxt(p, delimiter="," if p.suffix == ".csv" else None)
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size == 0:
+        raise SystemExit(f"no values found in {path}")
+    return series
+
+
+def _cmd_datasets(args) -> int:
+    names = sorted(DATASETS)
+    if args.family:
+        names = [n for n in names if DATASETS[n] == args.family]
+        if not names:
+            raise SystemExit(f"no datasets in family {args.family!r}")
+    for name in names:
+        print(f"{name:<32} {DATASETS[name]}")
+    print(f"\n{len(names)} datasets")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    archive = UCRLikeArchive(
+        length=args.length, n_series=args.series, n_queries=args.queries
+    )
+    dataset = archive.load(args.dataset)
+    save_dataset(args.output, dataset)
+    print(
+        f"wrote {args.output}: {dataset.data.shape[0]} series + "
+        f"{dataset.queries.shape[0]} queries of length {dataset.length}"
+    )
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    import json
+
+    series = _read_series(args.input)
+    reducer = REDUCERS[args.method](n_coefficients=args.coefficients)
+    representation = reducer.transform(series)
+    payload = to_jsonable(representation)
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2))
+    recon = reducer.reconstruct(representation)
+    print(
+        f"{args.method} M={args.coefficients}: n={len(series)} -> "
+        f"{args.output}; max deviation {np.abs(series - recon).max():.6g}"
+    )
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    import json
+
+    payload = json.loads(pathlib.Path(args.input).read_text())
+    representation = from_jsonable(payload)
+    kind = payload["type"]
+    if kind == "segmentation":
+        recon = representation.reconstruct()
+    else:
+        raise SystemExit(
+            f"reconstruct currently supports segment representations, got {kind!r} "
+            "(use the library API for CHEBY/SAX)"
+        )
+    np.savetxt(args.output, recon)
+    print(f"wrote {args.output}: {len(recon)} points")
+    return 0
+
+
+def _cmd_knn(args) -> int:
+    if args.dataset.endswith(".npz"):
+        dataset = load_dataset(args.dataset)
+    else:
+        archive = UCRLikeArchive(length=args.length, n_series=args.series)
+        dataset = archive.load(args.dataset)
+    reducer = REDUCERS[args.method](n_coefficients=args.coefficients)
+    index = None if args.index == "none" else args.index
+    db = SeriesDatabase(reducer, index=index)
+    db.ingest(dataset.data)
+    rows = []
+    for qi, query in enumerate(dataset.queries):
+        truth = db.ground_truth(query, args.k)
+        result = db.knn(query, args.k)
+        rows.append(
+            {
+                "query": qi,
+                "neighbours": " ".join(map(str, result.ids)),
+                "pruning_power": result.pruning_power,
+                "accuracy": result.accuracy_against(truth),
+            }
+        )
+    print_table(
+        f"k-NN (k={args.k}, {args.method}, index={args.index}) over {dataset.name}", rows
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .bench import generate_report
+
+    report = generate_report(args.results, args.output)
+    if args.output:
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+_EXPERIMENTS = (
+    "all",
+    "fig1",
+    "table1",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation-bounds",
+    "ablation-dbch",
+)
+
+
+def _cmd_experiment(args) -> int:
+    config_kwargs = dict(
+        dataset_names=tuple(args.datasets) if args.datasets else (),
+        length=args.length,
+        n_series=args.series,
+        n_queries=args.queries,
+        coefficients=tuple(args.coefficients),
+        ks=tuple(args.ks),
+    )
+    if args.methods:
+        config_kwargs["methods"] = tuple(args.methods)
+    config = ExperimentConfig(**config_kwargs)
+    which = args.which
+    if which == "all":
+        from .bench import run_all
+
+        results = run_all(
+            config, args.output, overwrite=args.overwrite, progress=print
+        )
+        for name, rows in results.items():
+            from .bench import EXPERIMENT_TITLES
+
+            print_table(EXPERIMENT_TITLES[name], rows)
+        print(f"\nresults persisted under {args.output}")
+    elif which == "fig1":
+        print_table("Fig 1 — worked example (M=12)", run_worked_example())
+    elif which == "table1":
+        print_table(
+            "Table 1 — reduction time vs length",
+            run_scaling(lengths=(64, 128, min(config.length, 256))),
+        )
+    elif which == "fig12":
+        print_table("Fig 12 — max deviation & reduction time", run_maxdev_and_time(config))
+    elif which in ("fig13", "fig14", "fig15"):
+        grid = run_index_grid(config)
+        if which == "fig13":
+            from .bench import grouped_bar_chart
+
+            rows = summarise_pruning_accuracy(grid)
+            print_table("Fig 13 — pruning power & accuracy", rows)
+            print()
+            print(
+                grouped_bar_chart(
+                    "Fig 13a — pruning power (lower is better)",
+                    rows,
+                    "method",
+                    "index",
+                    "pruning_power",
+                )
+            )
+        elif which == "fig14":
+            print_table("Fig 14 — ingest & k-NN CPU time", summarise_ingest_knn(grid))
+        else:
+            print_table("Figs 15/16 — node counts & height", summarise_tree_shape(grid))
+    elif which == "ablation-bounds":
+        print_table("Ablation — SAPLA bound modes", run_bound_ablation(config))
+    elif which == "ablation-dbch":
+        print_table("Ablation — DBCH query bound", run_dbch_ablation(config))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SAPLA (EDBT 2022) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the synthetic archive")
+    p.add_argument("--family", help="filter by shape family")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("generate", help="materialise one dataset to .npz")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--length", type=int, default=1024)
+    p.add_argument("--series", type=int, default=100)
+    p.add_argument("--queries", type=int, default=5)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("reduce", help="reduce a series file to JSON")
+    p.add_argument("--method", choices=sorted(REDUCERS), default="SAPLA")
+    p.add_argument("--coefficients", type=int, default=12)
+    p.add_argument("--input", required=True, help=".npy/.csv/.txt series file")
+    p.add_argument("--output", required=True, help="representation JSON path")
+    p.set_defaults(func=_cmd_reduce)
+
+    p = sub.add_parser("reconstruct", help="rebuild a series from JSON")
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=_cmd_reconstruct)
+
+    p = sub.add_parser("knn", help="k-NN search over a dataset")
+    p.add_argument("--dataset", required=True, help="archive name or .npz path")
+    p.add_argument("--method", choices=sorted(REDUCERS), default="SAPLA")
+    p.add_argument("--coefficients", type=int, default=12)
+    p.add_argument("--index", choices=("rtree", "dbch", "none"), default="dbch")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--length", type=int, default=256)
+    p.add_argument("--series", type=int, default=50)
+    p.set_defaults(func=_cmd_knn)
+
+    p = sub.add_parser("report", help="render a markdown report from results")
+    p.add_argument("--results", default="results", help="run_all output directory")
+    p.add_argument("--output", default=None, help="write the report here")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("which", choices=_EXPERIMENTS)
+    p.add_argument("--datasets", nargs="*", default=None)
+    p.add_argument("--length", type=int, default=256)
+    p.add_argument("--series", type=int, default=24)
+    p.add_argument("--queries", type=int, default=3)
+    p.add_argument("--coefficients", nargs="*", type=int, default=[12])
+    p.add_argument("--ks", nargs="*", type=int, default=[4, 8])
+    p.add_argument(
+        "--methods", nargs="*", choices=sorted(REDUCERS), default=None,
+        help="restrict the evaluated methods",
+    )
+    p.add_argument("--output", default="results", help="directory for 'all' results")
+    p.add_argument("--overwrite", action="store_true", help="re-run cached experiments")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    """Parse arguments and dispatch to the selected command."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

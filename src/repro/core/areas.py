@@ -1,0 +1,70 @@
+"""Increment Area and Reconstruction Area (paper Definitions 4.1 and 4.2).
+
+Both quantities are areas between straight-line reconstructions, i.e.
+integrals of ``|delta_a * t + delta_b|`` over an interval.  The paper
+simplifies them to sums of triangles (Figs. 3, 4); the closed forms here are
+the exact integrals, which coincide with the triangle decomposition because
+two lines cross at most once (Lemma 4.1).
+"""
+
+from __future__ import annotations
+
+from .linefit import LineFit
+
+__all__ = ["area_between_lines", "increment_area", "reconstruction_area"]
+
+
+def area_between_lines(a1: float, b1: float, a2: float, b2: float, t0: float, t1: float) -> float:
+    """Integral of ``|(a1 - a2) t + (b1 - b2)|`` over ``[t0, t1]``.
+
+    This is the exact area enclosed between the two lines on the interval.
+    """
+    if t1 < t0:
+        raise ValueError("interval end must not precede its start")
+    da = a1 - a2
+    db = b1 - b2
+    d0 = da * t0 + db
+    d1 = da * t1 + db
+    width = t1 - t0
+    if width == 0.0:
+        return 0.0
+    if da == 0.0 or d0 * d1 >= 0.0:
+        # no sign change: trapezoid
+        return 0.5 * (abs(d0) + abs(d1)) * width
+    # single crossing at t*: two triangles (paper Fig. 3)
+    t_cross = -db / da
+    return 0.5 * abs(d0) * (t_cross - t0) + 0.5 * abs(d1) * (t1 - t_cross)
+
+
+def increment_area(current: LineFit, incremented: LineFit) -> float:
+    """Increment Area (Definition 4.1).
+
+    ``current`` is the fit of segment ``C_i`` (length ``l``); ``incremented``
+    is the fit after appending one more point (length ``l + 1``).  The
+    Extended Segment of Definition 4.1 is ``current``'s line evaluated over
+    the longer domain, so the area is taken over local ``t in [0, l]``.
+    """
+    if incremented.length != current.length + 1:
+        raise ValueError("incremented fit must cover exactly one extra point")
+    a1, b1 = incremented.coefficients
+    a2, b2 = current.coefficients
+    return area_between_lines(a1, b1, a2, b2, 0.0, float(current.length))
+
+
+def reconstruction_area(left: LineFit, right: LineFit, merged: LineFit) -> float:
+    """Reconstruction Area (Definition 4.2).
+
+    Area between the merged segment's reconstruction and the concatenation of
+    the two sub-segment reconstructions, in the merged segment's local
+    coordinates.  The right sub-segment starts at local ``t = left.length``.
+    """
+    if merged.length != left.length + right.length:
+        raise ValueError("merged fit must cover both sub-segments")
+    am, bm = merged.coefficients
+    al, bl = left.coefficients
+    ar, br = right.coefficients
+    left_area = area_between_lines(am, bm, al, bl, 0.0, float(left.length - 1))
+    # shift the merged line into the right segment's local frame
+    offset = float(left.length)
+    right_area = area_between_lines(am, am * offset + bm, ar, br, 0.0, float(right.length - 1))
+    return left_area + right_area

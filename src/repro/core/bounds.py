@@ -1,0 +1,166 @@
+"""Segment upper bounds ``beta_i`` (paper Definition 3.5, Secs. 4.1.2-4.4.1).
+
+SAPLA never scans a whole segment to measure its true max deviation
+``epsilon_i`` while iterating — that would re-introduce APLA's cost.  Instead
+it maintains O(1) *conditional* upper bounds built from a handful of endpoint
+evaluations (Algorithm 4.1's ``get_max``) scaled by the segment length.  The
+paper proves the bounding conditions in Theorems 4.2 / 4.3 and openly notes
+(Sec. 7) that they are conditional, not unconditional; the bounds only steer
+the iteration order and stopping rule, while all reported quality metrics use
+the exact max deviation (:mod:`repro.metrics.deviation`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .linefit import LineFit
+from .segment import Segment
+
+__all__ = [
+    "get_max",
+    "beta_initialization",
+    "beta_merge",
+    "beta_split",
+    "beta_segment",
+    "segment_bound",
+    "exact_max_deviation",
+]
+
+
+def get_max(ids: Iterable[int], *tracks: Sequence[float]) -> float:
+    """Algorithm 4.1: max pairwise absolute difference at the given positions.
+
+    ``ids`` are 1-based positions within the segment (the paper's ``[...]``
+    ordering); each *track* is an indexable giving the value of one curve at
+    those positions (already converted to 0-based by the caller convention
+    here: we pass plain sequences indexed by ``id - 1``).
+    """
+    best = 0.0
+    tracks = tuple(tracks)
+    for k in ids:
+        at_k = [track[k - 1] for track in tracks]
+        for i in range(len(at_k)):
+            for j in range(i + 1, len(at_k)):
+                diff = abs(at_k[i] - at_k[j])
+                if diff > best:
+                    best = diff
+    return best
+
+
+def beta_initialization(
+    c_first: float,
+    c_last: float,
+    c_new: float,
+    current: LineFit,
+    incremented: LineFit,
+    running_max: float = 0.0,
+) -> float:
+    """Sec. 4.1.2: bound during the initialization scan.
+
+    ``current`` covers ``l`` points, ``incremented`` covers ``l + 1``; the
+    three tracked curves are the original points, the Increment Segment and
+    the Extended Segment, sampled at local ids ``1``, ``l`` and ``l + 1``.
+    ``running_max`` is the paper's ``max_d``, the running maximum observed
+    while the segment grew.
+    """
+    l = current.length
+    ids = (1, l, l + 1)
+    original = {1: c_first, l: c_last, l + 1: c_new}
+    m = 0.0
+    for k in ids:
+        t = float(k - 1)
+        candidates = (original[k], incremented.value_at(t), current.value_at(t))
+        for i in range(3):
+            for j in range(i + 1, 3):
+                m = max(m, abs(candidates[i] - candidates[j]))
+    return max(m, running_max) * l
+
+
+def beta_merge(
+    values: np.ndarray,
+    left: Segment,
+    right: Segment,
+    merged_fit: LineFit,
+) -> float:
+    """Sec. 4.1.4: bound for the long segment produced by a merge.
+
+    Tracked curves: the original points, the concatenated reconstructions of
+    the two short segments, and the merged reconstruction — sampled at local
+    ids ``1``, ``l_i``, ``l_i + 1`` and ``l'`` (both sides of the junction and
+    both outer endpoints).
+    """
+    start, mid, end = left.start, left.end, right.end
+    l_total = end - start + 1
+    m = 0.0
+    for global_t, piece in ((start, left), (mid, left), (mid + 1, right), (end, right)):
+        local_t = float(global_t - start)
+        candidates = (
+            float(values[global_t]),
+            piece.value_at(global_t),
+            merged_fit.value_at(local_t),
+        )
+        for i in range(3):
+            for j in range(i + 1, 3):
+                m = max(m, abs(candidates[i] - candidates[j]))
+    return m * (l_total - 1)
+
+
+def beta_split(
+    values: np.ndarray,
+    part: Segment,
+    whole: Segment,
+) -> float:
+    """Sec. 4.3.1: bound for one half produced by splitting ``whole``.
+
+    Tracked curves: the original points, the long segment's reconstruction
+    and the new sub-segment's reconstruction, sampled at the sub-segment's
+    two endpoints.
+    """
+    m = 0.0
+    for global_t in (part.start, part.end):
+        candidates = (
+            float(values[global_t]),
+            whole.value_at(global_t),
+            part.value_at(global_t),
+        )
+        for i in range(3):
+            for j in range(i + 1, 3):
+                m = max(m, abs(candidates[i] - candidates[j]))
+    return m * max(part.length - 1, 1)
+
+
+def beta_segment(values: np.ndarray, segment: Segment) -> float:
+    """Sec. 4.4.1: free-standing bound used during endpoint movement.
+
+    Samples the original-vs-reconstruction gap at the segment's endpoints and
+    midpoint, scaled by ``l - 1`` — the same construction as the
+    initialization bound, applicable after any endpoint change.
+    """
+    mid = (segment.start + segment.end) // 2
+    m = 0.0
+    for global_t in (segment.start, mid, segment.end):
+        m = max(m, abs(float(values[global_t]) - segment.value_at(global_t)))
+    return m * max(segment.length - 1, 1)
+
+
+def segment_bound(values: np.ndarray, segment: Segment, mode: str = "paper") -> float:
+    """Dispatch between the paper's O(1) bound and the exact O(l) deviation.
+
+    ``mode='paper'`` is the default SAPLA behaviour; ``mode='exact'`` is the
+    ablation in which the iteration is steered by the true ``epsilon_i``.
+    """
+    if mode == "exact":
+        return exact_max_deviation(values, segment)
+    if mode == "paper":
+        return beta_segment(values, segment)
+    raise ValueError(f"unknown bound mode: {mode!r}")
+
+
+def exact_max_deviation(values: np.ndarray, segment: Segment) -> float:
+    """The true ``epsilon_i`` (Definition 3.4) — O(l), used by metrics and
+    by SAPLA's optional ``bound_mode='exact'`` ablation."""
+    window = np.asarray(values[segment.start : segment.end + 1], dtype=float)
+    return float(np.abs(window - segment.reconstruct()).max())

@@ -1,0 +1,109 @@
+"""SAPLA stage 3 — segment endpoint movement iteration (Algorithms 4.4, 4.5).
+
+Split & merge fixes *how many* segments exist; this stage fine-tunes *where*
+their boundaries sit.  Segments are visited in decreasing order of their
+upper bound ``beta_i``; each visit greedily slides the segment's left and
+right endpoints one position at a time (the four cases of Fig. 9) while the
+summed bound of the two affected segments decreases.  Every trial move refits
+the two affected segments exactly in O(1) via prefix statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .bounds import segment_bound
+from .linefit import SeriesStats
+from .segment import Segment
+
+__all__ = ["move_endpoints"]
+
+# the four movement cases of Fig. 9: (boundary between i-1 and i, direction)
+_MOVES = (
+    ("right", +1),  # case 1: grow right endpoint, right neighbour shrinks
+    ("right", -1),  # case 2: shrink right endpoint, right neighbour grows
+    ("left", -1),  # case 3: grow left endpoint, left neighbour shrinks
+    ("left", +1),  # case 4: shrink left endpoint, left neighbour grows
+)
+
+
+def _try_move(
+    stats: SeriesStats,
+    segments: "list[Segment]",
+    i: int,
+    side: str,
+    direction: int,
+    bound_mode: str,
+) -> "Optional[tuple[int, Segment, Segment, float]]":
+    """Evaluate one endpoint move of segment ``i``.
+
+    Returns ``(pair_index, new_left, new_right, delta)`` where ``delta`` is
+    the change in the summed bound of the affected pair, or ``None`` when the
+    move is impossible (no neighbour, or a segment would vanish).
+    """
+    values = stats.values
+    if side == "right":
+        j = i + 1
+        if j >= len(segments):
+            return None
+        left_seg, right_seg = segments[i], segments[j]
+        boundary = left_seg.end + direction
+        pair_index = i
+    else:
+        j = i - 1
+        if j < 0:
+            return None
+        left_seg, right_seg = segments[j], segments[i]
+        boundary = left_seg.end + direction
+        pair_index = j
+    if boundary < left_seg.start or boundary >= right_seg.end:
+        return None  # a segment would become empty
+    new_left = Segment.fit(stats, left_seg.start, boundary)
+    new_right = Segment.fit(stats, boundary + 1, right_seg.end)
+    old = segment_bound(values, left_seg, bound_mode) + segment_bound(
+        values, right_seg, bound_mode
+    )
+    new = segment_bound(values, new_left, bound_mode) + segment_bound(
+        values, new_right, bound_mode
+    )
+    return pair_index, new_left, new_right, new - old
+
+
+def move_endpoints(
+    stats: SeriesStats,
+    segments: "list[Segment]",
+    bound_mode: str = "paper",
+    max_moves: Optional[int] = None,
+) -> "list[Segment]":
+    """Run the endpoint movement iteration and return the refined segments."""
+    segments = list(segments)
+    if len(segments) < 2:
+        return segments
+    values = stats.values
+    budget = max_moves if max_moves is not None else 4 * len(stats)
+
+    # visit segments from the largest bound downwards (the paper's priority queue)
+    order = sorted(
+        range(len(segments)),
+        key=lambda i: segment_bound(values, segments[i], bound_mode),
+        reverse=True,
+    )
+    for i in order:
+        while budget > 0:
+            candidates = [
+                move
+                for move in (
+                    _try_move(stats, segments, i, side, direction, bound_mode)
+                    for side, direction in _MOVES
+                )
+                if move is not None
+            ]
+            if not candidates:
+                break
+            pair_index, new_left, new_right, delta = min(candidates, key=lambda m: m[3])
+            if delta >= -1e-12:
+                break
+            segments[pair_index] = new_left
+            segments[pair_index + 1] = new_right
+            budget -= 1
+    return segments

@@ -1,0 +1,183 @@
+"""SAPLA stage 1 — initialization (paper Algorithm 4.2).
+
+One left-to-right scan of the series.  A growing segment absorbs the next
+point unless the Increment Area (Definition 4.1) caused by that point exceeds
+the current increment threshold — the ``(N-1)``-th largest Increment Area seen
+so far, held in a size-``N-1`` min-heap.  Large increment areas mark places
+where a single line stops describing the data, so they become segment
+endpoints.  The scan yields between 1 and ``n/2`` segments; stage 2
+(:mod:`repro.core.split_merge`) then reaches the user-specified ``N`` exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .areas import increment_area
+from .linefit import LineFit, SeriesStats
+from .segment import Segment
+
+__all__ = ["initialize", "initialize_fast"]
+
+
+def initialize(stats: SeriesStats, n_segments: int) -> "list[Segment]":
+    """Run the initialization scan and return the initial segment list.
+
+    Args:
+        stats: prefix-sum view of the series being reduced.
+        n_segments: the user-specified target ``N`` (used only to size the
+            increment-threshold heap; the returned count may differ).
+    """
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    values = stats.values
+    n = len(stats)
+    if n == 0:
+        raise ValueError("cannot reduce an empty series")
+    if n <= 2:
+        return [Segment.fit(stats, 0, n - 1)]
+
+    segments: "list[Segment]" = []
+    threshold_heap: "list[float]" = []  # the paper's eta: N-1 largest areas
+    start = 0
+    fit = stats.window_fit(0, 1)
+    i = 2
+    while i < n:
+        incremented = fit.extend_right(float(values[i]))
+        area = increment_area(fit, incremented)
+        heap_not_full = len(threshold_heap) < n_segments - 1
+        if heap_not_full or (threshold_heap and area > threshold_heap[0]):
+            if heap_not_full:
+                heapq.heappush(threshold_heap, area)
+            else:
+                heapq.heapreplace(threshold_heap, area)
+            segments.append(_close(fit, start, i - 1))
+            # the triggering point begins a fresh two-point segment
+            start = i
+            if i + 1 < n:
+                fit = stats.window_fit(i, i + 1)
+                i += 2
+            else:
+                fit = stats.window_fit(i, i)
+                i += 1
+        else:
+            fit = incremented
+            i += 1
+    segments.append(_close(fit, start, start + fit.length - 1))
+    return segments
+
+
+def _close(fit: LineFit, start: int, end: int) -> Segment:
+    a, b = fit.coefficients
+    return Segment(start=start, end=end, a=a, b=b)
+
+
+# ----------------------------------------------------------------------
+# vectorised variant
+# ----------------------------------------------------------------------
+def _window_lines(stats: SeriesStats, start: int, ends: np.ndarray):
+    """Vectorised ``(a, b)`` of the fits over ``[start, e]`` for every e."""
+    prefix_y = stats._prefix_y
+    prefix_ty = stats._prefix_ty
+    lengths = (ends - start + 1).astype(float)
+    sum_y = prefix_y[ends + 1] - prefix_y[start]
+    sum_ty = (prefix_ty[ends + 1] - prefix_ty[start]) - start * sum_y
+    s1 = lengths * (lengths - 1) / 2.0
+    s2 = lengths * (lengths - 1) * (2 * lengths - 1) / 6.0
+    det = lengths * s2 - s1 * s1
+    safe = np.where(det > 0, det, 1.0)
+    a = np.where(det > 0, (lengths * sum_ty - s1 * sum_y) / safe, 0.0)
+    b = (sum_y - a * s1) / lengths
+    return a, b
+
+
+def _vector_areas(stats: SeriesStats, start: int, candidates: np.ndarray) -> np.ndarray:
+    """Increment Areas of extending the segment ``[start, j-1]`` by point ``j``,
+    for every candidate ``j`` at once (the exact vectorised counterpart of
+    :func:`repro.core.areas.increment_area`)."""
+    a1, b1 = _window_lines(stats, start, candidates - 1)  # current fits
+    a2, b2 = _window_lines(stats, start, candidates)  # incremented fits
+    spans = (candidates - start).astype(float)  # integration upper limits
+    da = a2 - a1
+    db = b2 - b1
+    d0 = db
+    d1 = da * spans + db
+    trapezoid = 0.5 * (np.abs(d0) + np.abs(d1)) * spans
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_cross = np.where(da != 0, -db / np.where(da != 0, da, 1.0), 0.0)
+    triangles = 0.5 * np.abs(d0) * t_cross + 0.5 * np.abs(d1) * (spans - t_cross)
+    crossing = (da != 0) & (d0 * d1 < 0)
+    return np.where(crossing, triangles, trapezoid)
+
+
+def initialize_fast(stats: SeriesStats, n_segments: int) -> "list[Segment]":
+    """Vectorised :func:`initialize` — identical output, far fewer Python steps.
+
+    Within one growing segment the increment threshold is constant (it only
+    changes when a split fires), so the whole run of candidate points can be
+    evaluated in one numpy pass and the first threshold crossing located
+    with ``argmax`` — per segment, not per point.
+    """
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    n = len(stats)
+    if n == 0:
+        raise ValueError("cannot reduce an empty series")
+    if n <= 2 or n_segments == 1:
+        # a threshold heap of capacity zero never admits a split
+        return [Segment.fit(stats, 0, n - 1)]
+
+    segments: "list[Segment]" = []
+    threshold_heap: "list[float]" = []
+    start = 0
+
+    def split_at(j: int, area: float) -> int:
+        """Close ``[start, j-1]``, register ``area``, start a fresh segment."""
+        heap_not_full = len(threshold_heap) < n_segments - 1
+        if heap_not_full:
+            heapq.heappush(threshold_heap, area)
+        else:
+            heapq.heapreplace(threshold_heap, area)
+        segments.append(Segment.fit(stats, start, j - 1))
+        return j
+
+    # chunks grow geometrically within a run: splits that fire quickly pay
+    # for few wasted evaluations, long quiet runs amortise to O(n) total
+    first_chunk, max_chunk = 16, 1024
+    while True:
+        if start >= n - 1:
+            if start <= n - 1:
+                segments.append(Segment.fit(stats, start, n - 1))
+            break
+        if len(threshold_heap) < n_segments - 1:
+            # the heap fills greedily: the very first candidate splits
+            j = start + 2
+            if j >= n:
+                segments.append(Segment.fit(stats, start, n - 1))
+                break
+            area = float(_vector_areas(stats, start, np.array([j]))[0])
+            start = split_at(j, area)
+            continue
+        threshold = threshold_heap[0]
+        cursor = start + 2
+        chunk = first_chunk
+        hit_j = -1
+        hit_area = 0.0
+        while cursor < n:
+            candidates = np.arange(cursor, min(cursor + chunk, n))
+            areas = _vector_areas(stats, start, candidates)
+            above = areas > threshold
+            if above.any():
+                index = int(np.argmax(above))
+                hit_j = int(candidates[index])
+                hit_area = float(areas[index])
+                break
+            cursor += chunk
+            chunk = min(chunk * 2, max_chunk)
+        if hit_j < 0:
+            segments.append(Segment.fit(stats, start, n - 1))
+            break
+        start = split_at(hit_j, hit_area)
+    return segments

@@ -1,0 +1,102 @@
+"""SAPLA — Self Adaptive Piecewise Linear Approximation (paper Sec. 4).
+
+The driver composes the three stages of Fig. 2: initialization (single scan,
+increment-area endpoints), split & merge iteration (reach the user-defined
+``N`` and lower the sum upper bound), and segment endpoint movement
+(boundary fine-tuning).  Worst-case time ``O(n (N + log n))``.
+
+Typical usage::
+
+    from repro import SAPLA
+    rep = SAPLA(n_coefficients=12).transform(series)   # N = 12 / 3 = 4
+    approx = rep.reconstruct()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .endpoint_movement import move_endpoints
+from .initialization import initialize
+from .linefit import SeriesStats
+from .segment import LinearSegmentation
+from .split_merge import split_merge
+
+__all__ = ["SAPLA", "sapla_transform"]
+
+
+class SAPLA:
+    """Self Adaptive Piecewise Linear Approximation.
+
+    Args:
+        n_segments: target segment count ``N``.  Exactly one of
+            ``n_segments`` / ``n_coefficients`` must be given.
+        n_coefficients: target coefficient budget ``M``; SAPLA stores three
+            coefficients per segment, so ``N = M // 3`` (Table 1).
+        bound_mode: ``'paper'`` (O(1) conditional upper bounds, the paper's
+            method) or ``'exact'`` (steer the iterations by the true segment
+            max deviation — slower, used for the ablation benches).
+        refine_endpoints: whether to run stage 3.  Disabling it is the
+            paper's implicit ablation of the endpoint movement iteration.
+        split_mode: ``'scan'`` (exact O(l) split-point search, default) or
+            ``'peak'`` (the paper's Fig. 7 peak-finding probe — fewer area
+            evaluations, possibly a local maximum).
+    """
+
+    name = "SAPLA"
+
+    def __init__(
+        self,
+        n_segments: Optional[int] = None,
+        n_coefficients: Optional[int] = None,
+        bound_mode: str = "paper",
+        refine_endpoints: bool = True,
+        split_mode: str = "scan",
+    ):
+        if (n_segments is None) == (n_coefficients is None):
+            raise ValueError("give exactly one of n_segments / n_coefficients")
+        if n_segments is None:
+            n_segments = max(n_coefficients // 3, 1)
+        if n_segments < 1:
+            raise ValueError("n_segments must be >= 1")
+        if bound_mode not in ("paper", "exact"):
+            raise ValueError(f"unknown bound mode: {bound_mode!r}")
+        if split_mode not in ("scan", "peak"):
+            raise ValueError(f"unknown split mode: {split_mode!r}")
+        self.n_segments = int(n_segments)
+        self.bound_mode = bound_mode
+        self.refine_endpoints = refine_endpoints
+        self.split_mode = split_mode
+
+    def transform(self, series: np.ndarray) -> LinearSegmentation:
+        """Reduce ``series`` to its SAPLA representation ``C-hat``."""
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 1:
+            raise ValueError("SAPLA reduces one-dimensional series")
+        if series.shape[0] == 0:
+            raise ValueError("cannot reduce an empty series")
+        if not np.isfinite(series).all():
+            raise ValueError("SAPLA input contains NaN or infinite values")
+        stats = SeriesStats(series)
+        segments = initialize(stats, self.n_segments)
+        segments = split_merge(
+            stats, segments, self.n_segments, self.bound_mode, split_mode=self.split_mode
+        )
+        if self.refine_endpoints:
+            segments = move_endpoints(stats, segments, self.bound_mode)
+        return LinearSegmentation(segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"SAPLA(n_segments={self.n_segments}, bound_mode={self.bound_mode!r}, "
+            f"refine_endpoints={self.refine_endpoints})"
+        )
+
+
+def sapla_transform(
+    series: np.ndarray, n_segments: int, bound_mode: str = "paper"
+) -> LinearSegmentation:
+    """Functional convenience wrapper around :class:`SAPLA`."""
+    return SAPLA(n_segments=n_segments, bound_mode=bound_mode).transform(series)

@@ -1,0 +1,173 @@
+"""Segment and segmentation containers shared by every segment-based method.
+
+A :class:`Segment` is the paper's ``<a_i, b_i, r_i>`` triple (Definition 3.2)
+augmented with its start index for convenience; a :class:`LinearSegmentation`
+is the representation ``C-hat`` (an ordered, gap-free cover of ``[0, n)``).
+APCA/PAA-style constant segments are the special case ``a == 0``, which lets
+one distance/indexing stack serve every method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .linefit import LineFit, SeriesStats
+
+__all__ = ["Segment", "LinearSegmentation"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One fitted segment: the paper's ``<a_i, b_i, r_i>`` plus its start index.
+
+    ``a`` and ``b`` are in *local* coordinates: the reconstruction at global
+    index ``t`` (``start <= t <= end``) is ``a * (t - start) + b``.
+    """
+
+    start: int
+    end: int
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"segment end {self.end} precedes start {self.start}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def right_endpoint(self) -> int:
+        """The paper's ``r_i``."""
+        return self.end
+
+    def value_at(self, t: int) -> float:
+        """Reconstructed value at global index ``t``."""
+        return self.a * (t - self.start) + self.b
+
+    def reconstruct(self) -> np.ndarray:
+        """Reconstructed values over the segment's own window."""
+        return self.a * np.arange(self.length, dtype=float) + self.b
+
+    def to_fit(self) -> LineFit:
+        """The segment's line as a :class:`LineFit` (sufficient statistics)."""
+        return LineFit.from_coefficients(self.a, self.b, self.length)
+
+    def restrict(self, start: int, end: int) -> "Segment":
+        """The same line over a sub-range — used by the Dist_PAR partitioning.
+
+        Restricting a line to a sub-interval does not change the line, so the
+        least-squares refit of Eqs. (5)-(8) reduces to an intercept shift.
+        """
+        if not self.start <= start <= end <= self.end:
+            raise ValueError(f"[{start}, {end}] is not inside [{self.start}, {self.end}]")
+        return Segment(start=start, end=end, a=self.a, b=self.a * (start - self.start) + self.b)
+
+    @classmethod
+    def fit(cls, stats: SeriesStats, start: int, end: int) -> "Segment":
+        """Exact least-squares segment over ``[start, end]`` of a series."""
+        a, b = stats.window_fit(start, end).coefficients
+        return cls(start=start, end=end, a=a, b=b)
+
+
+class LinearSegmentation:
+    """An ordered, gap-free piecewise-linear representation of one series.
+
+    This is the paper's ``C-hat = {<a_0, b_0, r_0>, ...}`` (Definition 3.2).
+    Construction validates the cover: segments must tile ``[0, n)`` exactly.
+    """
+
+    def __init__(self, segments: Sequence[Segment]):
+        segments = list(segments)
+        if not segments:
+            raise ValueError("a segmentation needs at least one segment")
+        if segments[0].start != 0:
+            raise ValueError("the first segment must start at index 0")
+        for prev, cur in zip(segments, segments[1:]):
+            if cur.start != prev.end + 1:
+                raise ValueError(
+                    f"segments must be contiguous: {prev.end} then {cur.start}"
+                )
+        self._segments = segments
+
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> "list[Segment]":
+        return list(self._segments)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def length(self) -> int:
+        """Length ``n`` of the represented series."""
+        return self._segments[-1].end + 1
+
+    @property
+    def right_endpoints(self) -> "list[int]":
+        """The paper's ``C-hat_R``: every ``r_i``."""
+        return [seg.end for seg in self._segments]
+
+    @property
+    def n_coefficients(self) -> int:
+        """Stored coefficient count ``M = 3N`` (``a_i, b_i, r_i`` per segment)."""
+        return 3 * len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __getitem__(self, i: int) -> Segment:
+        return self._segments[i]
+
+    # ------------------------------------------------------------------
+    def reconstruct(self) -> np.ndarray:
+        """The reconstructed series ``C-check`` (Definition 3.3)."""
+        return np.concatenate([seg.reconstruct() for seg in self._segments])
+
+    def value_at(self, t: int) -> float:
+        """Reconstructed value at global position ``t``."""
+        return self._segments[self.segment_index_at(t)].value_at(t)
+
+    def segment_index_at(self, t: int) -> int:
+        """Index of the segment covering global position ``t`` (binary search)."""
+        if not 0 <= t < self.length:
+            raise IndexError(f"position {t} out of range for length {self.length}")
+        lo, hi = 0, len(self._segments) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._segments[mid].end < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def partition(self, endpoints: Iterable[int]) -> "LinearSegmentation":
+        """Refine the segmentation so that every given endpoint is a boundary.
+
+        Used by Dist_PAR (Definition 5.1): the union of two representations'
+        right endpoints is imposed on both.  Line pieces are restrictions of
+        the originals, so no information is lost.
+        """
+        wanted = sorted(set(endpoints) | set(self.right_endpoints))
+        if wanted[-1] != self.length - 1:
+            raise ValueError("partition endpoints must end at the series end")
+        if wanted[0] < 0:
+            raise ValueError("partition endpoints must be non-negative")
+        pieces: "list[Segment]" = []
+        start = 0
+        for end in wanted:
+            seg = self._segments[self.segment_index_at(end)]
+            pieces.append(seg.restrict(start, end))
+            start = end + 1
+        return LinearSegmentation(pieces)
+
+    def __repr__(self) -> str:
+        return f"LinearSegmentation(n={self.length}, N={self.n_segments})"

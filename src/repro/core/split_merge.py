@@ -1,0 +1,263 @@
+"""SAPLA stage 2 — split & merge iteration (paper Algorithm 4.3).
+
+Brings the initialized segmentation to exactly ``N`` segments and then keeps
+trading a split of the worst segment against a merge of the cheapest adjacent
+pair while the sum upper bound decreases:
+
+* ``count > N``: repeatedly merge the adjacent pair with the *minimum*
+  Reconstruction Area (Definition 4.2) — the pair a single line describes
+  almost as well as two.
+* ``count < N``: repeatedly split the segment with the *maximum* segment
+  upper bound ``beta_i`` at the point maximising the Reconstruction Area.
+* ``count == N``: alternate split+merge / merge+split probes; accept the
+  better one while it reduces ``sum(beta_i)`` (the iteration threshold).
+
+The merge-down phase uses a lazy min-heap over adjacent pairs so the worst
+case (``n/2`` initial segments) stays ``O(n log n)`` as analysed in Sec. 4.5.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from .areas import reconstruction_area
+from .bounds import segment_bound
+from .linefit import SeriesStats
+from .segment import Segment
+
+__all__ = ["split_merge", "find_split_point", "merge_pair_area"]
+
+
+def merge_pair_area(stats: SeriesStats, left: Segment, right: Segment) -> float:
+    """Reconstruction Area of merging two adjacent segments (Definition 4.2)."""
+    merged = stats.window_fit(left.start, right.end)
+    return reconstruction_area(left.to_fit(), right.to_fit(), merged)
+
+
+def find_split_point(
+    stats: SeriesStats, segment: Segment, mode: str = "scan"
+) -> Optional[int]:
+    """Best split point inside ``segment`` (paper Sec. 4.3.2).
+
+    Returns the global index ``t`` that maximises the Reconstruction Area
+    between the long segment and the split pair ``[start, t] + [t+1, end]``,
+    i.e. the point where two lines gain the most over one.  ``None`` when the
+    segment cannot be split (single point).
+
+    ``mode='scan'`` evaluates every candidate exactly in O(l), which stays
+    inside the stage's stated O(n) per-loop budget.  ``mode='peak'`` is the
+    paper's technique (Fig. 7): probe the midpoints between the segment
+    centre and its endpoints, then hill-climb from the best probe — O(log l)
+    evaluations, possibly a local maximum.
+    """
+    if segment.length < 2:
+        return None
+    whole = segment.to_fit()
+
+    def area_at(t: int) -> float:
+        left = stats.window_fit(segment.start, t)
+        right = stats.window_fit(t + 1, segment.end)
+        return reconstruction_area(left, right, whole)
+
+    if mode == "scan":
+        best_t, best_area = segment.start, -1.0
+        for t in range(segment.start, segment.end):
+            area = area_at(t)
+            if area > best_area:
+                best_area = area
+                best_t = t
+        return best_t
+    if mode == "peak":
+        return _peak_split_point(segment, area_at)
+    raise ValueError(f"unknown split-point mode: {mode!r}")
+
+
+def _peak_split_point(segment: Segment, area_at) -> int:
+    """Fig. 7's candidate probe + hill climb (O(log l) area evaluations)."""
+    lo, hi = segment.start, segment.end - 1
+    middle = (lo + hi) // 2
+    candidates = {lo, (lo + middle) // 2, middle, (middle + hi + 1) // 2, hi}
+    best_t = max(candidates, key=area_at)
+    best_area = area_at(best_t)
+    step = max(segment.length // 8, 1)
+    while step >= 1:
+        moved = False
+        for t in (best_t - step, best_t + step):
+            if lo <= t <= hi:
+                area = area_at(t)
+                if area > best_area:
+                    best_t, best_area = t, area
+                    moved = True
+        if not moved:
+            step //= 2
+    return best_t
+
+
+def _split(stats: SeriesStats, segment: Segment, t: int) -> "tuple[Segment, Segment]":
+    return Segment.fit(stats, segment.start, t), Segment.fit(stats, t + 1, segment.end)
+
+
+def _merge(stats: SeriesStats, left: Segment, right: Segment) -> Segment:
+    return Segment.fit(stats, left.start, right.end)
+
+
+def _merge_down(stats: SeriesStats, segments: "list[Segment]", target: int) -> "list[Segment]":
+    """Merge the cheapest adjacent pairs until only ``target`` segments remain."""
+    # doubly linked list over node ids with a lazy heap of pair areas
+    nodes: "dict[int, Segment]" = dict(enumerate(segments))
+    nxt = {i: i + 1 for i in range(len(segments) - 1)}
+    prv = {i + 1: i for i in range(len(segments) - 1)}
+    next_id = len(segments)
+    heap: "list[tuple[float, int, int]]" = []
+    for i in range(len(segments) - 1):
+        heapq.heappush(heap, (merge_pair_area(stats, segments[i], segments[i + 1]), i, i + 1))
+    count = len(nodes)
+    while count > target and heap:
+        _, li, ri = heapq.heappop(heap)
+        if li not in nodes or ri not in nodes or nxt.get(li) != ri:
+            continue  # stale entry
+        merged = _merge(stats, nodes[li], nodes[ri])
+        mid = next_id
+        next_id += 1
+        nodes[mid] = merged
+        left_of = prv.get(li)
+        right_of = nxt.get(ri)
+        del nodes[li], nodes[ri]
+        nxt.pop(li, None)
+        prv.pop(ri, None)
+        prv.pop(li, None)
+        nxt.pop(ri, None)
+        if left_of is not None:
+            nxt[left_of] = mid
+            prv[mid] = left_of
+            heapq.heappush(
+                heap, (merge_pair_area(stats, nodes[left_of], merged), left_of, mid)
+            )
+        if right_of is not None:
+            nxt[mid] = right_of
+            prv[right_of] = mid
+            heapq.heappush(
+                heap, (merge_pair_area(stats, merged, nodes[right_of]), mid, right_of)
+            )
+        count -= 1
+    return sorted(nodes.values(), key=lambda s: s.start)
+
+
+def _split_up(
+    stats: SeriesStats,
+    segments: "list[Segment]",
+    target: int,
+    bound_mode: str,
+    split_mode: str = "scan",
+) -> "list[Segment]":
+    """Split the worst-bounded segment until ``target`` segments exist."""
+    values = stats.values
+    segments = list(segments)
+    while len(segments) < target:
+        order = sorted(
+            range(len(segments)),
+            key=lambda i: segment_bound(values, segments[i], bound_mode),
+            reverse=True,
+        )
+        for i in order:
+            t = find_split_point(stats, segments[i], split_mode)
+            if t is not None:
+                left, right = _split(stats, segments[i], t)
+                segments[i : i + 1] = [left, right]
+                break
+        else:
+            break  # every segment is a single point; cannot reach target
+    return segments
+
+
+def _total_bound(values: np.ndarray, segments: "list[Segment]", mode: str) -> float:
+    return sum(segment_bound(values, seg, mode) for seg in segments)
+
+
+def _probe_split_then_merge(
+    stats: SeriesStats,
+    segments: "list[Segment]",
+    bound_mode: str,
+    split_mode: str = "scan",
+) -> "Optional[list[Segment]]":
+    """Split the worst segment, then merge the cheapest pair (back to N)."""
+    values = stats.values
+    worst = max(range(len(segments)), key=lambda i: segment_bound(values, segments[i], bound_mode))
+    t = find_split_point(stats, segments[worst], split_mode)
+    if t is None:
+        return None
+    expanded = list(segments)
+    expanded[worst : worst + 1] = list(_split(stats, segments[worst], t))
+    best_pair = min(
+        range(len(expanded) - 1),
+        key=lambda i: merge_pair_area(stats, expanded[i], expanded[i + 1]),
+    )
+    expanded[best_pair : best_pair + 2] = [
+        _merge(stats, expanded[best_pair], expanded[best_pair + 1])
+    ]
+    return expanded
+
+
+def _probe_merge_then_split(
+    stats: SeriesStats,
+    segments: "list[Segment]",
+    bound_mode: str,
+    split_mode: str = "scan",
+) -> "Optional[list[Segment]]":
+    """Merge the cheapest pair, then split the worst segment (back to N)."""
+    if len(segments) < 2:
+        return None
+    values = stats.values
+    best_pair = min(
+        range(len(segments) - 1),
+        key=lambda i: merge_pair_area(stats, segments[i], segments[i + 1]),
+    )
+    reduced = list(segments)
+    reduced[best_pair : best_pair + 2] = [
+        _merge(stats, segments[best_pair], segments[best_pair + 1])
+    ]
+    worst = max(range(len(reduced)), key=lambda i: segment_bound(values, reduced[i], bound_mode))
+    t = find_split_point(stats, reduced[worst], split_mode)
+    if t is None:
+        return None
+    reduced[worst : worst + 1] = list(_split(stats, reduced[worst], t))
+    return reduced
+
+
+def split_merge(
+    stats: SeriesStats,
+    segments: "list[Segment]",
+    n_segments: int,
+    bound_mode: str = "paper",
+    max_rounds: Optional[int] = None,
+    split_mode: str = "scan",
+) -> "list[Segment]":
+    """Run the full split & merge iteration (Algorithm 4.3)."""
+    target = min(n_segments, len(stats))
+    if len(segments) > target:
+        segments = _merge_down(stats, segments, target)
+    if len(segments) < target:
+        segments = _split_up(stats, segments, target, bound_mode, split_mode)
+    if len(segments) != target:
+        return segments  # series too short to reach the target; nothing to refine
+
+    values = stats.values
+    rounds = max_rounds if max_rounds is not None else 2 * target
+    total = _total_bound(values, segments, bound_mode)
+    for _ in range(rounds):
+        candidates = [
+            probe(stats, segments, bound_mode, split_mode)
+            for probe in (_probe_split_then_merge, _probe_merge_then_split)
+        ]
+        candidates = [c for c in candidates if c is not None]
+        if not candidates:
+            break
+        best = min(candidates, key=lambda segs: _total_bound(values, segs, bound_mode))
+        best_total = _total_bound(values, best, bound_mode)
+        if best_total >= total - 1e-12:
+            break
+        segments, total = best, best_total
+    return segments

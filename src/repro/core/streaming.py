@@ -1,0 +1,171 @@
+"""Streaming SAPLA: online adaptive segmentation of an unbounded stream.
+
+The paper's initialization scan (Algorithm 4.2) is already one-pass; this
+module turns it into a bounded-memory online reducer.  Each appended point
+extends the open segment in O(1) (Eq. (2) via sufficient statistics).  When
+the point's Increment Area exceeds the adaptive threshold — the smallest of
+the ``max_segments - 1`` largest areas seen, exactly the paper's ``eta``
+heap — the open segment closes and a new one starts.  Whenever the segment
+count would exceed the budget, the adjacent pair with the smallest
+Reconstruction Area merges (Eqs. (3), (4) via statistics), so memory stays
+O(max_segments) while every kept coefficient remains the *exact*
+least-squares fit of the points it covers.
+
+Amortised cost per point: O(log N) for the threshold heap plus O(N) on the
+rare merge — the streaming analogue of SAPLA's O(n(N + log n)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .areas import increment_area, reconstruction_area
+from .linefit import LineFit
+from .segment import LinearSegmentation, Segment
+
+__all__ = ["StreamingSAPLA"]
+
+
+class _Piece:
+    """A closed stream segment: exact fit plus its global start index."""
+
+    __slots__ = ("start", "fit")
+
+    def __init__(self, start: int, fit: LineFit):
+        self.start = start
+        self.fit = fit
+
+    @property
+    def end(self) -> int:
+        return self.start + self.fit.length - 1
+
+    def to_segment(self) -> Segment:
+        a, b = self.fit.coefficients
+        return Segment(start=self.start, end=self.end, a=a, b=b)
+
+
+class StreamingSAPLA:
+    """Bounded-memory online SAPLA over an append-only stream of values.
+
+    Args:
+        max_segments: segment budget ``N``; memory stays O(N) regardless of
+            how many points arrive.
+
+    Example::
+
+        stream = StreamingSAPLA(max_segments=8)
+        for value in sensor_feed:
+            stream.append(value)
+        rep = stream.representation   # LinearSegmentation snapshot
+    """
+
+    def __init__(self, max_segments: int):
+        if max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        self.max_segments = int(max_segments)
+        self._closed: "List[_Piece]" = []
+        self._open_start = 0
+        self._open: Optional[LineFit] = None
+        self._pending: Optional[float] = None  # first point of a fresh segment
+        self._count = 0
+        self._threshold_heap: "List[float]" = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """How many points have been appended so far."""
+        return self._count
+
+    @property
+    def n_segments(self) -> int:
+        open_count = 1 if (self._open is not None or self._pending is not None) else 0
+        return len(self._closed) + open_count
+
+    # ------------------------------------------------------------------
+    def append(self, value: float) -> None:
+        """Consume one stream point in amortised O(log N)."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError("stream values must be finite")
+        self._count += 1
+        if self._open is None:
+            if self._pending is None:
+                self._pending = value  # need two points for a line
+                return
+            self._open = LineFit.from_values(np.array([self._pending, value]))
+            self._pending = None
+            return
+
+        incremented = self._open.extend_right(value)
+        area = increment_area(self._open, incremented)
+        if self._should_split(area):
+            self._close_open()
+            self._pending = value
+            self._open_start = self._count - 1
+        else:
+            self._open = incremented
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append every value of an iterable in order."""
+        for value in values:
+            self.append(value)
+
+    # ------------------------------------------------------------------
+    def _should_split(self, area: float) -> bool:
+        """The paper's eta heap: keep the N-1 largest increment areas."""
+        capacity = self.max_segments - 1
+        if capacity == 0:
+            return False
+        if len(self._threshold_heap) < capacity:
+            heapq.heappush(self._threshold_heap, area)
+            return True
+        if area > self._threshold_heap[0]:
+            heapq.heapreplace(self._threshold_heap, area)
+            return True
+        return False
+
+    def _close_open(self) -> None:
+        self._closed.append(_Piece(self._open_start, self._open))
+        self._open = None
+        while len(self._closed) > self.max_segments - 1 and len(self._closed) >= 2:
+            self._merge_cheapest_pair()
+
+    def _merge_cheapest_pair(self) -> None:
+        best_i, best_area = 0, float("inf")
+        for i in range(len(self._closed) - 1):
+            left, right = self._closed[i], self._closed[i + 1]
+            merged = left.fit.merge(right.fit)
+            area = reconstruction_area(left.fit, right.fit, merged)
+            if area < best_area:
+                best_i, best_area = i, area
+        left, right = self._closed[best_i], self._closed[best_i + 1]
+        self._closed[best_i : best_i + 2] = [_Piece(left.start, left.fit.merge(right.fit))]
+
+    # ------------------------------------------------------------------
+    @property
+    def representation(self) -> LinearSegmentation:
+        """A :class:`LinearSegmentation` snapshot of the stream so far."""
+        if self._count == 0:
+            raise ValueError("no points have been appended yet")
+        pieces = [p.to_segment() for p in self._closed]
+        if self._open is not None:
+            a, b = self._open.coefficients
+            pieces.append(
+                Segment(self._open_start, self._open_start + self._open.length - 1, a, b)
+            )
+        elif self._pending is not None:
+            pieces.append(Segment(self._count - 1, self._count - 1, 0.0, self._pending))
+        return LinearSegmentation(pieces)
+
+    def reconstruct(self) -> np.ndarray:
+        """Reconstruct every point seen so far from the snapshot."""
+        return self.representation.reconstruct()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSAPLA(max_segments={self.max_segments}, "
+            f"n_points={self._count}, n_segments={self.n_segments})"
+        )

@@ -1,0 +1,144 @@
+"""Shape-family generators for the synthetic UCR-like archive.
+
+Each generator produces one raw series of a given length from a seeded
+``numpy.random.Generator`` plus a per-dataset parameter dict.  The families
+cover the qualitative regimes that drive the paper's findings:
+
+* smooth, slowly-varying shapes (image contours, spectrographs, motions)
+  that adaptive methods compress extremely well;
+* bursty / spiky signals (ECG beats, sensor faults) where adaptive segment
+  boundaries pay off most;
+* regularly changing signals (EOG saccades, device switching) that the paper
+  singles out as the worst case for adaptive reduction time;
+* oscillatory and periodic loads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["FAMILIES", "generate"]
+
+
+def _random_walk(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    drift = params.get("drift", 0.0)
+    return np.cumsum(rng.normal(loc=drift, scale=1.0, size=n))
+
+
+def _smooth_contour(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """Closed-contour style: a handful of low harmonics (Adiac, Fish, Yoga...)."""
+    harmonics = params.get("harmonics", 5)
+    t = np.linspace(0, 2 * np.pi, n)
+    series = np.zeros(n)
+    for k in range(1, harmonics + 1):
+        amplitude = rng.normal() / k
+        phase = rng.uniform(0, 2 * np.pi)
+        series += amplitude * np.sin(k * t + phase)
+    return series
+
+
+def _spike_train(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """ECG-like: baseline with sharp localised beats."""
+    n_beats = params.get("beats", max(n // 96, 2))
+    width = params.get("width", max(n // 128, 2))
+    series = rng.normal(scale=0.05, size=n)
+    positions = np.sort(rng.choice(np.arange(width, n - width), size=n_beats, replace=False))
+    template = np.exp(-0.5 * (np.linspace(-3, 3, 2 * width + 1)) ** 2)
+    for pos in positions:
+        amplitude = rng.uniform(2.0, 5.0) * rng.choice([-1.0, 1.0], p=[0.2, 0.8])
+        lo, hi = pos - width, pos + width + 1
+        series[lo:hi] += amplitude * template
+    return series
+
+
+def _step_drift(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """EOG-like: piecewise plateaus joined by fast saccades, plus slow drift."""
+    n_steps = params.get("steps", max(n // 64, 4))
+    boundaries = np.sort(rng.choice(np.arange(1, n), size=n_steps, replace=False))
+    levels = np.cumsum(rng.normal(scale=2.0, size=n_steps + 1))
+    series = np.empty(n)
+    start = 0
+    for boundary, level in zip(list(boundaries) + [n], levels):
+        series[start:boundary] = level
+        start = boundary
+    drift = np.linspace(0, rng.normal(scale=1.0), n)
+    return series + drift + rng.normal(scale=0.05, size=n)
+
+
+def _device_pulses(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """Appliance-style on/off square pulses with varying duty cycles."""
+    series = np.zeros(n)
+    t = 0
+    level = 0.0
+    while t < n:
+        duration = int(rng.integers(max(n // 48, 2), max(n // 8, 4)))
+        level = 0.0 if level else rng.uniform(1.0, 4.0)
+        series[t : t + duration] = level
+        t += duration
+    return series + rng.normal(scale=0.05, size=n)
+
+
+def _oscillatory(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """Sound/EMG-style: band-limited oscillation with amplitude modulation."""
+    cycles = params.get("cycles", 12)
+    t = np.linspace(0, 2 * np.pi * cycles, n)
+    envelope = 1.0 + 0.5 * np.sin(np.linspace(0, 2 * np.pi, n) * rng.integers(1, 4))
+    return envelope * np.sin(t + rng.uniform(0, 2 * np.pi)) + rng.normal(scale=0.2, size=n)
+
+
+def _periodic_load(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """Power/traffic-style daily cycles with weekday variation."""
+    days = params.get("days", 4)
+    t = np.linspace(0, 2 * np.pi * days, n)
+    base = np.sin(t - np.pi / 2) + 0.4 * np.sin(2 * t + rng.uniform(0, np.pi))
+    return base * rng.uniform(0.8, 1.2) + rng.normal(scale=0.1, size=n)
+
+
+def _bump_spectrum(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """Spectrograph-style: smooth baseline with Gaussian absorption bumps."""
+    n_bumps = params.get("bumps", 6)
+    x = np.linspace(0, 1, n)
+    series = 0.5 * x + rng.normal(scale=0.02, size=n)
+    for _ in range(n_bumps):
+        center = rng.uniform(0.05, 0.95)
+        width = rng.uniform(0.01, 0.06)
+        series += rng.uniform(0.5, 2.0) * np.exp(-0.5 * ((x - center) / width) ** 2)
+    return series
+
+
+def _pattern_prototypes(rng: np.random.Generator, n: int, params: Dict) -> np.ndarray:
+    """Simulated-benchmark style (CBF/TwoPatterns): ramps, cylinders, bells."""
+    kind = rng.integers(3)
+    onset, duration = rng.integers(n // 8, n // 3), rng.integers(n // 3, n // 2)
+    series = rng.normal(scale=0.2, size=n)
+    window = slice(onset, min(onset + duration, n))
+    ramp = np.linspace(0, 1, len(range(*window.indices(n))))
+    if kind == 0:  # cylinder
+        series[window] += 3.0
+    elif kind == 1:  # bell
+        series[window] += 3.0 * ramp
+    else:  # funnel
+        series[window] += 3.0 * (1 - ramp)
+    return series
+
+
+FAMILIES: "Dict[str, Callable[[np.random.Generator, int, Dict], np.ndarray]]" = {
+    "walk": _random_walk,
+    "contour": _smooth_contour,
+    "spike": _spike_train,
+    "step": _step_drift,
+    "device": _device_pulses,
+    "oscillatory": _oscillatory,
+    "periodic": _periodic_load,
+    "spectrum": _bump_spectrum,
+    "pattern": _pattern_prototypes,
+}
+
+
+def generate(family: str, rng: np.random.Generator, n: int, params: "Dict | None" = None) -> np.ndarray:
+    """Generate one raw series of the given family."""
+    if family not in FAMILIES:
+        raise ValueError(f"unknown family {family!r}; choose from {sorted(FAMILIES)}")
+    return FAMILIES[family](rng, n, params or {})

@@ -1,0 +1,32 @@
+"""Series conditioning shared by the archive and the benches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["z_normalize", "resample_to_length"]
+
+
+def z_normalize(series: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Zero-mean, unit-variance normalisation (the UCR convention)."""
+    series = np.asarray(series, dtype=float)
+    std = series.std()
+    if std < epsilon:
+        return series - series.mean()
+    return (series - series.mean()) / std
+
+
+def resample_to_length(series: np.ndarray, length: int) -> np.ndarray:
+    """Linear-interpolation resampling to ``length`` points.
+
+    The paper fixes every evaluated series to length 1024; real UCR datasets
+    have assorted native lengths, so the archive resamples the same way.
+    """
+    series = np.asarray(series, dtype=float)
+    if length < 1:
+        raise ValueError("length must be positive")
+    if series.shape[0] == length:
+        return series.copy()
+    old = np.linspace(0.0, 1.0, series.shape[0])
+    new = np.linspace(0.0, 1.0, length)
+    return np.interp(new, old, series)

@@ -1,0 +1,77 @@
+"""Dataset complexity statistics.
+
+Quantifies the shape properties that decide which reduction method wins
+where (the archive_tour example's narrative): plateau-heavy signals favour
+constant segments, trending/smooth signals favour lines, and high-entropy
+noise defeats every low-budget representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeriesProfile", "profile_series", "profile_dataset"]
+
+
+@dataclass(frozen=True)
+class SeriesProfile:
+    """Complexity measures of one series."""
+
+    turning_points: float  # fraction of interior points that are local extrema
+    plateau_fraction: float  # fraction of near-zero first differences
+    trend_strength: float  # |correlation with time|
+    spectral_entropy: float  # normalised entropy of the power spectrum (0..1)
+
+
+def profile_series(series: np.ndarray, plateau_tolerance: float = 0.05) -> SeriesProfile:
+    """Compute the complexity profile of a single series."""
+    series = np.asarray(series, dtype=float)
+    n = series.shape[0]
+    if n < 3:
+        raise ValueError("profiling needs at least three points")
+    diffs = np.diff(series)
+
+    signs = np.sign(diffs)
+    interior_turns = np.sum(signs[1:] * signs[:-1] < 0)
+    turning_points = float(interior_turns) / max(n - 2, 1)
+
+    scale = np.abs(diffs).mean() + 1e-12
+    plateau_fraction = float(np.mean(np.abs(diffs) < plateau_tolerance * scale + 1e-12))
+
+    t = np.arange(n, dtype=float)
+    if series.std() < 1e-12:
+        trend_strength = 0.0
+    else:
+        trend_strength = float(abs(np.corrcoef(t, series)[0, 1]))
+
+    spectrum = np.abs(np.fft.rfft(series - series.mean())) ** 2
+    total = spectrum.sum()
+    if total <= 0 or spectrum.shape[0] < 2:
+        spectral_entropy = 0.0
+    else:
+        p = spectrum / total
+        p = p[p > 0]
+        spectral_entropy = float(-(p * np.log(p)).sum() / np.log(spectrum.shape[0]))
+
+    return SeriesProfile(
+        turning_points=turning_points,
+        plateau_fraction=plateau_fraction,
+        trend_strength=trend_strength,
+        spectral_entropy=spectral_entropy,
+    )
+
+
+def profile_dataset(data: np.ndarray, plateau_tolerance: float = 0.05) -> SeriesProfile:
+    """Mean profile over the rows of a ``(count, n)`` dataset."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("profile_dataset expects a (count, n) array")
+    profiles = [profile_series(row, plateau_tolerance) for row in data]
+    return SeriesProfile(
+        turning_points=float(np.mean([p.turning_points for p in profiles])),
+        plateau_fraction=float(np.mean([p.plateau_fraction for p in profiles])),
+        trend_strength=float(np.mean([p.trend_strength for p in profiles])),
+        spectral_entropy=float(np.mean([p.spectral_entropy for p in profiles])),
+    )

@@ -1,0 +1,96 @@
+"""Query workload generators: perturbation models for robustness studies.
+
+The paper queries each dataset with five held-out series.  Real query
+workloads are messier: sensors add noise, alignment drifts, readings drop
+out.  These perturbations let the benches measure how gracefully each
+method/index degrades, at controlled severities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["PERTURBATIONS", "perturb", "query_workload"]
+
+
+def _noise(series: np.ndarray, rng: np.random.Generator, severity: float) -> np.ndarray:
+    """Additive Gaussian noise scaled to the series' own spread."""
+    return series + rng.normal(scale=severity * series.std() + 1e-12, size=series.shape)
+
+
+def _shift(series: np.ndarray, rng: np.random.Generator, severity: float) -> np.ndarray:
+    """Circular time shift by up to ``severity`` of the length."""
+    n = series.shape[0]
+    max_shift = max(int(severity * n), 1)
+    return np.roll(series, int(rng.integers(-max_shift, max_shift + 1)))
+
+
+def _scale(series: np.ndarray, rng: np.random.Generator, severity: float) -> np.ndarray:
+    """Amplitude scaling within ``1 +- severity``."""
+    return series * float(rng.uniform(1.0 - severity, 1.0 + severity))
+
+
+def _dropout(series: np.ndarray, rng: np.random.Generator, severity: float) -> np.ndarray:
+    """A contiguous stretch replaced by its linear interpolation (sensor gap)."""
+    n = series.shape[0]
+    gap = max(int(severity * n), 2)
+    start = int(rng.integers(1, max(n - gap - 1, 2)))
+    out = series.copy()
+    out[start : start + gap] = np.linspace(
+        series[start - 1], series[min(start + gap, n - 1)], gap
+    )
+    return out
+
+
+def _warp(series: np.ndarray, rng: np.random.Generator, severity: float) -> np.ndarray:
+    """Smooth local time warping (resampling along a jittered grid)."""
+    n = series.shape[0]
+    knots = 6
+    jitter = rng.normal(scale=severity / knots, size=knots)
+    grid = np.linspace(0, 1, knots) + jitter
+    grid[0], grid[-1] = 0.0, 1.0
+    grid = np.maximum.accumulate(grid)
+    warped_positions = np.interp(np.linspace(0, 1, n), np.linspace(0, 1, knots), grid)
+    return np.interp(warped_positions, np.linspace(0, 1, n), series)
+
+
+PERTURBATIONS: "Dict[str, Callable]" = {
+    "noise": _noise,
+    "shift": _shift,
+    "scale": _scale,
+    "dropout": _dropout,
+    "warp": _warp,
+}
+
+
+def perturb(
+    series: np.ndarray, kind: str, severity: float, seed: int = 0
+) -> np.ndarray:
+    """Apply one named perturbation at the given severity (0 = untouched)."""
+    if kind not in PERTURBATIONS:
+        raise ValueError(f"unknown perturbation {kind!r}; choose from {sorted(PERTURBATIONS)}")
+    if severity < 0:
+        raise ValueError("severity must be non-negative")
+    series = np.asarray(series, dtype=float)
+    if severity == 0:
+        return series.copy()
+    rng = np.random.default_rng(seed)
+    return PERTURBATIONS[kind](series, rng, severity)
+
+
+def query_workload(
+    base_queries: np.ndarray,
+    kind: str,
+    severity: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Perturb every row of a query matrix, deterministically per row."""
+    base_queries = np.asarray(base_queries, dtype=float)
+    return np.stack(
+        [
+            perturb(row, kind, severity, seed=seed * 10_007 + i)
+            for i, row in enumerate(base_queries)
+        ]
+    )

@@ -1,0 +1,27 @@
+"""Dist_AE — APCA's tight approximate distance (no lower-bound guarantee).
+
+The raw query is compared point-by-point against the *reconstruction* of the
+stored representation.  It approximates the Euclidean distance closely but
+can exceed it (the reconstruction error inflates the gap), so GEMINI search
+built on it loses the no-false-dismissal property — the behaviour the paper's
+Fig. 10 example illustrates (``Dist_AE = 20 > Dist = 17``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation
+from .euclidean import euclidean
+
+__all__ = ["dist_ae"]
+
+
+def dist_ae(query: np.ndarray, rep_c: LinearSegmentation) -> float:
+    """Approximate Euclidean distance between raw query and reconstruction."""
+    query = np.asarray(query, dtype=float)
+    if query.shape[0] != rep_c.length:
+        raise ValueError(
+            f"series length {query.shape[0]} does not match representation {rep_c.length}"
+        )
+    return euclidean(query, rep_c.reconstruct())

@@ -1,0 +1,60 @@
+"""Dist_LB — the guaranteed lower bound for adaptive representations.
+
+Generalises APCA's ``Dist_LB`` (Keogh et al. 2001) to linear segments: the
+*raw* query is projected (least-squares line fit) onto the data
+representation's own segment windows, and the aligned Dist_S sum is taken.
+
+Guarantee: writing ``P`` for the block-diagonal projector onto the span of
+``{1, t}`` over each of C's windows, ``C-hat`` satisfies ``P C = C-check``
+(the representation *is* the projection), and
+
+    ||Q - C||^2 = ||P(Q - C)||^2 + ||(I-P)(Q - C)||^2 >= ||P Q - P C||^2,
+
+so Dist_LB never exceeds the true Euclidean distance — the no-false-dismissal
+property GEMINI requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.linefit import SeriesStats
+from ..core.segment import LinearSegmentation, Segment
+from .segmentwise import dist_s
+
+__all__ = ["dist_lb", "project_onto_layout"]
+
+
+def project_onto_layout(series: np.ndarray, layout: LinearSegmentation) -> LinearSegmentation:
+    """Least-squares projection of a raw series onto another rep's windows.
+
+    The projection must target the *same* model class per window as the
+    representation, or the Pythagorean argument breaks: a constant-model
+    representation (APCA/PAA/PAALM — every slope exactly zero) gets window
+    means; a linear-model one gets window line fits.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.shape[0] != layout.length:
+        raise ValueError(
+            f"series length {series.shape[0]} does not match layout length {layout.length}"
+        )
+    stats = SeriesStats(series)
+    constant_model = all(seg.a == 0.0 for seg in layout)
+    if constant_model:
+        pieces = []
+        for seg in layout:
+            sum_y, _ = stats.window_sums(seg.start, seg.end)
+            pieces.append(
+                Segment(start=seg.start, end=seg.end, a=0.0, b=sum_y / seg.length)
+            )
+        return LinearSegmentation(pieces)
+    return LinearSegmentation(
+        [Segment.fit(stats, seg.start, seg.end) for seg in layout]
+    )
+
+
+def dist_lb(query: np.ndarray, rep_c: LinearSegmentation) -> float:
+    """Guaranteed lower bound of ``Dist(Q, C)`` from C's representation only."""
+    projected = project_onto_layout(query, rep_c)
+    total = sum(dist_s(sq, sc) for sq, sc in zip(projected, rep_c))
+    return float(np.sqrt(max(total, 0.0)))

@@ -1,0 +1,61 @@
+"""Lower bounds for the equal-length and non-segment methods.
+
+* ``dist_pla`` / ``dist_paa`` — aligned Dist_S sums over identical layouts
+  (Chen et al. 2007; Keogh et al. 2001).  Both are unconditional lower bounds
+  because both representations are least-squares projections onto the *same*
+  block subspace.
+* ``dist_cheby`` — triangle-inequality bound for Chebyshev representations.
+  Cai & Ng's bound relies on sampling at Gauss-Chebyshev nodes; for fits over
+  uniformly sampled series the provable route is
+
+      ||Q - C|| >= ||Q-check - C-check|| - ||Q - Q-check|| - ||C - C-check||,
+
+  using the stored residual norms.  Looser, but never a false dismissal.
+* ``triangle_lower_bound`` — the same construction for any method that
+  records its reconstruction residual (used for PAALM as well).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation
+from ..reduction.cheby import CHEBY, ChebyshevRepresentation
+from .segmentwise import aligned_distance
+
+__all__ = ["dist_pla", "dist_paa", "dist_cheby", "triangle_lower_bound"]
+
+
+def dist_pla(rep_q: LinearSegmentation, rep_c: LinearSegmentation) -> float:
+    """Dist_PLA (Chen et al. 2007): aligned per-segment distance, a true LB."""
+    return aligned_distance(rep_q, rep_c)
+
+
+def dist_paa(rep_q: LinearSegmentation, rep_c: LinearSegmentation) -> float:
+    """Dist_PAA (Keogh et al. 2001): sqrt(sum l_i (mean_q - mean_c)^2)."""
+    return aligned_distance(rep_q, rep_c)
+
+
+def triangle_lower_bound(
+    recon_q: np.ndarray,
+    recon_c: np.ndarray,
+    residual_q: float,
+    residual_c: float,
+) -> float:
+    """``max(0, ||recon_q - recon_c|| - residual_q - residual_c)``."""
+    gap = float(np.linalg.norm(np.asarray(recon_q) - np.asarray(recon_c)))
+    return max(0.0, gap - float(residual_q) - float(residual_c))
+
+
+def dist_cheby(
+    reducer: CHEBY, rep_q: ChebyshevRepresentation, rep_c: ChebyshevRepresentation
+) -> float:
+    """Triangle-inequality lower bound between Chebyshev representations."""
+    if rep_q.n != rep_c.n:
+        raise ValueError("representations cover different series lengths")
+    return triangle_lower_bound(
+        reducer.reconstruct(rep_q),
+        reducer.reconstruct(rep_c),
+        rep_q.residual_norm,
+        rep_c.residual_norm,
+    )

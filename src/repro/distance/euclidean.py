@@ -1,0 +1,22 @@
+"""Euclidean distance between raw time series (paper's ground-truth measure)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["euclidean", "euclidean_squared"]
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """The Euclidean distance ``Dist(Q, C)`` between two equal-length series."""
+    return float(np.sqrt(euclidean_squared(a, b)))
+
+
+def euclidean_squared(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance (avoids the square root in hot loops)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"series lengths differ: {a.shape} vs {b.shape}")
+    diff = a - b
+    return float(np.dot(diff, diff))

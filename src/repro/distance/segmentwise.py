@@ -1,0 +1,44 @@
+"""Per-segment distance Dist_S (paper Eq. (12)) and its summation.
+
+For two line segments sharing the same window (same start and right
+endpoint), the squared Euclidean distance between their reconstructions has
+the closed form
+
+    Dist_S = l(l-1)(2l-1)/6 * da^2 + l(l-1) * da*db + l * db^2
+
+with ``da = q_a - c_a`` and ``db = q_b - c_b``.  Constant segments (APCA,
+PAA) are the ``a = 0`` special case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation, Segment
+
+__all__ = ["dist_s", "aligned_distance"]
+
+
+def dist_s(seg_q: Segment, seg_c: Segment) -> float:
+    """Squared reconstruction distance of two segments over the same window."""
+    if (seg_q.start, seg_q.end) != (seg_c.start, seg_c.end):
+        raise ValueError(
+            f"segments cover different windows: [{seg_q.start},{seg_q.end}] "
+            f"vs [{seg_c.start},{seg_c.end}]"
+        )
+    l = seg_q.length
+    da = seg_q.a - seg_c.a
+    db = seg_q.b - seg_c.b
+    return l * (l - 1) * (2 * l - 1) / 6.0 * da * da + l * (l - 1) * da * db + l * db * db
+
+
+def aligned_distance(rep_q: LinearSegmentation, rep_c: LinearSegmentation) -> float:
+    """Euclidean distance between two reconstructions with *identical* layouts.
+
+    This is the Dist_PLA / Dist_PAA equal-length lower bound when both
+    representations are least-squares fits over the same windows.
+    """
+    if rep_q.right_endpoints != rep_c.right_endpoints:
+        raise ValueError("representations have different segment layouts")
+    total = sum(dist_s(sq, sc) for sq, sc in zip(rep_q, rep_c))
+    return float(np.sqrt(max(total, 0.0)))

@@ -1,0 +1,99 @@
+"""Per-method distance dispatch used by the k-NN engine and the DBCH-tree.
+
+A :class:`DistanceSuite` packages, for one reduction method, the two
+distances indexing needs:
+
+* ``query_bound(ctx, rep)`` — a (lower-bounding where the method admits one)
+  estimate of ``Dist(Q, C)`` given the query context and a stored
+  representation, used to decide whether a candidate's raw series must be
+  fetched (this is what pruning power counts).
+* ``pairwise(rep_a, rep_b)`` — a representation-to-representation distance,
+  used by the DBCH-tree for its hulls, node splitting and branch picking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..reduction.base import Reducer
+from .dist_ae import dist_ae
+from .dist_lb import dist_lb
+from .dist_par import dist_par
+from .equal_length import dist_cheby, dist_paa, dist_pla
+from .segmentwise import aligned_distance
+
+__all__ = ["QueryContext", "DistanceSuite", "make_suite", "ADAPTIVE_METHODS"]
+
+#: the methods the paper treats as adaptive-length (Dist_PAR family)
+ADAPTIVE_METHODS = ("SAPLA", "APLA", "APCA")
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """Everything the distance functions may need about the query."""
+
+    series: np.ndarray
+    representation: Any
+
+
+@dataclass(frozen=True)
+class DistanceSuite:
+    """Distances for one method (see module docstring)."""
+
+    method: str
+    mode: str
+    query_bound: Callable[[QueryContext, Any], float]
+    pairwise: Callable[[Any, Any], float]
+
+
+def make_suite(reducer: Reducer, mode: str = "par") -> DistanceSuite:
+    """Build the distance suite for ``reducer``.
+
+    ``mode`` selects the adaptive-method query bound: ``'par'`` (Dist_PAR,
+    the paper's tight measure), ``'lb'`` (Dist_LB, the unconditional lower
+    bound) or ``'ae'`` (Dist_AE, tight but not lower-bounding).  Equal-length
+    and symbolic methods ignore ``mode``.
+    """
+    name = reducer.name
+    if name in ADAPTIVE_METHODS:
+        if mode == "par":
+            query = lambda ctx, rep: dist_par(ctx.representation, rep)
+        elif mode == "lb":
+            query = lambda ctx, rep: dist_lb(ctx.series, rep)
+        elif mode == "ae":
+            query = lambda ctx, rep: dist_ae(ctx.series, rep)
+        else:
+            raise ValueError(f"unknown adaptive distance mode: {mode!r}")
+        return DistanceSuite(method=name, mode=mode, query_bound=query, pairwise=dist_par)
+    if name == "PLA":
+        return DistanceSuite(
+            method=name,
+            mode="aligned",
+            query_bound=lambda ctx, rep: dist_pla(ctx.representation, rep),
+            pairwise=dist_pla,
+        )
+    if name in ("PAA", "PAALM"):
+        return DistanceSuite(
+            method=name,
+            mode="aligned",
+            query_bound=lambda ctx, rep: dist_paa(ctx.representation, rep),
+            pairwise=dist_paa,
+        )
+    if name == "CHEBY":
+        return DistanceSuite(
+            method=name,
+            mode="triangle",
+            query_bound=lambda ctx, rep: dist_cheby(reducer, ctx.representation, rep),
+            pairwise=lambda a, b: dist_cheby(reducer, a, b),
+        )
+    if name == "SAX":
+        return DistanceSuite(
+            method=name,
+            mode="mindist",
+            query_bound=lambda ctx, rep: reducer.mindist(ctx.representation, rep),
+            pairwise=reducer.mindist,
+        )
+    raise ValueError(f"no distance suite for method {name!r}")

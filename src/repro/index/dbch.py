@@ -1,0 +1,293 @@
+"""DBCH-tree — Distance Based Covering with Convex Hull (paper Secs. 5.2, 5.3).
+
+Instead of axis-aligned MBRs over APCA-style feature points, every node is
+covered by the *pair of representations with the maximum pairwise distance*
+among its members (the "convex hull" ``(u, l)``); the pair's distance is the
+node's volume.  All geometry — branch picking, node splitting, query-to-node
+distances — runs on the representation-level distance (Dist_PAR for the
+adaptive methods), which removes the MBR overlap problem for homogeneous
+adaptive-length representations.
+
+Distance of a query to a node (paper Sec. 5.3): zero when the query sits
+within the hull (both hull distances below the volume); otherwise the excess
+of the smaller hull distance over the volume.  As the paper notes, internal
+nodes do not guarantee the lower-bounding lemma — the k-NN engine treats
+node distances as navigation hints and verifies candidates on raw data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from .entries import Entry
+
+__all__ = ["DBCHTree", "DBCHNode"]
+
+PairwiseDistance = Callable[[object, object], float]
+
+
+class DBCHNode:
+    """One DBCH-tree node: members plus the covering hull ``(u, l)``."""
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: "List[Entry]" = []
+        self.children: "List[DBCHNode]" = []
+        self.parent: Optional["DBCHNode"] = None
+        self.hull: "tuple[object, object] | None" = None  # (u, l) representations
+        self.volume: float = 0.0
+
+    def items(self) -> list:
+        """The node's members: entries for leaves, children otherwise."""
+        return self.entries if self.is_leaf else self.children
+
+    def member_representations(self) -> list:
+        """Representations this node's hull must cover.
+
+        For leaves: every entry.  For internal nodes: only the children's
+        hull members (the paper's economy for internal nodes).
+        """
+        if self.is_leaf:
+            return [e.representation for e in self.entries]
+        reps = []
+        for child in self.children:
+            if child.hull is not None:
+                reps.extend(child.hull)
+        return reps
+
+    def recompute_hull(self, distance: PairwiseDistance) -> None:
+        """Recompute the covering pair ``(u, l)`` and its volume."""
+        reps = self.member_representations()
+        if len(reps) == 1:
+            self.hull = (reps[0], reps[0])
+            self.volume = 0.0
+            return
+        best, pair = -1.0, (reps[0], reps[0])
+        for i in range(len(reps)):
+            for j in range(i + 1, len(reps)):
+                d = distance(reps[i], reps[j])
+                if d > best:
+                    best, pair = d, (reps[i], reps[j])
+        self.hull = pair
+        self.volume = max(best, 0.0)
+
+
+class DBCHTree:
+    """Distance-based covering tree with the same fill factors as the R-tree."""
+
+    def __init__(
+        self,
+        distance: PairwiseDistance,
+        max_entries: int = 5,
+        min_entries: int = 2,
+    ):
+        if not 1 <= min_entries <= max_entries // 2 + 1:
+            raise ValueError("min_entries must be at most about half of max_entries")
+        self.distance = distance
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.root = DBCHNode(is_leaf=True)
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # insertion (branch picking = minimum distance increase)
+    # ------------------------------------------------------------------
+    def insert(self, entry: Entry) -> None:
+        """Insert one entry, growing hulls and splitting on overflow."""
+        leaf = self._choose_leaf(self.root, entry.representation)
+        leaf.entries.append(entry)
+        self._adjust_upwards(leaf)
+        self.size += 1
+
+    def _hull_increase(self, node: DBCHNode, representation) -> float:
+        if node.hull is None:
+            return 0.0
+        u, l = node.hull
+        reach = max(self.distance(representation, u), self.distance(representation, l))
+        return max(0.0, reach - node.volume)
+
+    def _choose_leaf(self, node: DBCHNode, representation) -> DBCHNode:
+        while not node.is_leaf:
+            node = min(
+                node.children,
+                key=lambda child: (self._hull_increase(child, representation), child.volume),
+            )
+        return node
+
+    def _adjust_upwards(self, node: DBCHNode) -> None:
+        while node is not None:
+            if len(node.items()) > self.max_entries:
+                self._split(node)
+                return
+            node.recompute_hull(self.distance)
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # deletion (condense + hull recomputation)
+    # ------------------------------------------------------------------
+    def delete(self, series_id: int) -> bool:
+        """Remove the entry with ``series_id``; returns whether it was found."""
+        found = self._find_leaf(self.root, series_id)
+        if found is None:
+            return False
+        leaf, entry = found
+        leaf.entries.remove(entry)
+        self.size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(self, node: DBCHNode, series_id: int):
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.series_id == series_id:
+                    return node, entry
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, series_id)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: DBCHNode) -> None:
+        orphans: "List[Entry]" = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.items()) < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_hull(self.distance)
+            node = parent
+        if node.items():
+            node.recompute_hull(self.distance)
+        if not node.is_leaf and len(node.children) == 1:
+            self.root = node.children[0]
+            self.root.parent = None
+        elif not node.is_leaf and not node.children:
+            self.root = DBCHNode(is_leaf=True)
+        for orphan in orphans:
+            self.size -= 1  # insert() re-increments
+            self.insert(orphan)
+
+    @staticmethod
+    def _collect_entries(node: DBCHNode) -> "List[Entry]":
+        out: "List[Entry]" = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(current.children)
+        return out
+
+    # ------------------------------------------------------------------
+    # node splitting (seeds = maximum pairwise distance; paper Sec. 5.3)
+    # ------------------------------------------------------------------
+    def _split(self, node: DBCHNode) -> None:
+        items = node.items()
+        reps = [
+            item.representation if node.is_leaf else _node_anchor(item) for item in items
+        ]
+        seed_a, seed_b = self._pick_seeds(reps)
+        groups = ([items[seed_a]], [items[seed_b]])
+        anchors = (reps[seed_a], reps[seed_b])
+        rest = [i for i in range(len(items)) if i not in (seed_a, seed_b)]
+        for i in rest:
+            remaining = len(rest) - (len(groups[0]) + len(groups[1]) - 2)
+            if len(groups[0]) + remaining <= self.min_entries:
+                target = 0
+            elif len(groups[1]) + remaining <= self.min_entries:
+                target = 1
+            else:
+                d0 = self.distance(reps[i], anchors[0])
+                d1 = self.distance(reps[i], anchors[1])
+                target = int(d1 < d0)
+            groups[target].append(items[i])
+
+        sibling = DBCHNode(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            node.entries, sibling.entries = groups
+        else:
+            node.children, sibling.children = groups
+            for child in sibling.children:
+                child.parent = sibling
+            for child in node.children:
+                child.parent = node
+        node.recompute_hull(self.distance)
+        sibling.recompute_hull(self.distance)
+
+        if node.parent is None:
+            new_root = DBCHNode(is_leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = sibling.parent = new_root
+            new_root.recompute_hull(self.distance)
+            self.root = new_root
+        else:
+            parent = node.parent
+            sibling.parent = parent
+            parent.children.append(sibling)
+            self._adjust_upwards(parent)
+
+    def _pick_seeds(self, reps: list) -> "tuple[int, int]":
+        worst, pair = -1.0, (0, 1)
+        for i in range(len(reps)):
+            for j in range(i + 1, len(reps)):
+                d = self.distance(reps[i], reps[j])
+                if d > worst:
+                    worst, pair = d, (i, j)
+        return pair
+
+    # ------------------------------------------------------------------
+    # search support
+    # ------------------------------------------------------------------
+    def node_distance(self, query_representation, node: DBCHNode) -> float:
+        """Dist(q, DBCH) of paper Sec. 5.3."""
+        if node.hull is None:
+            return 0.0
+        u, l = node.hull
+        du = self.distance(query_representation, u)
+        dl = self.distance(query_representation, l)
+        if du <= node.volume and dl <= node.volume:
+            return 0.0
+        return max(0.0, min(du, dl) - node.volume)
+
+    # ------------------------------------------------------------------
+    # statistics (paper Figs. 15, 16)
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[DBCHNode]:
+        """Depth-first iteration over every node."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    @property
+    def height(self) -> int:
+        height, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def node_counts(self) -> "dict[str, int]":
+        """Internal / leaf / total node counts (paper Figs. 15, 16)."""
+        internal = leaf = 0
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                leaf += 1
+            else:
+                internal += 1
+        return {"internal": internal, "leaf": leaf, "total": internal + leaf}
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def _node_anchor(node: DBCHNode):
+    """A representative representation for an internal child (hull member)."""
+    if node.hull is None:
+        raise ValueError("child node has no hull")
+    return node.hull[0]

@@ -1,0 +1,19 @@
+"""The leaf entry shared by both index structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["Entry"]
+
+
+@dataclass
+class Entry:
+    """One indexed time series: its id, representation, and feature point."""
+
+    series_id: int
+    representation: Any
+    feature: Optional[np.ndarray] = None

@@ -1,0 +1,330 @@
+"""GEMINI k-NN search over an indexed collection of time series.
+
+The classic filter-and-refine loop (Faloutsos et al. 1994): navigate the
+index best-first by node distance, filter leaf candidates with the method's
+representation-level bound, and *verify* survivors against the raw series
+with the true Euclidean distance.  Verification count over collection size
+is the paper's pruning power (Eq. (14)); comparing returned neighbours with
+a linear scan gives the accuracy (Eq. (15)).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..distance.euclidean import euclidean
+from ..distance.suite import QueryContext, make_suite
+from ..reduction.base import Reducer
+from .bulk import bulk_load_dbch, bulk_load_rtree
+from .dbch import DBCHTree
+from .entries import Entry
+from .mbr import feature_vector, feature_weights
+from .rtree import RTree
+
+__all__ = ["KNNResult", "SeriesDatabase", "linear_scan"]
+
+
+@dataclass
+class KNNResult:
+    """k-NN outcome plus the accounting the paper's figures need."""
+
+    ids: "List[int]"
+    distances: "List[float]"
+    n_verified: int
+    n_total: int
+    nodes_visited: int = 0
+
+    @property
+    def pruning_power(self) -> float:
+        """Paper Eq. (14): fraction of raw series that had to be measured."""
+        return self.n_verified / self.n_total if self.n_total else 0.0
+
+    def accuracy_against(self, truth: "KNNResult") -> float:
+        """Paper Eq. (15): |found true neighbours| / K."""
+        if not truth.ids:
+            return 1.0
+        return len(set(self.ids) & set(truth.ids)) / len(truth.ids)
+
+
+def linear_scan(data: np.ndarray, query: np.ndarray, k: int) -> KNNResult:
+    """Exact k-NN by scanning every raw series — the ground truth."""
+    data = np.asarray(data, dtype=float)
+    query = np.asarray(query, dtype=float)
+    if data.ndim != 2 or data.shape[1] != query.shape[0]:
+        raise ValueError("linear_scan expects (count, n) data and a length-n query")
+    distances = np.linalg.norm(data - query[None, :], axis=1)
+    order = np.argsort(distances, kind="stable")[:k]
+    return KNNResult(
+        ids=[int(i) for i in order],
+        distances=[float(distances[i]) for i in order],
+        n_verified=len(data),
+        n_total=len(data),
+    )
+
+
+class SeriesDatabase:
+    """A collection of raw series, their representations, and an index.
+
+    Args:
+        reducer: the dimensionality reduction method for this database.
+        index: ``'dbch'`` (the paper's structure), ``'rtree'`` (baseline) or
+            ``None`` (filter every representation linearly, no tree).
+        distance_mode: adaptive-method query-bound mode (see
+            :func:`repro.distance.make_suite`).
+        max_entries / min_entries: node fill factors (paper uses 5 / 2).
+    """
+
+    def __init__(
+        self,
+        reducer: Reducer,
+        index: Optional[str] = "dbch",
+        distance_mode: str = "par",
+        max_entries: int = 5,
+        min_entries: int = 2,
+    ):
+        if index not in ("dbch", "rtree", None):
+            raise ValueError(f"unknown index kind: {index!r}")
+        self.reducer = reducer
+        self.index_kind = index
+        self.suite = make_suite(reducer, distance_mode)
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.data: Optional[np.ndarray] = None
+        self.entries: "List[Entry]" = []
+        self.tree = None
+        self._weights: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        data: np.ndarray,
+        representations: "Optional[list]" = None,
+        bulk: bool = False,
+    ) -> None:
+        """Reduce and index every row of ``data`` (shape ``(count, n)``).
+
+        ``representations`` may carry precomputed transforms of the rows so
+        several index structures can be built from one reduction pass.
+        ``bulk=True`` packs the tree bottom-up (STR for the R-tree,
+        distance-ordered packing for the DBCH-tree) instead of inserting
+        incrementally.
+        """
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("ingest expects a (count, n) array of series")
+        if representations is not None and len(representations) != len(data):
+            raise ValueError("one representation per data row is required")
+        self.data = data
+        self.entries = []
+        budget = getattr(self.reducer, "n_segments", None)
+        for series_id, series in enumerate(data):
+            representation = (
+                representations[series_id]
+                if representations is not None
+                else self.reducer.transform(series)
+            )
+            feature = feature_vector(representation, budget)
+            self.entries.append(
+                Entry(series_id=series_id, representation=representation, feature=feature)
+            )
+        if self.index_kind == "rtree":
+            self._weights = feature_weights(self.entries[0].representation, budget)
+            if bulk:
+                self.tree = bulk_load_rtree(self.entries, self.max_entries, self.min_entries)
+            else:
+                self.tree = RTree(self.max_entries, self.min_entries)
+                for entry in self.entries:
+                    self.tree.insert(entry)
+        elif self.index_kind == "dbch":
+            if bulk:
+                self.tree = bulk_load_dbch(
+                    self.entries, self.suite.pairwise, self.max_entries, self.min_entries
+                )
+            else:
+                self.tree = DBCHTree(self.suite.pairwise, self.max_entries, self.min_entries)
+                for entry in self.entries:
+                    self.tree.insert(entry)
+
+    # ------------------------------------------------------------------
+    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+        """Filter-and-refine k-NN through the configured index."""
+        if self.data is None:
+            raise RuntimeError("ingest data before searching")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        query = np.asarray(query, dtype=float)
+        ctx = QueryContext(series=query, representation=self.reducer.transform(query))
+        if self.tree is None:
+            return self._filtered_scan(ctx, query, k)
+        return self._tree_search(ctx, query, k)
+
+    def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
+        """Exact k-NN by linear scan over the ingested raw data."""
+        data = self.data
+        live = {e.series_id for e in self.entries}
+        result = linear_scan(data, query, k + (len(data) - len(live)))
+        kept = [
+            (i, d) for i, d in zip(result.ids, result.distances) if i in live
+        ][:k]
+        return KNNResult(
+            ids=[i for i, _ in kept],
+            distances=[d for _, d in kept],
+            n_verified=len(live),
+            n_total=len(live),
+        )
+
+    def insert(self, series: np.ndarray) -> int:
+        """Add one series to the database and its index; returns its id.
+
+        Ids are append-only: a new series always gets ``len(data)`` even
+        after deletions, so existing ids stay stable.
+        """
+        if self.data is None:
+            self.ingest(np.asarray(series, dtype=float)[None, :])
+            return 0
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 1 or series.shape[0] != self.data.shape[1]:
+            raise ValueError(
+                f"series length {series.shape} does not match stored {self.data.shape[1]}"
+            )
+        series_id = int(self.data.shape[0])
+        self.data = np.vstack([self.data, series[None, :]])
+        representation = self.reducer.transform(series)
+        budget = getattr(self.reducer, "n_segments", None)
+        entry = Entry(
+            series_id=series_id,
+            representation=representation,
+            feature=feature_vector(representation, budget),
+        )
+        self.entries.append(entry)
+        if self.tree is not None:
+            self.tree.insert(entry)
+        return series_id
+
+    def delete(self, series_id: int) -> bool:
+        """Remove one series from the database and its index.
+
+        The raw row stays in ``data`` (ids are stable); the entry leaves the
+        candidate set and the tree, so searches never return it again.
+        """
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e.series_id != series_id]
+        if len(self.entries) == before:
+            return False
+        if self.tree is not None:
+            self.tree.delete(series_id)
+        return True
+
+    def range_query(self, query: np.ndarray, radius: float) -> KNNResult:
+        """All series within Euclidean ``radius`` of ``query`` (filter-and-refine).
+
+        Candidates whose representation bound exceeds ``radius`` are pruned;
+        survivors are verified on raw data.  With a guaranteed lower bound
+        (``distance_mode='lb'`` for adaptive methods, or any equal-length
+        method) the result is exact.
+        """
+        if self.data is None:
+            raise RuntimeError("ingest data before searching")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        query = np.asarray(query, dtype=float)
+        ctx = QueryContext(series=query, representation=self.reducer.transform(query))
+        hits: "List[tuple[float, int]]" = []
+        verified = 0
+        for entry in self.entries:
+            if self.suite.query_bound(ctx, entry.representation) > radius:
+                continue
+            true = euclidean(query, self.data[entry.series_id])
+            verified += 1
+            if true <= radius:
+                hits.append((true, entry.series_id))
+        hits.sort()
+        return KNNResult(
+            ids=[sid for _, sid in hits],
+            distances=[d for d, _ in hits],
+            n_verified=verified,
+            n_total=len(self.entries),
+        )
+
+    # ------------------------------------------------------------------
+    def _filtered_scan(self, ctx: QueryContext, query: np.ndarray, k: int) -> KNNResult:
+        """GEMINI without a tree: order candidates by the representation
+        bound, verify until the bound exceeds the kth best true distance."""
+        bounds = [
+            (self.suite.query_bound(ctx, e.representation), e.series_id) for e in self.entries
+        ]
+        bounds.sort()
+        best: "List[tuple[float, int]]" = []  # max-heap via negation
+        verified = 0
+        for bound, series_id in bounds:
+            if len(best) == k and bound >= -best[0][0]:
+                break
+            true = euclidean(query, self.data[series_id])
+            verified += 1
+            heapq.heappush(best, (-true, series_id))
+            if len(best) > k:
+                heapq.heappop(best)
+        return self._result(best, verified, 0)
+
+    def _tree_search(self, ctx: QueryContext, query: np.ndarray, k: int) -> KNNResult:
+        """Best-first multi-step search (Hjaltason & Samet / Seidl & Kriegel).
+
+        The priority queue mixes *nodes* (keyed by index-structure distance)
+        and *entries* (keyed by the method's representation bound); raw
+        verification happens only when an entry reaches the queue front and
+        its bound still beats the kth-best true distance.  Pruning power then
+        reflects exactly the tightness of the method's bound plus the
+        index's navigation quality.
+        """
+        counter = itertools.count()
+        root = self.tree.root
+        frontier: list = [(self._node_distance(ctx, root), next(counter), "node", root)]
+        best: "List[tuple[float, int]]" = []
+        verified = 0
+        visited = 0
+        while frontier:
+            dist, _, kind, payload = heapq.heappop(frontier)
+            if len(best) == k and dist >= -best[0][0]:
+                break
+            if kind == "entry":
+                true = euclidean(query, self.data[payload.series_id])
+                verified += 1
+                heapq.heappush(best, (-true, payload.series_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+                continue
+            visited += 1
+            if payload.is_leaf:
+                for entry in payload.entries:
+                    bound = self.suite.query_bound(ctx, entry.representation)
+                    heapq.heappush(frontier, (bound, next(counter), "entry", entry))
+            else:
+                for child in payload.children:
+                    heapq.heappush(
+                        frontier,
+                        (self._node_distance(ctx, child), next(counter), "node", child),
+                    )
+        return self._result(best, verified, visited)
+
+    def _node_distance(self, ctx: QueryContext, node) -> float:
+        if self.index_kind == "rtree":
+            q_feature = feature_vector(
+                ctx.representation, getattr(self.reducer, "n_segments", None)
+            )
+            return self.tree.node_distance(q_feature, self._weights, node)
+        return self.tree.node_distance(ctx.representation, node)
+
+    def _result(self, best: "List[tuple[float, int]]", verified: int, visited: int) -> KNNResult:
+        ranked = sorted((-d, sid) for d, sid in best)
+        return KNNResult(
+            ids=[sid for _, sid in ranked],
+            distances=[d for d, _ in ranked],
+            n_verified=verified,
+            n_total=len(self.entries),
+            nodes_visited=visited,
+        )

@@ -1,0 +1,120 @@
+"""Minimum bounding rectangles and the APCA-style feature mapping.
+
+The R-tree baseline indexes each representation as a point in a feature
+space.  Following APCA's construction, a segment-based representation maps
+to the interleaved vector ``(mean_0, r_0, mean_1, r_1, ...)``: segment means
+carry the value information, right endpoints the (adaptive) time layout.
+
+For equal-length methods the endpoint dimensions are constant across series
+and contribute nothing, so the R-tree behaves well; for adaptive methods the
+endpoints differ per series, the boxes of homogeneous datasets overlap
+heavily, and navigation degrades — the overlap problem of paper Sec. 5.2
+that the DBCH-tree is built to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation
+from ..reduction.cheby import ChebyshevRepresentation
+from ..reduction.sax import SAXRepresentation
+
+__all__ = ["Box", "feature_vector", "feature_weights"]
+
+
+@dataclass
+class Box:
+    """An axis-aligned box in feature space."""
+
+    mins: np.ndarray
+    maxs: np.ndarray
+
+    @classmethod
+    def of_point(cls, point: np.ndarray) -> "Box":
+        point = np.asarray(point, dtype=float)
+        return cls(mins=point.copy(), maxs=point.copy())
+
+    def copy(self) -> "Box":
+        """An independent copy of this box."""
+        return Box(self.mins.copy(), self.maxs.copy())
+
+    def union(self, other: "Box") -> "Box":
+        """The smallest box covering both operands."""
+        return Box(np.minimum(self.mins, other.mins), np.maximum(self.maxs, other.maxs))
+
+    def extend(self, other: "Box") -> None:
+        """Grow this box in place to absorb ``other``."""
+        np.minimum(self.mins, other.mins, out=self.mins)
+        np.maximum(self.maxs, other.maxs, out=self.maxs)
+
+    def contains(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return bool((self.mins <= other.mins + 1e-12).all() and (other.maxs <= self.maxs + 1e-12).all())
+
+    @property
+    def margin(self) -> float:
+        """Sum of side extents — a robust size measure in high dimensions."""
+        return float((self.maxs - self.mins).sum())
+
+    def enlargement(self, other: "Box") -> float:
+        """Margin increase needed to absorb ``other`` (Guttman's criterion,
+        with margin instead of volume to stay meaningful in 20+ dims)."""
+        new_mins = np.minimum(self.mins, other.mins)
+        new_maxs = np.maximum(self.maxs, other.maxs)
+        return float((new_maxs - new_mins).sum()) - self.margin
+
+    def min_dist(self, point: np.ndarray, weights: np.ndarray) -> float:
+        """Weighted MINDIST from a query point to this box."""
+        below = np.maximum(self.mins - point, 0.0)
+        above = np.maximum(point - self.maxs, 0.0)
+        gap = (below + above) * weights
+        return float(np.sqrt(np.dot(gap, gap)))
+
+
+def feature_vector(representation: Any, n_segments: "int | None" = None) -> np.ndarray:
+    """Map any supported representation to its R-tree feature point.
+
+    ``n_segments`` pads segment-based features to a fixed dimensionality
+    (repeating the final segment) so representations that came out with
+    fewer segments than the budget still index alongside the rest.
+    """
+    if isinstance(representation, LinearSegmentation):
+        count = representation.n_segments
+        width = max(n_segments or count, count)
+        features = np.empty(2 * width)
+        for i, seg in enumerate(representation):
+            features[2 * i] = seg.b + seg.a * (seg.length - 1) / 2.0  # segment mean
+            features[2 * i + 1] = float(seg.end)
+        for i in range(count, width):
+            features[2 * i] = features[2 * count - 2]
+            features[2 * i + 1] = features[2 * count - 1]
+        return features
+    if isinstance(representation, ChebyshevRepresentation):
+        return np.asarray(representation.coefficients, dtype=float)
+    if isinstance(representation, SAXRepresentation):
+        return representation.symbols.astype(float)
+    raise TypeError(f"no feature mapping for {type(representation).__name__}")
+
+
+def feature_weights(representation: Any, n_segments: "int | None" = None) -> np.ndarray:
+    """Per-dimension MINDIST weights matching :func:`feature_vector`.
+
+    Mean dimensions are weighted by ``sqrt(l_mean)`` so that feature-space
+    gaps approximate reconstruction distance; endpoint dimensions get a small
+    weight (they locate segments but are not value differences).
+    """
+    if isinstance(representation, LinearSegmentation):
+        n, count = representation.length, representation.n_segments
+        weights = np.empty(2 * max(n_segments or count, count))
+        weights[0::2] = np.sqrt(n / count)
+        weights[1::2] = 1.0 / np.sqrt(n)
+        return weights
+    if isinstance(representation, ChebyshevRepresentation):
+        return np.ones(len(representation.coefficients))
+    if isinstance(representation, SAXRepresentation):
+        return np.ones(len(representation.symbols))
+    raise TypeError(f"no feature weights for {type(representation).__name__}")

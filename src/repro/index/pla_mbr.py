@@ -1,0 +1,112 @@
+"""Query-to-PLA-MBR lower-bound distance (Chen et al. 2007).
+
+The paper's implementation section notes that "PLA uses its own MBR
+computation method because PLA proposes a robust distance measure between
+query time series and PLA MBR".  In PLA's coefficient space a node's MBR is
+a box over the per-segment ``(a_i, b_i)`` pairs; the Euclidean
+reconstruction distance of one segment is the quadratic form (Eq. (12))
+
+    f(da, db) = K2*da^2 + K1*da*db + K0*db^2
+    K2 = l(l-1)(2l-1)/6,  K1 = l(l-1),  K0 = l,
+
+so MINDIST(query, box) is the square root of the summed per-segment minima
+of a convex quadratic over a rectangle — solved exactly below (interior
+critical point, else the best of four one-dimensional edge minima).  The
+result provably lower-bounds Dist_PLA (hence the Euclidean distance) to
+every representation inside the box.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation
+
+__all__ = ["PLABox", "pla_feature", "pla_mbr_mindist"]
+
+
+def pla_feature(representation: LinearSegmentation) -> np.ndarray:
+    """The PLA coefficient vector ``(a_0, b_0, a_1, b_1, ...)``."""
+    out = np.empty(2 * representation.n_segments)
+    for i, seg in enumerate(representation):
+        out[2 * i] = seg.a
+        out[2 * i + 1] = seg.b
+    return out
+
+
+class PLABox:
+    """An MBR over PLA coefficient vectors with segment-length metadata."""
+
+    def __init__(self, lengths: "Sequence[int]"):
+        self.lengths = [int(l) for l in lengths]
+        dims = 2 * len(self.lengths)
+        self.mins = np.full(dims, np.inf)
+        self.maxs = np.full(dims, -np.inf)
+        self._count = 0
+
+    @classmethod
+    def of(cls, representations: "Sequence[LinearSegmentation]") -> "PLABox":
+        """Build the MBR covering the given equal-layout representations."""
+        if not representations:
+            raise ValueError("a PLA MBR needs at least one representation")
+        first = representations[0]
+        box = cls([seg.length for seg in first])
+        for rep in representations:
+            box.extend(rep)
+        return box
+
+    def extend(self, representation: LinearSegmentation) -> None:
+        """Grow the box to cover one more representation."""
+        if [seg.length for seg in representation] != self.lengths:
+            raise ValueError("representation layout does not match the box")
+        feature = pla_feature(representation)
+        np.minimum(self.mins, feature, out=self.mins)
+        np.maximum(self.maxs, feature, out=self.maxs)
+        self._count += 1
+
+
+def _quadratic_min_on_rectangle(
+    k2: float, k1: float, k0: float,
+    da_lo: float, da_hi: float, db_lo: float, db_hi: float,
+) -> float:
+    """Exact minimum of ``k2*x^2 + k1*x*y + k0*y^2`` over a rectangle."""
+
+    def value(x: float, y: float) -> float:
+        return k2 * x * x + k1 * x * y + k0 * y * y
+
+    # interior critical point of the (positive semi-definite) form is (0, 0)
+    if da_lo <= 0.0 <= da_hi and db_lo <= 0.0 <= db_hi:
+        return 0.0
+
+    candidates = []
+    # four edges: fix one variable, minimise the 1-D quadratic in the other
+    for x in (da_lo, da_hi):
+        # f(y) = k0*y^2 + k1*x*y + const -> vertex at y* = -k1*x/(2*k0)
+        y_star = -k1 * x / (2.0 * k0) if k0 > 0 else db_lo
+        y = min(max(y_star, db_lo), db_hi)
+        candidates.append(value(x, y))
+    for y in (db_lo, db_hi):
+        x_star = -k1 * y / (2.0 * k2) if k2 > 0 else da_lo
+        x = min(max(x_star, da_lo), da_hi)
+        candidates.append(value(x, y))
+    return max(min(candidates), 0.0)
+
+
+def pla_mbr_mindist(query: LinearSegmentation, box: PLABox) -> float:
+    """Lower bound of Dist_PLA(query, C) for every representation C in ``box``."""
+    if [seg.length for seg in query] != box.lengths:
+        raise ValueError("query layout does not match the box")
+    total = 0.0
+    feature = pla_feature(query)
+    for i, l in enumerate(box.lengths):
+        qa, qb = feature[2 * i], feature[2 * i + 1]
+        # the difference (qa - a, qb - b) ranges over a rectangle
+        da_lo, da_hi = qa - box.maxs[2 * i], qa - box.mins[2 * i]
+        db_lo, db_hi = qb - box.maxs[2 * i + 1], qb - box.mins[2 * i + 1]
+        k2 = l * (l - 1) * (2 * l - 1) / 6.0
+        k1 = float(l * (l - 1))
+        k0 = float(l)
+        total += _quadratic_min_on_rectangle(k2, k1, k0, da_lo, da_hi, db_lo, db_hi)
+    return float(np.sqrt(total))

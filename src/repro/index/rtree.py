@@ -1,0 +1,282 @@
+"""R-tree (Guttman 1984) over representation feature points.
+
+The paper's baseline index: insertion picks the subtree whose MBR needs the
+least enlargement, overflowing nodes split with the quadratic seed method,
+and k-NN navigation orders subtrees by weighted MINDIST from the query's
+feature point to each node's box.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .entries import Entry
+from .mbr import Box
+
+__all__ = ["RTree", "RTreeNode"]
+
+
+class RTreeNode:
+    """One R-tree node holding either entries (leaf) or child nodes."""
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: "List[Entry]" = []
+        self.children: "List[RTreeNode]" = []
+        self.box: Optional[Box] = None
+        self.parent: Optional["RTreeNode"] = None
+
+    def items(self) -> list:
+        """The node's members: entries for leaves, children otherwise."""
+        return self.entries if self.is_leaf else self.children
+
+    def recompute_box(self) -> None:
+        """Recompute the MBR from the current members."""
+        boxes = (
+            [Box.of_point(e.feature) for e in self.entries]
+            if self.is_leaf
+            else [c.box for c in self.children]
+        )
+        box = boxes[0].copy()
+        for other in boxes[1:]:
+            box.extend(other)
+        self.box = box
+
+
+def _item_box(item) -> Box:
+    return Box.of_point(item.feature) if isinstance(item, Entry) else item.box
+
+
+class RTree:
+    """A Guttman R-tree with configurable fill factors (paper uses 2..5).
+
+    ``split`` selects the overflow strategy: ``'quadratic'`` (default, the
+    paper's setting) seeds groups with the most wasteful pair; ``'linear'``
+    seeds with the pair of greatest normalised separation along one
+    dimension — cheaper, usually slightly worse grouping.
+    """
+
+    def __init__(self, max_entries: int = 5, min_entries: int = 2, split: str = "quadratic"):
+        if not 1 <= min_entries <= max_entries // 2 + 1:
+            raise ValueError("min_entries must be at most about half of max_entries")
+        if split not in ("quadratic", "linear"):
+            raise ValueError(f"unknown split strategy: {split!r}")
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.split_strategy = split
+        self.root = RTreeNode(is_leaf=True)
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, entry: Entry) -> None:
+        """Insert one entry, splitting overflowing nodes on the way up."""
+        if entry.feature is None:
+            raise ValueError("R-tree entries need a feature vector")
+        leaf = self._choose_leaf(self.root, Box.of_point(entry.feature))
+        leaf.entries.append(entry)
+        self._adjust_upwards(leaf)
+        self.size += 1
+
+    def _choose_leaf(self, node: RTreeNode, box: Box) -> RTreeNode:
+        while not node.is_leaf:
+            node = min(
+                node.children,
+                key=lambda child: (child.box.enlargement(box), child.box.margin),
+            )
+        return node
+
+    def _adjust_upwards(self, node: RTreeNode) -> None:
+        while node is not None:
+            if len(node.items()) > self.max_entries:
+                self._split(node)
+                # _split re-links everything and fixes boxes up to the root
+                return
+            node.recompute_box()
+            node = node.parent
+
+    def _split(self, node: RTreeNode) -> None:
+        """Quadratic split: the most wasteful pair seeds the two groups."""
+        items = node.items()
+        boxes = [_item_box(item) for item in items]
+        if self.split_strategy == "linear":
+            seed_a, seed_b = self._pick_seeds_linear(boxes)
+        else:
+            seed_a, seed_b = self._pick_seeds(boxes)
+        groups = ([items[seed_a]], [items[seed_b]])
+        group_boxes = [boxes[seed_a].copy(), boxes[seed_b].copy()]
+        rest = [i for i in range(len(items)) if i not in (seed_a, seed_b)]
+        for i in rest:
+            remaining = len(rest) - (len(groups[0]) + len(groups[1]) - 2)
+            # honour the minimum fill
+            if len(groups[0]) + remaining <= self.min_entries:
+                target = 0
+            elif len(groups[1]) + remaining <= self.min_entries:
+                target = 1
+            else:
+                enlargements = [group_boxes[g].enlargement(boxes[i]) for g in (0, 1)]
+                target = int(enlargements[1] < enlargements[0])
+            groups[target].append(items[i])
+            group_boxes[target].extend(boxes[i])
+
+        sibling = RTreeNode(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            node.entries, sibling.entries = groups
+        else:
+            node.children, sibling.children = groups
+            for child in sibling.children:
+                child.parent = sibling
+            for child in node.children:
+                child.parent = node
+        node.recompute_box()
+        sibling.recompute_box()
+
+        if node.parent is None:
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = sibling.parent = new_root
+            new_root.recompute_box()
+            self.root = new_root
+        else:
+            parent = node.parent
+            sibling.parent = parent
+            parent.children.append(sibling)
+            self._adjust_upwards(parent)
+
+    # ------------------------------------------------------------------
+    # deletion (Guttman's condense-tree)
+    # ------------------------------------------------------------------
+    def delete(self, series_id: int) -> bool:
+        """Remove the entry with ``series_id``; returns whether it was found.
+
+        Underflowing nodes are dissolved and their remaining members
+        re-inserted (Guttman's CondenseTree), so the fill invariants keep
+        holding for every surviving node.
+        """
+        found = self._find_leaf(self.root, series_id)
+        if found is None:
+            return False
+        leaf, entry = found
+        leaf.entries.remove(entry)
+        self.size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(self, node: RTreeNode, series_id: int):
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.series_id == series_id:
+                    return node, entry
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, series_id)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: RTreeNode) -> None:
+        orphans: "List[Entry]" = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.items()) < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_box()
+            node = parent
+        # the root: shrink if a single internal child remains
+        if node.items():
+            node.recompute_box()
+        if not node.is_leaf and len(node.children) == 1:
+            self.root = node.children[0]
+            self.root.parent = None
+        elif not node.is_leaf and not node.children:
+            self.root = RTreeNode(is_leaf=True)
+        for orphan in orphans:
+            self.size -= 1  # insert() re-increments
+            self.insert(orphan)
+
+    @staticmethod
+    def _collect_entries(node: RTreeNode) -> "List[Entry]":
+        out: "List[Entry]" = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(current.children)
+        return out
+
+    @staticmethod
+    def _pick_seeds_linear(boxes: "List[Box]") -> "tuple[int, int]":
+        """Guttman's linear pick-seeds: greatest normalised separation."""
+        dims = boxes[0].mins.shape[0]
+        all_mins = np.stack([b.mins for b in boxes])
+        all_maxs = np.stack([b.maxs for b in boxes])
+        best_sep, pair = -np.inf, (0, 1)
+        for d in range(dims):
+            lowest_high = int(np.argmin(all_maxs[:, d]))
+            highest_low = int(np.argmax(all_mins[:, d]))
+            if lowest_high == highest_low:
+                continue
+            width = float(all_maxs[:, d].max() - all_mins[:, d].min())
+            if width <= 0:
+                continue
+            separation = (all_mins[highest_low, d] - all_maxs[lowest_high, d]) / width
+            if separation > best_sep:
+                best_sep, pair = separation, (lowest_high, highest_low)
+        return pair
+
+    @staticmethod
+    def _pick_seeds(boxes: "List[Box]") -> "tuple[int, int]":
+        worst, pair = -np.inf, (0, 1)
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = boxes[i].union(boxes[j]).margin - boxes[i].margin - boxes[j].margin
+                if waste > worst:
+                    worst, pair = waste, (i, j)
+        return pair
+
+    # ------------------------------------------------------------------
+    # search support
+    # ------------------------------------------------------------------
+    def node_distance(self, query_feature: np.ndarray, weights: np.ndarray, node: RTreeNode) -> float:
+        """Weighted MINDIST from the query feature to a node's box."""
+        return node.box.min_dist(query_feature, weights)
+
+    # ------------------------------------------------------------------
+    # statistics (paper Figs. 15, 16)
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[RTreeNode]:
+        """Depth-first iteration over every node."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    @property
+    def height(self) -> int:
+        height, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def node_counts(self) -> "dict[str, int]":
+        """Internal / leaf / total node counts (paper Figs. 15, 16)."""
+        internal = leaf = 0
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                leaf += 1
+            else:
+                internal += 1
+        return {"internal": internal, "leaf": leaf, "total": internal + leaf}
+
+    def __len__(self) -> int:
+        return self.size

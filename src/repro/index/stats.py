@@ -1,0 +1,73 @@
+"""Index diagnostics: quantifying the overlap problem (paper Sec. 5.2).
+
+The paper's argument for the DBCH-tree is that APCA-style MBRs of
+*homogeneous* adaptive-length representations overlap heavily, so R-tree
+navigation keeps descending into the wrong subtrees.  These diagnostics turn
+that claim into numbers:
+
+* ``rtree_overlap`` — for every internal node, the fraction of sibling
+  pairs whose boxes intersect, averaged over the tree.  1.0 means every
+  sibling pair overlaps (navigation carries no information).
+* ``dbch_overlap`` — the hull analogue: sibling hulls are treated as balls
+  of radius ``volume/2`` around their members; a pair overlaps when the
+  distance between hull anchors is below the sum of their radii.
+* ``leaf_fill`` — mean entries per leaf (Fig. 15's space-efficiency view).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .dbch import DBCHTree
+from .rtree import RTree
+
+__all__ = ["rtree_overlap", "dbch_overlap", "leaf_fill"]
+
+
+def _boxes_intersect(a, b) -> bool:
+    return bool((a.mins <= b.maxs + 1e-12).all() and (b.mins <= a.maxs + 1e-12).all())
+
+
+def rtree_overlap(tree: RTree) -> float:
+    """Mean fraction of overlapping sibling-box pairs over internal nodes."""
+    fractions = []
+    for node in tree.iter_nodes():
+        if node.is_leaf or len(node.children) < 2:
+            continue
+        children = node.children
+        pairs = overlapping = 0
+        for i in range(len(children)):
+            for j in range(i + 1, len(children)):
+                pairs += 1
+                overlapping += _boxes_intersect(children[i].box, children[j].box)
+        fractions.append(overlapping / pairs)
+    return float(np.mean(fractions)) if fractions else 0.0
+
+
+def dbch_overlap(tree: DBCHTree, distance: "Callable | None" = None) -> float:
+    """Mean fraction of overlapping sibling-hull pairs over internal nodes."""
+    distance = distance or tree.distance
+    fractions = []
+    for node in tree.iter_nodes():
+        if node.is_leaf or len(node.children) < 2:
+            continue
+        children = [c for c in node.children if c.hull is not None]
+        if len(children) < 2:
+            continue
+        pairs = overlapping = 0
+        for i in range(len(children)):
+            for j in range(i + 1, len(children)):
+                pairs += 1
+                gap = distance(children[i].hull[0], children[j].hull[0])
+                radius = (children[i].volume + children[j].volume) / 2.0
+                overlapping += gap <= radius
+        fractions.append(overlapping / pairs)
+    return float(np.mean(fractions)) if fractions else 0.0
+
+
+def leaf_fill(tree) -> float:
+    """Average entries per leaf node (either tree type)."""
+    counts = [len(n.entries) for n in tree.iter_nodes() if n.is_leaf]
+    return float(np.mean(counts)) if counts else 0.0

@@ -1,0 +1,23 @@
+"""Persistence: JSON codecs for representations, npz for datasets, and
+directory-based round trips for whole similarity databases."""
+
+from .database import load_database, save_database
+from .serialization import (
+    from_jsonable,
+    load_dataset,
+    load_representations,
+    save_dataset,
+    save_representations,
+    to_jsonable,
+)
+
+__all__ = [
+    "to_jsonable",
+    "from_jsonable",
+    "save_representations",
+    "load_representations",
+    "save_dataset",
+    "load_dataset",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,68 @@
+"""Persistence for whole similarity databases.
+
+A :class:`repro.index.SeriesDatabase` persists as a directory: the raw data
+as ``data.npz``, the representations as ``representations.json``, and the
+configuration as ``config.json``.  Loading rebuilds the reducer from the
+registry and re-indexes from the stored representations (tree structures
+rebuild deterministically and cheaply relative to the reduction pass they
+skip).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..index.knn import SeriesDatabase
+from ..reduction import REDUCERS
+from .serialization import from_jsonable, to_jsonable
+
+__all__ = ["save_database", "load_database"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_database(database: SeriesDatabase, directory: PathLike) -> None:
+    """Persist a fitted database (raw data + representations + config)."""
+    if database.data is None:
+        raise ValueError("cannot save a database before ingest")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(directory / "data.npz", data=database.data)
+    payload = {
+        "representations": [to_jsonable(e.representation) for e in database.entries]
+    }
+    (directory / "representations.json").write_text(json.dumps(payload))
+    config = {
+        "reducer": database.reducer.name,
+        "n_coefficients": database.reducer.n_coefficients,
+        "index": database.index_kind,
+        "distance_mode": database.suite.mode,
+        "max_entries": database.max_entries,
+        "min_entries": database.min_entries,
+    }
+    (directory / "config.json").write_text(json.dumps(config, indent=2))
+
+
+def load_database(directory: PathLike) -> SeriesDatabase:
+    """Rebuild a database saved by :func:`save_database`."""
+    directory = pathlib.Path(directory)
+    config = json.loads((directory / "config.json").read_text())
+    reducer = REDUCERS[config["reducer"]](n_coefficients=config["n_coefficients"])
+    mode = config["distance_mode"]
+    database = SeriesDatabase(
+        reducer,
+        index=config["index"],
+        distance_mode=mode if mode in ("par", "lb", "ae") else "par",
+        max_entries=config["max_entries"],
+        min_entries=config["min_entries"],
+    )
+    with np.load(directory / "data.npz", allow_pickle=False) as archive:
+        data = archive["data"]
+    payload = json.loads((directory / "representations.json").read_text())
+    representations = [from_jsonable(item) for item in payload["representations"]]
+    database.ingest(data, representations=representations)
+    return database

@@ -1,0 +1,14 @@
+"""Evaluation metrics: max deviation, pruning power, accuracy, CPU timing."""
+
+from ..index.knn import KNNResult
+from .deviation import max_deviation, segment_deviations, sum_of_segment_deviations
+from .timing import CPUTimer, cpu_time
+
+__all__ = [
+    "max_deviation",
+    "segment_deviations",
+    "sum_of_segment_deviations",
+    "CPUTimer",
+    "cpu_time",
+    "KNNResult",
+]

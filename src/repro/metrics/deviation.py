@@ -1,0 +1,34 @@
+"""Max deviation metrics (paper Definition 3.4, Fig. 12a)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation
+
+__all__ = ["max_deviation", "segment_deviations", "sum_of_segment_deviations"]
+
+
+def max_deviation(series: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Largest pointwise gap between a series and its reconstruction."""
+    series = np.asarray(series, dtype=float)
+    reconstruction = np.asarray(reconstruction, dtype=float)
+    if series.shape != reconstruction.shape:
+        raise ValueError("series and reconstruction lengths differ")
+    return float(np.abs(series - reconstruction).max())
+
+
+def segment_deviations(series: np.ndarray, representation: LinearSegmentation) -> "list[float]":
+    """Per-segment max deviations ``epsilon_i``."""
+    series = np.asarray(series, dtype=float)
+    if series.shape[0] != representation.length:
+        raise ValueError("series and representation lengths differ")
+    return [
+        float(np.abs(series[seg.start : seg.end + 1] - seg.reconstruct()).max())
+        for seg in representation
+    ]
+
+
+def sum_of_segment_deviations(series: np.ndarray, representation: LinearSegmentation) -> float:
+    """The objective SAPLA/APLA minimise (Fig. 1's comparison measure)."""
+    return sum(segment_deviations(series, representation))

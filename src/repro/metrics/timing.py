@@ -1,0 +1,42 @@
+"""CPU-time measurement helpers.
+
+The paper measures CPU time rather than wall-clock time because the whole
+pipeline is memory-resident; ``time.process_time`` gives the same semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["CPUTimer", "cpu_time"]
+
+
+@dataclass
+class CPUTimer:
+    """Accumulates CPU seconds across one or more timed sections."""
+
+    elapsed: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def start(self) -> None:
+        """Begin a timed section."""
+        self._started = time.process_time()
+
+    def stop(self) -> float:
+        """End the section; return and accumulate its CPU seconds."""
+        delta = time.process_time() - self._started
+        self.elapsed += delta
+        return delta
+
+
+@contextmanager
+def cpu_time(timer: "CPUTimer | None" = None):
+    """Context manager yielding a :class:`CPUTimer` for the enclosed block."""
+    timer = timer or CPUTimer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()

@@ -1,0 +1,11 @@
+"""Multivariate time series: channel-wise reduction and exact k-NN search."""
+
+from .reduction import MultivariateReducer, MultivariateRepresentation
+from .search import MultivariateDatabase, multivariate_euclidean
+
+__all__ = [
+    "MultivariateReducer",
+    "MultivariateRepresentation",
+    "MultivariateDatabase",
+    "multivariate_euclidean",
+]

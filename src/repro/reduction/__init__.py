@@ -1,0 +1,48 @@
+"""Dimensionality reduction methods: SAPLA and the seven paper baselines."""
+
+from .apca import APCA
+from .apla import APLA, error_matrix
+from .auto import SelectionReport, select_method
+from .base import Reducer, SegmentReducer, equal_length_bounds
+from .batch import batch_paa, batch_pla
+from .cheby import CHEBY, ChebyshevRepresentation
+from .error_bounded import ErrorBoundedPLA
+from .one_d_sax import OneDSAX, OneDSAXRepresentation
+from .paa import PAA
+from .paalm import PAALM, lagrangian_smooth
+from .pla import PLA
+from .sapla_reducer import SAPLAReducer
+from .sax import SAX, SAXRepresentation, gaussian_breakpoints
+
+#: every reducer class keyed by its paper name
+REDUCERS = {
+    cls.name: cls
+    for cls in (SAPLAReducer, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX)
+}
+
+__all__ = [
+    "Reducer",
+    "SegmentReducer",
+    "equal_length_bounds",
+    "SAPLAReducer",
+    "APLA",
+    "error_matrix",
+    "APCA",
+    "PLA",
+    "PAA",
+    "PAALM",
+    "lagrangian_smooth",
+    "CHEBY",
+    "ChebyshevRepresentation",
+    "SAX",
+    "SAXRepresentation",
+    "OneDSAX",
+    "OneDSAXRepresentation",
+    "gaussian_breakpoints",
+    "batch_paa",
+    "batch_pla",
+    "ErrorBoundedPLA",
+    "SelectionReport",
+    "select_method",
+    "REDUCERS",
+]

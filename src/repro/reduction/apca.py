@@ -1,0 +1,79 @@
+"""APCA — Adaptive Piecewise Constant Approximation (Keogh/Chakrabarti 2001).
+
+Adaptive-length segments, each storing its mean value and right endpoint
+(``N = M/2`` segments).  The original paper derives the segmentation from the
+largest Haar-wavelet coefficients followed by repair passes; the standard
+equivalent implemented here is a bottom-up greedy merge that starts from unit
+segments and repeatedly merges the adjacent pair whose union has the smallest
+constant-fit SSE increase — O(n log n), the complexity the paper cites.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.linefit import SeriesStats
+from ..core.segment import LinearSegmentation, Segment
+from .base import SegmentReducer
+
+__all__ = ["APCA"]
+
+
+class APCA(SegmentReducer):
+    """Adaptive-length piecewise constant approximation."""
+
+    name = "APCA"
+    coefficients_per_segment = 2
+
+    def transform(self, series: np.ndarray) -> LinearSegmentation:
+        series = self._validated(series)
+        stats = SeriesStats(series)
+        n = len(series)
+        target = min(self.n_segments, n)
+
+        # bottom-up merge over a doubly linked list with a lazy cost heap
+        bounds: "dict[int, tuple[int, int]]" = {i: (i, i) for i in range(n)}
+        nxt = {i: i + 1 for i in range(n - 1)}
+        prv = {i + 1: i for i in range(n - 1)}
+        next_id = n
+
+        def merge_cost(left_id: int, right_id: int) -> float:
+            ls, le = bounds[left_id]
+            rs, re = bounds[right_id]
+            merged = stats.window_constant_sse(ls, re)
+            return merged - stats.window_constant_sse(ls, le) - stats.window_constant_sse(rs, re)
+
+        heap = [(merge_cost(i, i + 1), i, i + 1) for i in range(n - 1)]
+        heapq.heapify(heap)
+
+        count = n
+        while count > target and heap:
+            _, li, ri = heapq.heappop(heap)
+            if li not in bounds or ri not in bounds or nxt.get(li) != ri:
+                continue
+            merged_bounds = (bounds[li][0], bounds[ri][1])
+            mid = next_id
+            next_id += 1
+            bounds[mid] = merged_bounds
+            left_of = prv.get(li)
+            right_of = nxt.get(ri)
+            del bounds[li], bounds[ri]
+            for mapping, key in ((nxt, li), (nxt, ri), (prv, li), (prv, ri)):
+                mapping.pop(key, None)
+            if left_of is not None:
+                nxt[left_of] = mid
+                prv[mid] = left_of
+                heapq.heappush(heap, (merge_cost(left_of, mid), left_of, mid))
+            if right_of is not None:
+                nxt[mid] = right_of
+                prv[right_of] = mid
+                heapq.heappush(heap, (merge_cost(mid, right_of), mid, right_of))
+            count -= 1
+
+        segments = [
+            Segment(start=s, end=e, a=0.0, b=float(series[s : e + 1].mean()))
+            for s, e in sorted(bounds.values())
+        ]
+        return LinearSegmentation(segments)

@@ -1,0 +1,107 @@
+"""APLA — Adaptive Piecewise Linear Approximation baseline (Ljosa & Singh 2007).
+
+The paper's strongest-quality / slowest baseline: dynamic programming over a
+max-deviation matrix.  ``varpi[m][t]`` is the best achievable *sum of segment
+max deviations* representing points ``0..m`` with ``t`` segments, computed by
+
+    varpi[m][t] = min_alpha( varpi[alpha][t-1] + eps(alpha+1, m) )
+
+where ``eps(i, j)`` is the max deviation of the least-squares line over
+``[i, j]``.  Guaranteed error bounds, O(N n^2) DP transitions — and the error
+matrix itself costs O(n^2) windows, each needing a residual scan, so building
+it dominates (the reason the paper's Fig. 12b shows APLA orders of magnitude
+slower than everything else).  The computation below vectorises one window
+start at a time with numpy; benches therefore run APLA on shorter series (see
+DESIGN.md substitution 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.linefit import SeriesStats
+from ..core.segment import LinearSegmentation, Segment
+from .base import SegmentReducer
+
+__all__ = ["APLA", "error_matrix"]
+
+
+def error_matrix(series: np.ndarray) -> np.ndarray:
+    """``E[i, j]`` = max deviation of the least-squares line over ``[i, j]``.
+
+    Vectorised per window start: for a fixed ``i`` the fits of every window
+    ``[i, j]`` come from prefix sums, and the residual matrix over ``(j, t)``
+    is evaluated in one broadcast.  O(n^2) memory per start is avoided by
+    only materialising the lower-triangular part row by row.
+    """
+    series = np.asarray(series, dtype=float)
+    n = series.shape[0]
+    t = np.arange(n, dtype=float)
+    prefix_y = np.concatenate(([0.0], np.cumsum(series)))
+    prefix_ty = np.concatenate(([0.0], np.cumsum(t * series)))
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        lengths = np.arange(1, n - i + 1, dtype=float)  # window lengths for j = i..n-1
+        sum_y = prefix_y[i + 1 :] - prefix_y[i]
+        sum_ty = (prefix_ty[i + 1 :] - prefix_ty[i]) - i * sum_y
+        s1 = lengths * (lengths - 1) / 2.0
+        s2 = lengths * (lengths - 1) * (2 * lengths - 1) / 6.0
+        det = lengths * s2 - s1 * s1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            a = np.where(det > 0, (lengths * sum_ty - s1 * sum_y) / np.where(det > 0, det, 1), 0.0)
+        b = (sum_y - a * s1) / lengths
+        # residuals: rows are window ends j, columns are local offsets
+        local = np.arange(n - i, dtype=float)
+        fitted = a[:, None] * local[None, :] + b[:, None]
+        residual = np.abs(series[i:][None, :] - fitted)
+        # max over t <= j: running max along the lower triangle
+        mask = local[None, :] <= np.arange(n - i, dtype=float)[:, None]
+        residual = np.where(mask, residual, 0.0)
+        matrix[i, i:] = residual.max(axis=1)
+    return matrix
+
+
+class APLA(SegmentReducer):
+    """Optimal (sum of segment max deviations) adaptive linear segmentation."""
+
+    name = "APLA"
+    coefficients_per_segment = 3
+
+    def transform(self, series: np.ndarray) -> LinearSegmentation:
+        series = self._validated(series)
+        n = len(series)
+        target = min(self.n_segments, n)
+        errors = error_matrix(series)
+
+        # varpi[t][m]: best cost covering 0..m with t+1 segments
+        cost = np.full((target, n), np.inf)
+        choice = np.zeros((target, n), dtype=int)
+        cost[0] = errors[0]
+        for seg in range(1, target):
+            for m in range(seg, n):
+                # previous segment ends at alpha, new segment is [alpha+1, m]
+                alphas = np.arange(seg - 1, m)
+                totals = cost[seg - 1, alphas] + errors[alphas + 1, m]
+                best = int(np.argmin(totals))
+                cost[seg, m] = totals[best]
+                choice[seg, m] = alphas[best]
+
+        # pick the segment count achieving the best cost at full coverage
+        # (fewer segments can win when the series is simpler than the budget)
+        best_t = int(np.argmin(cost[:, n - 1]))
+        boundaries = []
+        m = n - 1
+        for seg in range(best_t, 0, -1):
+            alpha = choice[seg, m]
+            boundaries.append(alpha)
+            m = alpha
+        boundaries = sorted(boundaries)
+
+        stats = SeriesStats(series)
+        segments = []
+        start = 0
+        for boundary in boundaries:
+            segments.append(Segment.fit(stats, start, boundary))
+            start = boundary + 1
+        segments.append(Segment.fit(stats, start, n - 1))
+        return LinearSegmentation(segments)

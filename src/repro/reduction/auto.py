@@ -1,0 +1,99 @@
+"""Automatic method selection for a given collection.
+
+Different shape families favour different methods (see
+``examples/archive_tour.py``); this helper evaluates candidate reducers on
+a sample of the collection and picks the best under a chosen criterion:
+
+* ``'max_deviation'`` — mean max deviation (Fig. 12a's measure);
+* ``'tightness'`` — how closely reconstruction distances track true
+  distances between sampled pairs (a pruning-power proxy);
+* ``'time'`` — mean reduction CPU time at acceptable quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..distance.euclidean import euclidean
+from .base import Reducer
+
+__all__ = ["SelectionReport", "select_method"]
+
+#: methods whose representations reconstruct numerically (SAX excluded,
+#: mirroring the paper's max-deviation comparison)
+_DEFAULT_CANDIDATES = ("SAPLA", "APCA", "PLA", "PAA", "CHEBY")
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Outcome of a method selection run."""
+
+    best: str
+    criterion: str
+    scores: "Dict[str, float]"  # lower is better for every criterion
+
+    def reducer(self, n_coefficients: int) -> Reducer:
+        """Instantiate the winning method at a coefficient budget."""
+        return _registry()[self.best](n_coefficients=n_coefficients)
+
+
+def _registry():
+    """The reducer registry, imported lazily to avoid a package cycle."""
+    from . import REDUCERS
+
+    return REDUCERS
+
+
+def select_method(
+    data: np.ndarray,
+    n_coefficients: int = 12,
+    criterion: str = "max_deviation",
+    candidates: "Sequence[str]" = _DEFAULT_CANDIDATES,
+    sample_size: int = 10,
+    seed: int = 0,
+) -> SelectionReport:
+    """Evaluate ``candidates`` on a sample of ``data`` and pick the best."""
+    if criterion not in ("max_deviation", "tightness", "time"):
+        raise ValueError(f"unknown criterion: {criterion!r}")
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("select_method expects a non-empty (count, n) array")
+    registry = _registry()
+    unknown = [name for name in candidates if name not in registry]
+    if unknown:
+        raise ValueError(f"unknown candidate methods: {unknown}")
+
+    rng = np.random.default_rng(seed)
+    sample_ids = rng.choice(
+        data.shape[0], size=min(sample_size, data.shape[0]), replace=False
+    )
+    sample = data[sample_ids]
+
+    scores: "Dict[str, float]" = {}
+    for name in candidates:
+        reducer = registry[name](n_coefficients=n_coefficients)
+        if criterion == "time":
+            started = time.process_time()
+            for series in sample:
+                reducer.transform(series)
+            scores[name] = time.process_time() - started
+        elif criterion == "max_deviation":
+            scores[name] = float(
+                np.mean([reducer.max_deviation(series) for series in sample])
+            )
+        else:  # tightness
+            recons = [reducer.reconstruct(reducer.transform(s)) for s in sample]
+            gaps: "List[float]" = []
+            for i in range(len(sample)):
+                for j in range(i + 1, len(sample)):
+                    true = euclidean(sample[i], sample[j])
+                    approx = euclidean(recons[i], recons[j])
+                    gaps.append(abs(true - approx) / (true + 1e-12))
+            scores[name] = float(np.mean(gaps)) if gaps else 0.0
+
+    best = min(scores, key=scores.get)
+    return SelectionReport(best=best, criterion=criterion, scores=scores)

@@ -1,0 +1,65 @@
+"""CHEBY — Chebyshev polynomial representation (Cai & Ng 2004).
+
+The whole series is approximated by the first ``M`` Chebyshev coefficients of
+its least-squares polynomial fit over the domain mapped to ``[-1, 1]``.  The
+original authors recommend at most 25 coefficients; beyond that the paper's
+evaluation shows the method hitting the dimensionality curse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.polynomial import chebyshev
+
+__all__ = ["CHEBY", "ChebyshevRepresentation"]
+
+from .base import Reducer
+
+
+@dataclass(frozen=True)
+class ChebyshevRepresentation:
+    """Chebyshev coefficients plus what is needed to reconstruct and bound.
+
+    Attributes:
+        coefficients: the ``M`` fitted Chebyshev coefficients.
+        n: original series length.
+        residual_norm: L2 norm of the approximation residual — used by the
+            triangle-inequality lower bound (see repro.distance).
+    """
+
+    coefficients: np.ndarray
+    n: int
+    residual_norm: float
+
+
+class CHEBY(Reducer):
+    """Chebyshev-coefficient dimensionality reduction."""
+
+    name = "CHEBY"
+    coefficients_per_segment = 1
+
+    def transform(self, series: np.ndarray) -> ChebyshevRepresentation:
+        series = self._validated(series)
+        n = len(series)
+        degree = min(self.n_coefficients - 1, n - 1)
+        x = _domain(n)
+        coefficients = chebyshev.chebfit(x, series, degree)
+        residual = series - chebyshev.chebval(x, coefficients)
+        return ChebyshevRepresentation(
+            coefficients=np.asarray(coefficients, dtype=float),
+            n=n,
+            residual_norm=float(np.linalg.norm(residual)),
+        )
+
+    def reconstruct(self, representation: ChebyshevRepresentation) -> np.ndarray:
+        x = _domain(representation.n)
+        return chebyshev.chebval(x, representation.coefficients)
+
+
+def _domain(n: int) -> np.ndarray:
+    """Map sample positions to the Chebyshev domain ``[-1, 1]``."""
+    if n == 1:
+        return np.zeros(1)
+    return np.linspace(-1.0, 1.0, n)

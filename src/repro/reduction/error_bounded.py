@@ -1,0 +1,170 @@
+"""Error-bounded piecewise linear compression (Eichinger et al. 2015 style).
+
+The paper's related work cites a "high compression ratio method" that takes
+a *user-defined max deviation* and produces however many segments that
+budget needs — the dual of SAPLA's fixed-N formulation.  The paper excludes
+it from its comparison for exactly that reason; implementing it closes the
+loop: :class:`ErrorBoundedPLA` guarantees ``max deviation <= bound`` with a
+variable segment count, so the compression-ratio-at-matched-quality
+comparison against SAPLA becomes possible
+(``benchmarks/bench_error_bounded.py``).
+
+Greedy segmentation with doubling + binary search: each segment grows by
+doubled strides while the exact max deviation of its least-squares line
+stays within the bound, then binary-searches the furthest feasible end —
+O(log l) feasibility checks per segment, each O(l).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.linefit import SeriesStats
+from ..core.segment import LinearSegmentation, Segment
+
+__all__ = ["ErrorBoundedPLA"]
+
+
+class ErrorBoundedPLA:
+    """Adaptive piecewise polynomial fit with a guaranteed per-point error bound.
+
+    Unlike the :class:`~repro.reduction.base.Reducer` family (fixed
+    coefficient budget, best-effort error), this takes ``max_deviation`` and
+    spends as many segments as needed — never more than one point per
+    segment in the worst case.
+
+    Args:
+        max_deviation: hard cap on ``|c_t - c_check_t|`` for every point.
+        degree: maximum polynomial degree per segment (the reference method's
+            user-defined degree).  ``degree=1`` (default) yields linear
+            segments representable as :class:`LinearSegmentation`; higher
+            degrees compress curvature harder but return the polynomial
+            segmentation via :meth:`transform_poly`.
+    """
+
+    name = "ErrorBoundedPLA"
+
+    def __init__(self, max_deviation: float, degree: int = 1):
+        if max_deviation < 0:
+            raise ValueError("max_deviation must be non-negative")
+        if not 1 <= degree <= 5:
+            raise ValueError("degree must be in [1, 5]")
+        self.max_deviation = float(max_deviation)
+        self.degree = int(degree)
+
+    # ------------------------------------------------------------------
+    def transform(self, series: np.ndarray) -> LinearSegmentation:
+        """Segment ``series`` greedily under the error bound (degree 1)."""
+        if self.degree != 1:
+            raise ValueError(
+                "transform() returns a LinearSegmentation and needs degree=1; "
+                "use transform_poly() for higher degrees"
+            )
+        series = self._validated(series)
+        stats = SeriesStats(series)
+        n = series.shape[0]
+        segments = []
+        start = 0
+        while start < n:
+            end = self._furthest_feasible_end(stats, series, start)
+            segments.append(Segment.fit(stats, start, end))
+            start = end + 1
+        return LinearSegmentation(segments)
+
+    def transform_poly(self, series: np.ndarray) -> "list[tuple[int, int, np.ndarray]]":
+        """Degree-``d`` greedy segmentation: ``(start, end, coefficients)``.
+
+        Coefficients are local-coordinate polynomial coefficients (lowest
+        degree first, ``numpy.polynomial`` convention).
+        """
+        series = self._validated(series)
+        stats = SeriesStats(series)
+        n = series.shape[0]
+        pieces: "list[tuple[int, int, np.ndarray]]" = []
+        start = 0
+        while start < n:
+            end = self._furthest_feasible_end(stats, series, start)
+            pieces.append((start, end, self._poly_fit(series, start, end)))
+            start = end + 1
+        return pieces
+
+    def reconstruct_poly(
+        self, pieces: "list[tuple[int, int, np.ndarray]]"
+    ) -> np.ndarray:
+        """Rebuild a series from :meth:`transform_poly` output."""
+        total = pieces[-1][1] + 1
+        out = np.empty(total)
+        for start, end, coefficients in pieces:
+            t = np.arange(end - start + 1, dtype=float)
+            out[start : end + 1] = np.polynomial.polynomial.polyval(t, coefficients)
+        return out
+
+    def _validated(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 1 or series.shape[0] == 0:
+            raise ValueError("ErrorBoundedPLA reduces non-empty one-dimensional series")
+        if not np.isfinite(series).all():
+            raise ValueError("ErrorBoundedPLA input contains NaN or infinite values")
+        return series
+
+    def _poly_fit(self, series: np.ndarray, start: int, end: int) -> np.ndarray:
+        window = series[start : end + 1]
+        length = window.shape[0]
+        degree = min(self.degree, length - 1)
+        t = np.arange(length, dtype=float)
+        return np.polynomial.polynomial.polyfit(t, window, degree)
+
+    def reconstruct(self, representation: LinearSegmentation) -> np.ndarray:
+        """Rebuild the approximate series (bounded error per point)."""
+        return representation.reconstruct()
+
+    def compression_ratio(self, series: np.ndarray) -> float:
+        """Stored coefficients over raw points (3 per segment, as SAPLA)."""
+        series = np.asarray(series, dtype=float)
+        representation = self.transform(series)
+        return representation.n_coefficients / series.shape[0]
+
+    # ------------------------------------------------------------------
+    def _feasible(self, stats: SeriesStats, series: np.ndarray, start: int, end: int) -> bool:
+        window = series[start : end + 1]
+        if self.degree == 1:
+            segment = Segment.fit(stats, start, end)
+            fitted = segment.reconstruct()
+        else:
+            coefficients = self._poly_fit(series, start, end)
+            t = np.arange(window.shape[0], dtype=float)
+            fitted = np.polynomial.polynomial.polyval(t, coefficients)
+        return bool(np.abs(window - fitted).max() <= self.max_deviation + 1e-12)
+
+    def _furthest_feasible_end(
+        self, stats: SeriesStats, series: np.ndarray, start: int
+    ) -> int:
+        n = series.shape[0]
+        last = n - 1
+        # two points always fit a line exactly; grow by doubling from there
+        end = min(start + 1, last)
+        if end == last or not self._feasible(stats, series, start, end):
+            return end if end == start else (end if self._feasible(stats, series, start, end) else start)
+        step = 2
+        feasible_end = end
+        while True:
+            probe = min(feasible_end + step, last)
+            if self._feasible(stats, series, start, probe):
+                feasible_end = probe
+                if probe == last:
+                    return last
+                step *= 2
+            else:
+                break
+        # binary search in (feasible_end, probe)
+        lo, hi = feasible_end, probe - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._feasible(stats, series, start, mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def __repr__(self) -> str:
+        return f"ErrorBoundedPLA(max_deviation={self.max_deviation})"

@@ -1,0 +1,29 @@
+"""PAA — Piecewise Aggregate Approximation (Keogh 2001; Yi & Faloutsos 2000).
+
+Each of the ``N = M`` equal-length segments stores its mean value.  O(n)
+reduction time; the simplest baseline in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.segment import LinearSegmentation, Segment
+from .base import SegmentReducer, equal_length_bounds
+
+__all__ = ["PAA"]
+
+
+class PAA(SegmentReducer):
+    """Equal-length piecewise constant (segment mean) approximation."""
+
+    name = "PAA"
+    coefficients_per_segment = 1
+
+    def transform(self, series: np.ndarray) -> LinearSegmentation:
+        series = self._validated(series)
+        segments = [
+            Segment(start=start, end=end, a=0.0, b=float(series[start : end + 1].mean()))
+            for start, end in equal_length_bounds(len(series), self.n_segments)
+        ]
+        return LinearSegmentation(segments)

@@ -1,0 +1,31 @@
+"""PLA — Piecewise Linear Approximation over equal-length segments (Chen 2007).
+
+Each of the ``N = M/2`` equal-length segments stores the slope and intercept
+of its least-squares line (paper Eq. (1)).  O(n) reduction time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.linefit import SeriesStats
+from ..core.segment import LinearSegmentation, Segment
+from .base import SegmentReducer, equal_length_bounds
+
+__all__ = ["PLA"]
+
+
+class PLA(SegmentReducer):
+    """Equal-length piecewise linear approximation."""
+
+    name = "PLA"
+    coefficients_per_segment = 2
+
+    def transform(self, series: np.ndarray) -> LinearSegmentation:
+        series = self._validated(series)
+        stats = SeriesStats(series)
+        segments = [
+            Segment.fit(stats, start, end)
+            for start, end in equal_length_bounds(len(series), self.n_segments)
+        ]
+        return LinearSegmentation(segments)

@@ -1,0 +1,101 @@
+"""A disk-backed similarity database: index in memory, raw series on pages.
+
+The configuration the paper's GEMINI framing assumes: representations and
+the index structure fit in memory; raw series live on disk and each
+verification pays physical I/O.  Pruning power then *is* the fraction of
+the collection's pages read per query.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional, Union
+
+import numpy as np
+
+from ..index.knn import KNNResult, SeriesDatabase
+from ..reduction.base import Reducer
+from .pages import PagedSeriesStore
+
+__all__ = ["DiskBackedDatabase"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+class DiskBackedDatabase:
+    """GEMINI search with raw data behind a :class:`PagedSeriesStore`.
+
+    Args:
+        reducer: dimensionality reduction method.
+        store_path: backing file for the raw pages.
+        index: ``'dbch'``, ``'rtree'`` or ``None`` (see SeriesDatabase).
+        page_size / cache_pages: storage knobs.
+    """
+
+    def __init__(
+        self,
+        reducer: Reducer,
+        store_path: PathLike,
+        index: Optional[str] = "dbch",
+        distance_mode: str = "par",
+        page_size: int = 4096,
+        cache_pages: int = 8,
+    ):
+        self._inner = SeriesDatabase(reducer, index=index, distance_mode=distance_mode)
+        self._store_path = pathlib.Path(store_path)
+        self._page_size = page_size
+        self._cache_pages = cache_pages
+        self.store: Optional[PagedSeriesStore] = None
+
+    # ------------------------------------------------------------------
+    def ingest(self, data: np.ndarray) -> None:
+        """Write raw series to pages and build the in-memory index."""
+        data = np.asarray(data, dtype=float)
+        self.store = PagedSeriesStore.write(
+            self._store_path, data, page_size=self._page_size, cache_pages=self._cache_pages
+        )
+        self._inner.ingest(data)
+        # raw data now lives on disk; reads go through the store
+        self._inner.data = _StoreView(self.store)
+
+    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+        """k-NN where every candidate verification reads pages from disk."""
+        if self.store is None:
+            raise RuntimeError("ingest data before searching")
+        return self._inner.knn(query, k)
+
+    def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
+        """Exact answer via a full sequential scan (reads every page)."""
+        if self.store is None:
+            raise RuntimeError("ingest data before searching")
+        from ..index.knn import linear_scan
+
+        return linear_scan(self.store.read_all(), query, k)
+
+    # ------------------------------------------------------------------
+    @property
+    def io_stats(self):
+        """Physical-I/O counters of the underlying store."""
+        return self.store.stats if self.store is not None else None
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters (call between queries to measure one)."""
+        if self.store is not None:
+            self.store.stats.reset()
+
+
+class _StoreView:
+    """Array-like adapter: ``view[i]`` reads series ``i`` through the store."""
+
+    def __init__(self, store: PagedSeriesStore):
+        self._store = store
+
+    def __getitem__(self, series_id: int) -> np.ndarray:
+        return self._store.read(int(series_id))
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return (len(self._store), self._store.length)

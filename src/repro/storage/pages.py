@@ -1,0 +1,139 @@
+"""Paged on-disk storage for raw series, with I/O accounting.
+
+The paper measures pruning power because every verification of a candidate
+is a disk access in a disk-resident database.  This substrate makes that
+literal: raw series live in fixed-size pages in a binary file; reads go
+through an LRU page cache; and the store counts physical page reads so
+experiments can report true I/O instead of the in-memory proxy.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = ["PageStats", "PagedSeriesStore"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class PageStats:
+    """Physical-I/O counters."""
+
+    page_reads: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return self.page_reads + self.cache_hits
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.page_reads = 0
+        self.cache_hits = 0
+
+
+class PagedSeriesStore:
+    """Fixed-page binary storage of an equal-length series collection.
+
+    Args:
+        path: backing file (created by :meth:`write`).
+        page_size: page capacity in bytes (default 4 KiB, a classic page).
+        cache_pages: LRU cache capacity in pages.
+    """
+
+    def __init__(self, path: PathLike, page_size: int = 4096, cache_pages: int = 8):
+        if page_size < 64:
+            raise ValueError("page_size must be at least 64 bytes")
+        if cache_pages < 1:
+            raise ValueError("cache_pages must be >= 1")
+        self.path = pathlib.Path(path)
+        self.page_size = int(page_size)
+        self.cache_pages = int(cache_pages)
+        self.stats = PageStats()
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._count = 0
+        self._length = 0
+        self._row_bytes = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def write(
+        cls, path: PathLike, data: np.ndarray, page_size: int = 4096, cache_pages: int = 8
+    ) -> "PagedSeriesStore":
+        """Materialise a collection to disk and return an opened store."""
+        data = np.ascontiguousarray(np.asarray(data, dtype="<f8"))
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("write expects a non-empty (count, n) array")
+        store = cls(path, page_size=page_size, cache_pages=cache_pages)
+        store._count, store._length = data.shape
+        store._row_bytes = store._length * 8
+        header = np.array([store._count, store._length], dtype="<i8").tobytes()
+        with open(store.path, "wb") as handle:
+            handle.write(header.ljust(store.page_size, b"\0"))
+            handle.write(data.tobytes())
+        return store
+
+    @classmethod
+    def open(cls, path: PathLike, page_size: int = 4096, cache_pages: int = 8) -> "PagedSeriesStore":
+        """Open an existing store, reading its header."""
+        store = cls(path, page_size=page_size, cache_pages=cache_pages)
+        with open(store.path, "rb") as handle:
+            header = handle.read(16)
+        if len(header) < 16:
+            raise ValueError(f"{path} is not a paged series store")
+        count, length = np.frombuffer(header, dtype="<i8")
+        if count <= 0 or length <= 0:
+            raise ValueError(f"{path} has a corrupt header")
+        store._count, store._length = int(count), int(length)
+        store._row_bytes = store._length * 8
+        return store
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def length(self) -> int:
+        """Length ``n`` of every stored series."""
+        return self._length
+
+    def pages_per_series(self) -> float:
+        """How many pages one series read touches on average."""
+        return max(self._row_bytes / self.page_size, 1e-12)
+
+    # ------------------------------------------------------------------
+    def _read_page(self, page_id: int) -> bytes:
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            self.stats.cache_hits += 1
+            return self._cache[page_id]
+        with open(self.path, "rb") as handle:
+            handle.seek(self.page_size * page_id)
+            payload = handle.read(self.page_size)
+        self.stats.page_reads += 1
+        self._cache[page_id] = payload
+        if len(self._cache) > self.cache_pages:
+            self._cache.popitem(last=False)
+        return payload
+
+    def read(self, series_id: int) -> np.ndarray:
+        """Read one series through the page cache."""
+        if not 0 <= series_id < self._count:
+            raise IndexError(f"series {series_id} out of range ({self._count} stored)")
+        start_byte = self.page_size + series_id * self._row_bytes  # page 0 is the header
+        end_byte = start_byte + self._row_bytes
+        first_page = start_byte // self.page_size
+        last_page = (end_byte - 1) // self.page_size
+        payload = b"".join(self._read_page(p) for p in range(first_page, last_page + 1))
+        offset = start_byte - first_page * self.page_size
+        return np.frombuffer(payload[offset : offset + self._row_bytes], dtype="<f8").copy()
+
+    def read_all(self) -> np.ndarray:
+        """Read the whole collection (sequential scan)."""
+        return np.stack([self.read(i) for i in range(self._count)])

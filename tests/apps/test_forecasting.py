@@ -1,0 +1,69 @@
+"""Tests for the analog forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AnalogForecaster
+
+
+def periodic_history(n=600, period=50, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + rng.normal(scale=noise, size=n)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AnalogForecaster(window=20, horizon=0)
+        with pytest.raises(ValueError):
+            AnalogForecaster(window=20, horizon=5, k=0)
+
+    def test_history_too_short(self):
+        with pytest.raises(ValueError):
+            AnalogForecaster(window=20, horizon=10).fit(np.arange(25.0))
+
+    def test_forecast_before_fit(self):
+        with pytest.raises(RuntimeError):
+            AnalogForecaster(window=20, horizon=5).forecast()
+
+    def test_wrong_context_length(self):
+        forecaster = AnalogForecaster(window=20, horizon=5).fit(periodic_history())
+        with pytest.raises(ValueError):
+            forecaster.forecast(np.zeros(7))
+
+
+class TestForecasting:
+    def test_periodic_signal_predicted(self):
+        history = periodic_history()
+        horizon = 25
+        forecaster = AnalogForecaster(window=50, horizon=horizon, k=3, stride=2)
+        forecaster.fit(history[:-horizon])
+        forecast = forecaster.forecast(history[-horizon - 50 : -horizon])
+        truth = history[-horizon:]
+        rmse = float(np.sqrt(np.mean((forecast.values - truth) ** 2)))
+        assert rmse < 0.3  # far below the signal amplitude of 1.0
+
+    def test_forecast_shape_and_metadata(self):
+        forecaster = AnalogForecaster(window=40, horizon=10, k=2, stride=5)
+        forecaster.fit(periodic_history(seed=1))
+        forecast = forecaster.forecast()
+        assert forecast.values.shape == (10,)
+        assert len(forecast.analog_starts) <= 2
+        assert all(d >= 0 for d in forecast.analog_distances)
+
+    def test_default_context_is_history_tail(self):
+        history = periodic_history(seed=2)
+        forecaster = AnalogForecaster(window=40, horizon=10, stride=5).fit(history)
+        explicit = forecaster.forecast(history[-40:])
+        default = forecaster.forecast()
+        np.testing.assert_allclose(default.values, explicit.values)
+
+    def test_analogs_do_not_peek_into_the_horizon(self):
+        history = periodic_history(seed=3)
+        horizon = 20
+        forecaster = AnalogForecaster(window=50, horizon=horizon, stride=2).fit(history)
+        forecast = forecaster.forecast()
+        n = len(history)
+        for start in forecast.analog_starts:
+            assert start + 50 + horizon <= n  # future fully inside history

@@ -1,0 +1,62 @@
+"""Tests for agglomerative clustering over representations."""
+
+import numpy as np
+import pytest
+
+from repro.apps import agglomerative_cluster
+from repro.reduction import SAPLAReducer
+
+
+def two_cluster_data(seed=0):
+    rng = np.random.default_rng(seed)
+    flat = rng.normal(scale=0.2, size=(8, 64))
+    trend = np.linspace(0, 8, 64) + rng.normal(scale=0.2, size=(8, 64))
+    return np.vstack([flat, trend])
+
+
+class TestAgglomerative:
+    def test_raw_distance_separates_clusters(self):
+        data = two_cluster_data()
+        result = agglomerative_cluster(data, n_clusters=2)
+        assert len(set(result.labels[:8])) == 1
+        assert set(result.labels[:8]) != set(result.labels[8:])
+        assert result.n_clusters == 2
+
+    def test_reduced_distance_separates_clusters(self):
+        data = two_cluster_data(seed=1)
+        result = agglomerative_cluster(data, n_clusters=2, reducer=SAPLAReducer(12))
+        assert len(set(result.labels[:8])) == 1
+        assert set(result.labels[:8]) != set(result.labels[8:])
+
+    def test_merge_history_length(self):
+        data = two_cluster_data(seed=2)
+        result = agglomerative_cluster(data, n_clusters=3)
+        assert len(result.merges) == len(data) - 3
+        distances = [d for _, _, d in result.merges]
+        assert all(d >= 0 for d in distances)
+
+    def test_n_clusters_equals_count_is_identity(self):
+        data = two_cluster_data(seed=3)
+        result = agglomerative_cluster(data, n_clusters=len(data))
+        assert sorted(set(result.labels)) == list(range(len(data)))
+        assert result.merges == []
+
+    def test_single_cluster(self):
+        data = two_cluster_data(seed=4)
+        result = agglomerative_cluster(data, n_clusters=1)
+        assert set(result.labels) == {0}
+
+    def test_custom_distance(self):
+        data = two_cluster_data(seed=5)
+        result = agglomerative_cluster(
+            data, n_clusters=2, distance=lambda a, b: float(np.abs(a - b).sum())
+        )
+        assert result.n_clusters == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            agglomerative_cluster(np.zeros(8), 2)
+        with pytest.raises(ValueError):
+            agglomerative_cluster(two_cluster_data(), n_clusters=0)
+        with pytest.raises(ValueError):
+            agglomerative_cluster(two_cluster_data(), n_clusters=100)

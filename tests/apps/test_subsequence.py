@@ -1,0 +1,72 @@
+"""Tests for subsequence similarity search."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SubsequenceIndex
+from repro.reduction import PLA
+
+
+def sequence_with_pattern(seed=0, n=600, at=(120, 430)):
+    rng = np.random.default_rng(seed)
+    sequence = rng.normal(scale=0.3, size=n)
+    pattern = 3 * np.sin(np.linspace(0, 3 * np.pi, 50))
+    for start in at:
+        sequence[start : start + 50] = pattern + rng.normal(scale=0.05, size=50)
+    return sequence, pattern
+
+
+class TestSubsequenceIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubsequenceIndex(window=1)
+        with pytest.raises(ValueError):
+            SubsequenceIndex(window=8, stride=0)
+
+    def test_search_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SubsequenceIndex(window=8).search(np.zeros(8))
+
+    def test_pattern_length_checked(self):
+        sequence, _ = sequence_with_pattern()
+        index = SubsequenceIndex(window=50, stride=5).fit(sequence)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(10))
+
+    def test_finds_planted_occurrences(self):
+        sequence, pattern = sequence_with_pattern()
+        index = SubsequenceIndex(window=50, stride=2).fit(sequence)
+        matches = index.search(pattern, k=2)
+        starts = sorted(m.start for m in matches)
+        assert abs(starts[0] - 120) <= 4
+        assert abs(starts[1] - 430) <= 4
+
+    def test_matches_do_not_overlap(self):
+        sequence, pattern = sequence_with_pattern(seed=1)
+        index = SubsequenceIndex(window=50, stride=2).fit(sequence)
+        matches = index.search(pattern, k=4)
+        starts = [m.start for m in matches]
+        for i in range(len(starts)):
+            for j in range(i + 1, len(starts)):
+                assert abs(starts[i] - starts[j]) >= 50
+
+    def test_distances_sorted(self):
+        sequence, pattern = sequence_with_pattern(seed=2)
+        index = SubsequenceIndex(window=50, stride=5).fit(sequence)
+        matches = index.search(pattern, k=3)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_range_search(self):
+        sequence, pattern = sequence_with_pattern(seed=3)
+        index = SubsequenceIndex(window=50, stride=2, index=None).fit(sequence)
+        exact = index.search(pattern, k=1)[0]
+        hits = index.range_search(pattern, radius=exact.distance + 0.5)
+        assert any(abs(h.start - exact.start) <= 2 for h in hits)
+        assert all(h.distance <= exact.distance + 0.5 for h in hits)
+
+    def test_custom_reducer(self):
+        sequence, pattern = sequence_with_pattern(seed=4)
+        index = SubsequenceIndex(window=50, stride=5, reducer=PLA(12)).fit(sequence)
+        matches = index.search(pattern, k=1)
+        assert abs(matches[0].start - 120) <= 5 or abs(matches[0].start - 430) <= 5

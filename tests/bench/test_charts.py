@@ -1,0 +1,40 @@
+"""Tests for the ASCII chart rendering."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart
+
+ROWS = [
+    {"method": "SAPLA", "index": "rtree", "value": 2.0},
+    {"method": "SAPLA", "index": "dbch", "value": 4.0},
+    {"method": "PAA", "index": "rtree", "value": 1.0},
+]
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart("T", ROWS, "method", "value")
+        assert "T" in text
+        assert "SAPLA" in text and "PAA" in text
+        assert "4" in text
+
+    def test_longest_bar_belongs_to_max(self):
+        text = bar_chart("T", ROWS, "method", "value", width=20)
+        lines = [l for l in text.splitlines() if "█" in l]
+        longest = max(lines, key=lambda l: l.count("█"))
+        assert "4" in longest
+
+    def test_empty(self):
+        assert "(no rows)" in bar_chart("T", [], "method", "value")
+
+    def test_zero_values_do_not_crash(self):
+        text = bar_chart("T", [{"m": "a", "v": 0.0}], "m", "v")
+        assert "a" in text
+
+
+class TestGroupedBarChart:
+    def test_groups_appear_once(self):
+        text = grouped_bar_chart("T", ROWS, "method", "index", "value")
+        assert text.count("SAPLA") == 1
+        assert "rtree" in text and "dbch" in text
+
+    def test_empty(self):
+        assert "(no rows)" in grouped_bar_chart("T", [], "method", "index", "value")

@@ -1,0 +1,65 @@
+"""Tests for the one-shot orchestration runner."""
+
+import json
+
+import pytest
+
+from repro.bench import EXPERIMENT_TITLES, ExperimentConfig, run_all
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        dataset_names=("Coffee",),
+        length=64,
+        n_series=5,
+        n_queries=1,
+        ks=(2,),
+        methods=("SAPLA", "PAA"),
+    )
+
+
+class TestRunAll:
+    def test_produces_every_experiment(self, tiny_config, tmp_path):
+        results = run_all(tiny_config, tmp_path)
+        assert set(results) == set(EXPERIMENT_TITLES)
+        for name in EXPERIMENT_TITLES:
+            assert (tmp_path / f"{name}.json").exists()
+            assert (tmp_path / f"{name}.txt").exists()
+        assert (tmp_path / "index_grid.json").exists()
+
+    def test_json_matches_returned_rows(self, tiny_config, tmp_path):
+        results = run_all(tiny_config, tmp_path)
+        stored = json.loads((tmp_path / "fig1_worked_example.json").read_text())
+        assert stored == results["fig1_worked_example"]
+
+    def test_cache_is_used(self, tiny_config, tmp_path):
+        messages = []
+        run_all(tiny_config, tmp_path, progress=messages.append)
+        assert any("running" in m for m in messages)
+        messages.clear()
+        run_all(tiny_config, tmp_path, progress=messages.append)
+        assert all("cached" in m for m in messages)
+
+    def test_overwrite_reruns(self, tiny_config, tmp_path):
+        run_all(tiny_config, tmp_path)
+        messages = []
+        run_all(tiny_config, tmp_path, overwrite=True, progress=messages.append)
+        assert any("running" in m for m in messages)
+
+
+class TestCLIAll:
+    def test_experiment_all_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "experiment", "all", "--datasets", "Coffee",
+                "--length", "64", "--series", "4", "--queries", "1",
+                "--ks", "2", "--output", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "persisted" in out
+        assert (tmp_path / "out" / "fig12_maxdev_and_time.json").exists()

@@ -1,0 +1,152 @@
+"""Tests for the benchmark harness: config, experiment drivers, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DEFAULT_METHODS,
+    ExperimentConfig,
+    config_from_env,
+    make_reducer,
+    render_table,
+    run_bound_ablation,
+    run_dbch_ablation,
+    run_index_grid,
+    run_maxdev_and_time,
+    run_scaling,
+    run_worked_example,
+    summarise_ingest_knn,
+    summarise_pruning_accuracy,
+    summarise_tree_shape,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        dataset_names=("ECG200", "Adiac"),
+        length=64,
+        n_series=6,
+        n_queries=2,
+        ks=(2,),
+        methods=("SAPLA", "APLA", "PAA", "SAX"),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_grid(tiny_config):
+    return run_index_grid(tiny_config)
+
+
+class TestConfig:
+    def test_defaults_are_one_per_family(self):
+        config = ExperimentConfig(length=64, n_series=4, n_queries=1)
+        families = {config.archive.family_of(n) for n in config.dataset_names}
+        assert len(families) == len(config.dataset_names)
+
+    def test_env_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LENGTH", "128")
+        monkeypatch.setenv("REPRO_SERIES", "7")
+        monkeypatch.setenv("REPRO_DATASETS", "ECG200, Adiac")
+        monkeypatch.setenv("REPRO_KS", "2,4")
+        config = config_from_env()
+        assert config.length == 128
+        assert config.n_series == 7
+        assert config.dataset_names == ("ECG200", "Adiac")
+        assert config.ks == (2, 4)
+
+    def test_env_config_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASETS", "all")
+        config = config_from_env()
+        assert len(config.dataset_names) == 117
+
+    def test_make_reducer(self):
+        for name in DEFAULT_METHODS:
+            reducer = make_reducer(name, 12)
+            assert reducer.name == name
+
+
+class TestMaxdevExperiment:
+    def test_rows_cover_methods(self, tiny_config):
+        rows = run_maxdev_and_time(tiny_config)
+        assert {r["method"] for r in rows} == set(tiny_config.methods)
+        for row in rows:
+            assert row["reduction_time_s"] >= 0.0
+            if row["method"] == "SAX":
+                assert np.isnan(row["max_deviation"])
+            else:
+                assert row["max_deviation"] >= 0.0
+
+
+class TestIndexGrid:
+    def test_grid_has_all_record_kinds(self, tiny_grid):
+        kinds = {r["kind"] for r in tiny_grid}
+        assert kinds == {"knn", "tree"}
+        assert any(r["method"] == "LinearScan" for r in tiny_grid)
+
+    def test_pruning_accuracy_summary(self, tiny_config, tiny_grid):
+        rows = summarise_pruning_accuracy(tiny_grid)
+        pairs = {(r["method"], r["index"]) for r in rows}
+        assert pairs == {
+            (m, i) for m in tiny_config.methods for i in ("rtree", "dbch")
+        }
+        for row in rows:
+            assert 0.0 <= row["pruning_power"] <= 1.0
+            assert 0.0 <= row["accuracy"] <= 1.0
+
+    def test_ingest_knn_summary(self, tiny_config, tiny_grid):
+        rows = summarise_ingest_knn(tiny_grid)
+        methods = {r["method"] for r in rows}
+        assert "LinearScan" in methods
+        for row in rows:
+            assert row["ingest_time_s"] >= 0.0
+            assert row["knn_time_s"] >= 0.0
+
+    def test_tree_shape_summary(self, tiny_grid):
+        rows = summarise_tree_shape(tiny_grid)
+        for row in rows:
+            assert row["total_nodes"] == pytest.approx(
+                row["internal_nodes"] + row["leaf_nodes"]
+            )
+            assert row["height"] >= 1
+
+
+class TestScalingAndWorkedExample:
+    def test_scaling_rows(self):
+        rows = run_scaling(lengths=(32, 64), methods=("SAPLA", "PAA"), repeats=1)
+        assert len(rows) == 4
+        assert all(r["reduction_time_s"] >= 0.0 for r in rows)
+
+    def test_worked_example_values(self):
+        rows = run_worked_example()
+        by = {r["method"]: r for r in rows}
+        assert by["SAPLA"]["N"] == 4
+        assert by["SAPLA"]["max_deviation"] <= 9.27273 + 1e-6
+        assert by["APLA"]["sum_segment_deviation"] <= by["PLA"]["sum_segment_deviation"]
+
+
+class TestAblations:
+    def test_bound_ablation(self, tiny_config):
+        rows = run_bound_ablation(tiny_config)
+        assert {r["variant"] for r in rows} == {
+            "paper-bounds",
+            "exact-bounds",
+            "no-endpoint-stage",
+            "peak-split",
+        }
+
+    def test_dbch_ablation(self, tiny_config):
+        rows = run_dbch_ablation(tiny_config)
+        assert {r["query_bound"] for r in rows} == {"Dist_PAR", "Dist_LB"}
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": 1e-9}]
+        text = render_table("T", rows)
+        assert "T" in text
+        assert "22" in text
+        assert "1.000e-09" in text
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table("T", [])

@@ -1,0 +1,57 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench import ExperimentConfig, generate_report, run_all
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    config = ExperimentConfig(
+        dataset_names=("Coffee",),
+        length=64,
+        n_series=5,
+        n_queries=1,
+        ks=(2,),
+        methods=("SAPLA", "PAA"),
+    )
+    out = tmp_path_factory.mktemp("results")
+    run_all(config, out)
+    return out
+
+
+class TestGenerateReport:
+    def test_report_contains_every_experiment(self, results_dir):
+        report = generate_report(results_dir)
+        for title in ("Fig 12", "Fig 13", "Fig 14", "Table 1", "Ablation"):
+            assert title in report
+
+    def test_charts_included(self, results_dir):
+        report = generate_report(results_dir)
+        assert "█" in report  # at least one bar rendered
+
+    def test_written_to_file(self, results_dir, tmp_path):
+        target = tmp_path / "report.md"
+        generate_report(results_dir, target)
+        assert target.exists()
+        assert "# Experiment report" in target.read_text()
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            generate_report(empty)
+
+    def test_cli_report(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--results", str(results_dir), "--output", str(out)]) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["report", "--results", str(results_dir)]) == 0
+        assert "# Experiment report" in capsys.readouterr().out

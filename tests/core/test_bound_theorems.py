@@ -1,0 +1,81 @@
+"""Statistical checks of the paper's conditional bound theorems.
+
+Theorems 4.2 and 4.3 claim ``beta_i >= epsilon_i`` "in general cases" —
+explicitly conditional, with pathological counterexamples acknowledged in
+the appendix.  These tests measure how often the bounds hold across many
+random segments: they must hold in the overwhelming majority of cases for
+the split/merge priorities to be meaningful.
+"""
+
+import numpy as np
+
+from repro.core.bounds import beta_merge, beta_segment, exact_max_deviation
+from repro.core.linefit import SeriesStats
+from repro.core.segment import Segment
+
+
+def random_segments(trials, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        n = int(rng.integers(8, 120))
+        kind = rng.integers(3)
+        if kind == 0:
+            series = rng.normal(size=n).cumsum()
+        elif kind == 1:
+            series = rng.normal(size=n)
+        else:
+            series = np.sin(np.linspace(0, rng.uniform(2, 20), n)) + rng.normal(
+                scale=0.2, size=n
+            )
+        yield series
+
+
+class TestTheorem43MergeBound:
+    def test_merge_bound_holds_in_general(self):
+        """beta after a merge dominates the merged segment's true deviation
+        in the overwhelming majority of random cases (Theorem 4.3)."""
+        held = total = 0
+        for series in random_segments(300, seed=1):
+            n = len(series)
+            stats = SeriesStats(series)
+            mid = n // 2
+            left = Segment.fit(stats, 0, mid)
+            right = Segment.fit(stats, mid + 1, n - 1)
+            merged_fit = stats.window_fit(0, n - 1)
+            beta = beta_merge(series, left, right, merged_fit)
+            eps = exact_max_deviation(series, Segment.fit(stats, 0, n - 1))
+            total += 1
+            held += beta >= eps - 1e-9
+        assert held / total >= 0.9
+
+    def test_bound_scales_with_length(self):
+        """beta includes the (l - 1) factor, so longer segments with the
+        same endpoint gaps get proportionally larger bounds."""
+        series = np.concatenate([np.zeros(10), [5.0], np.zeros(10)])
+        stats = SeriesStats(series)
+        short = Segment.fit(stats, 8, 13)
+        longer = Segment.fit(stats, 0, 20)
+        assert beta_segment(series, longer) >= beta_segment(series, short)
+
+
+class TestSegmentBoundCoverage:
+    def test_segment_bound_vs_exact_statistics(self):
+        """The free-standing endpoint bound dominates the exact deviation on
+        a clear majority of least-squares-fitted random segments."""
+        held = total = 0
+        for series in random_segments(300, seed=2):
+            stats = SeriesStats(series)
+            seg = Segment.fit(stats, 0, len(series) - 1)
+            total += 1
+            held += beta_segment(series, seg) >= exact_max_deviation(series, seg) - 1e-9
+        assert held / total >= 0.6  # conditional, as the paper concedes
+
+    def test_zero_bound_only_when_exact(self):
+        """A zero bound must imply (near-)zero true deviation at the probes."""
+        for series in random_segments(100, seed=3):
+            stats = SeriesStats(series)
+            seg = Segment.fit(stats, 0, len(series) - 1)
+            if beta_segment(series, seg) == 0.0:
+                mid = (seg.start + seg.end) // 2
+                for t in (seg.start, mid, seg.end):
+                    assert abs(series[t] - seg.value_at(t)) < 1e-9

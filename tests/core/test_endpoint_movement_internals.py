@@ -1,0 +1,90 @@
+"""Focused tests for endpoint movement's internals and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.endpoint_movement import _try_move, move_endpoints
+from repro.core.linefit import SeriesStats
+from repro.core.segment import Segment
+
+
+def two_segments(series, boundary):
+    stats = SeriesStats(series)
+    return stats, [
+        Segment.fit(stats, 0, boundary),
+        Segment.fit(stats, boundary + 1, len(series) - 1),
+    ]
+
+
+class TestTryMove:
+    def test_no_right_neighbour(self):
+        series = np.arange(10.0)
+        stats, segments = two_segments(series, 4)
+        assert _try_move(stats, segments, 1, "right", +1, "paper") is None
+
+    def test_no_left_neighbour(self):
+        series = np.arange(10.0)
+        stats, segments = two_segments(series, 4)
+        assert _try_move(stats, segments, 0, "left", -1, "paper") is None
+
+    def test_move_that_would_empty_a_segment_rejected(self):
+        series = np.arange(6.0)
+        stats = SeriesStats(series)
+        segments = [Segment.fit(stats, 0, 0), Segment.fit(stats, 1, 5)]
+        # shrinking the single-point left segment is impossible
+        assert _try_move(stats, segments, 0, "right", -1, "paper") is None
+
+    def test_beneficial_move_detected(self):
+        """A boundary one point past the regime change: moving back helps.
+
+        (A boundary many points off can sit in a local minimum of the
+        deviation sum — greedy +-1 movement is local by design.)"""
+        series = np.concatenate([np.zeros(20), np.full(20, 10.0)])
+        stats, segments = two_segments(series, 20)  # boundary 1 point late
+        move = _try_move(stats, segments, 0, "right", -1, "exact")
+        assert move is not None
+        _, _, _, delta = move
+        assert delta < 0
+
+    def test_delta_zero_for_perfect_fit(self):
+        series = np.arange(20.0)
+        stats, segments = two_segments(series, 9)
+        move = _try_move(stats, segments, 0, "right", +1, "exact")
+        assert move is not None
+        assert move[3] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMoveEndpoints:
+    def test_recovers_slightly_misplaced_boundary(self):
+        series = np.concatenate([np.zeros(25), np.full(15, 10.0)])
+        stats, segments = two_segments(series, 23)  # true boundary at 24
+        moved = move_endpoints(stats, segments, bound_mode="exact")
+        assert moved[0].end == 24
+
+    def test_budget_limits_moves(self):
+        series = np.concatenate([np.zeros(30), np.full(10, 10.0)])
+        stats, segments = two_segments(series, 9)  # 20 moves needed
+        moved = move_endpoints(stats, segments, bound_mode="exact", max_moves=3)
+        assert moved[0].end == 12  # exactly three accepted moves
+
+    def test_cover_preserved_under_many_moves(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=60).cumsum()
+        stats = SeriesStats(series)
+        segments = [
+            Segment.fit(stats, 0, 14),
+            Segment.fit(stats, 15, 29),
+            Segment.fit(stats, 30, 44),
+            Segment.fit(stats, 45, 59),
+        ]
+        moved = move_endpoints(stats, segments, bound_mode="exact")
+        assert moved[0].start == 0
+        assert moved[-1].end == 59
+        for prev, cur in zip(moved, moved[1:]):
+            assert cur.start == prev.end + 1
+
+    def test_no_move_on_perfectly_fitted_regimes(self):
+        series = np.concatenate([np.zeros(20), np.full(20, 5.0)])
+        stats, segments = two_segments(series, 19)
+        moved = move_endpoints(stats, segments, bound_mode="exact")
+        assert moved[0].end == 19

@@ -1,0 +1,65 @@
+"""The vectorised initialization must be bit-equal to the reference loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SeriesStats, initialize, initialize_fast
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def endpoints(segments):
+    return [(s.start, s.end) for s in segments]
+
+
+class TestEquivalence:
+    @given(
+        st.lists(finite, min_size=1, max_size=150),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_identical_to_reference(self, values, n_segments):
+        stats = SeriesStats(np.asarray(values))
+        assert endpoints(initialize_fast(stats, n_segments)) == endpoints(
+            initialize(stats, n_segments)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_on_long_series(self, seed):
+        rng = np.random.default_rng(seed)
+        series = rng.normal(size=2000).cumsum()
+        stats = SeriesStats(series)
+        assert endpoints(initialize_fast(stats, 8)) == endpoints(initialize(stats, 8))
+
+    def test_identical_on_smooth_series(self):
+        series = np.sin(np.linspace(0, 40, 3000))
+        stats = SeriesStats(series)
+        assert endpoints(initialize_fast(stats, 6)) == endpoints(initialize(stats, 6))
+
+    def test_coefficients_match_too(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=500).cumsum()
+        stats = SeriesStats(series)
+        for fast, slow in zip(initialize_fast(stats, 5), initialize(stats, 5)):
+            assert fast.a == pytest.approx(slow.a, abs=1e-9)
+            assert fast.b == pytest.approx(slow.b, abs=1e-9)
+
+
+class TestEdgeCases:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            initialize_fast(SeriesStats(np.arange(5.0)), 0)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_tiny_series(self, n):
+        stats = SeriesStats(np.arange(float(n)))
+        segments = initialize_fast(stats, 4)
+        assert segments[0].start == 0
+        assert segments[-1].end == n - 1
+
+    def test_single_segment_budget(self):
+        stats = SeriesStats(np.random.default_rng(0).normal(size=50))
+        segments = initialize_fast(stats, 1)
+        assert len(segments) == 1

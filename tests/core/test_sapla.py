@@ -1,0 +1,209 @@
+"""Tests for the SAPLA pipeline: stages, invariants, and the worked example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SAPLA,
+    LinearSegmentation,
+    SeriesStats,
+    initialize,
+    move_endpoints,
+    sapla_transform,
+    split_merge,
+)
+from repro.core.bounds import exact_max_deviation
+
+# the worked series of Figs. 1, 5, 6, 8
+PAPER_SERIES = np.array(
+    [7, 8, 20, 15, 18, 8, 8, 15, 10, 1, 4, 3, 3, 5, 4, 9, 2, 9, 10, 10], dtype=float
+)
+
+
+def max_deviation(series, rep):
+    return max(exact_max_deviation(series, seg) for seg in rep)
+
+
+def assert_valid_cover(segments, n):
+    assert segments[0].start == 0
+    assert segments[-1].end == n - 1
+    for prev, cur in zip(segments, segments[1:]):
+        assert cur.start == prev.end + 1
+
+
+class TestInitialization:
+    def test_covers_series(self):
+        stats = SeriesStats(PAPER_SERIES)
+        segments = initialize(stats, 4)
+        assert_valid_cover(segments, len(PAPER_SERIES))
+
+    def test_segment_count_within_paper_range(self):
+        stats = SeriesStats(PAPER_SERIES)
+        segments = initialize(stats, 4)
+        assert 1 <= len(segments) <= len(PAPER_SERIES) // 2 + 1
+
+    def test_short_series(self):
+        for n in (1, 2, 3):
+            stats = SeriesStats(np.arange(float(n)))
+            segments = initialize(stats, 4)
+            assert_valid_cover(segments, n)
+
+    def test_bad_segment_count_rejected(self):
+        with pytest.raises(ValueError):
+            initialize(SeriesStats(PAPER_SERIES), 0)
+
+    def test_straight_line_yields_few_segments(self):
+        stats = SeriesStats(np.arange(100.0))
+        segments = initialize(stats, 4)
+        # a perfect line produces zero increment areas after the forced
+        # N-1 threshold fills, so nearly everything stays in one segment
+        assert len(segments) <= 5
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=4, max_value=60))
+    @settings(max_examples=40)
+    def test_always_a_valid_cover(self, n_segments, n):
+        rng = np.random.default_rng(n * 131 + n_segments)
+        series = rng.normal(size=n).cumsum()
+        segments = initialize(SeriesStats(series), n_segments)
+        assert_valid_cover(segments, n)
+
+
+class TestSplitMerge:
+    def test_reaches_target_count(self):
+        stats = SeriesStats(PAPER_SERIES)
+        segments = split_merge(stats, initialize(stats, 4), 4)
+        assert len(segments) == 4
+        assert_valid_cover(segments, len(PAPER_SERIES))
+
+    def test_merge_down_from_many(self):
+        rng = np.random.default_rng(5)
+        series = rng.normal(size=200).cumsum()
+        stats = SeriesStats(series)
+        segments = initialize(stats, 40)  # deliberately fragmented
+        reduced = split_merge(stats, segments, 5)
+        assert len(reduced) == 5
+        assert_valid_cover(reduced, 200)
+
+    def test_split_up_from_one(self):
+        series = np.sin(np.linspace(0, 6 * np.pi, 120))
+        stats = SeriesStats(series)
+        one = [__import__("repro.core.segment", fromlist=["Segment"]).Segment.fit(stats, 0, 119)]
+        segments = split_merge(stats, one, 6)
+        assert len(segments) == 6
+        assert_valid_cover(segments, 120)
+
+    def test_target_larger_than_series_is_capped(self):
+        series = np.arange(4.0)
+        stats = SeriesStats(series)
+        segments = split_merge(stats, initialize(stats, 10), 10)
+        assert len(segments) <= 4
+        assert_valid_cover(segments, 4)
+
+    def test_paper_worked_example_count(self):
+        # Fig. 6: split & merge brings the 6 initialized segments to N = 4
+        stats = SeriesStats(PAPER_SERIES)
+        segments = split_merge(stats, initialize(stats, 4), 4)
+        assert len(segments) == 4
+
+
+class TestEndpointMovement:
+    def test_never_increases_target_bound(self):
+        stats = SeriesStats(PAPER_SERIES)
+        segments = split_merge(stats, initialize(stats, 4), 4)
+        before = sum(exact_max_deviation(PAPER_SERIES, s) for s in segments)
+        moved = move_endpoints(stats, segments, bound_mode="exact")
+        after = sum(exact_max_deviation(PAPER_SERIES, s) for s in moved)
+        assert after <= before + 1e-9
+
+    def test_preserves_cover(self):
+        rng = np.random.default_rng(13)
+        series = rng.normal(size=80).cumsum()
+        stats = SeriesStats(series)
+        segments = split_merge(stats, initialize(stats, 6), 6)
+        moved = move_endpoints(stats, segments)
+        assert_valid_cover(moved, 80)
+        assert len(moved) == len(segments)
+
+    def test_single_segment_is_a_no_op(self):
+        stats = SeriesStats(np.arange(10.0))
+        seg = [__import__("repro.core.segment", fromlist=["Segment"]).Segment.fit(stats, 0, 9)]
+        assert move_endpoints(stats, seg) == seg
+
+
+class TestSAPLA:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SAPLA()
+        with pytest.raises(ValueError):
+            SAPLA(n_segments=4, n_coefficients=12)
+        with pytest.raises(ValueError):
+            SAPLA(n_segments=0)
+        with pytest.raises(ValueError):
+            SAPLA(n_segments=4, bound_mode="bogus")
+
+    def test_coefficients_to_segments(self):
+        assert SAPLA(n_coefficients=12).n_segments == 4
+        assert SAPLA(n_coefficients=18).n_segments == 6
+
+    def test_rejects_bad_input(self):
+        sapla = SAPLA(n_segments=4)
+        with pytest.raises(ValueError):
+            sapla.transform(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            sapla.transform(np.array([]))
+
+    def test_paper_worked_example_quality(self):
+        """Fig. 8: the paper reaches max deviation 9.27273 with N = 4.
+
+        Split & merge alone reaches 10.6061 (Fig. 6).  Our pipeline must do
+        at least as well as the paper's intermediate stage."""
+        rep = SAPLA(n_coefficients=12).transform(PAPER_SERIES)
+        assert rep.n_segments == 4
+        assert max_deviation(PAPER_SERIES, rep) <= 10.6061 + 1e-6
+
+    def test_exact_mode_at_least_as_good_on_example(self):
+        rep = SAPLA(n_coefficients=12, bound_mode="exact").transform(PAPER_SERIES)
+        assert max_deviation(PAPER_SERIES, rep) <= 10.6061 + 1e-6
+
+    def test_returns_segmentation(self):
+        rep = sapla_transform(PAPER_SERIES, 4)
+        assert isinstance(rep, LinearSegmentation)
+        assert rep.length == len(PAPER_SERIES)
+
+    def test_endpoint_refinement_helps_or_is_neutral(self):
+        rng = np.random.default_rng(99)
+        series = rng.normal(size=128).cumsum()
+        base = SAPLA(n_segments=5, refine_endpoints=False).transform(series)
+        refined = SAPLA(n_segments=5, refine_endpoints=True).transform(series)
+        assert max_deviation(series, refined) <= max_deviation(series, base) * 1.5
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=2, max_value=80))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_on_random_walks(self, n_segments, n):
+        rng = np.random.default_rng(n * 7 + n_segments)
+        series = rng.normal(size=n).cumsum()
+        rep = SAPLA(n_segments=n_segments).transform(series)
+        assert rep.length == n
+        assert rep.n_segments <= max(n_segments, 1)
+        assert rep.n_segments >= 1
+        # reconstruction has the right shape and is finite
+        recon = rep.reconstruct()
+        assert recon.shape == (n,)
+        assert np.isfinite(recon).all()
+
+    def test_constant_series_is_perfectly_represented(self):
+        series = np.full(50, 3.25)
+        rep = SAPLA(n_segments=4).transform(series)
+        assert max_deviation(series, rep) == pytest.approx(0.0, abs=1e-9)
+
+    def test_piecewise_linear_series_recovered_when_budget_suffices(self):
+        # two perfect linear pieces; with N = 2 SAPLA should be near-lossless
+        series = np.concatenate([np.linspace(0, 10, 30), np.linspace(10, -5, 30)])
+        rep = SAPLA(n_segments=2).transform(series)
+        assert max_deviation(series, rep) < 0.75
+
+    def test_repr(self):
+        text = repr(SAPLA(n_segments=4))
+        assert "SAPLA" in text and "4" in text

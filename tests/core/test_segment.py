@@ -1,0 +1,131 @@
+"""Tests for Segment and LinearSegmentation containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.linefit import SeriesStats
+from repro.core.segment import LinearSegmentation, Segment
+
+
+def simple_segmentation():
+    return LinearSegmentation(
+        [
+            Segment(0, 3, 1.0, 0.0),
+            Segment(4, 6, 0.0, 5.0),
+            Segment(7, 9, -1.0, 2.0),
+        ]
+    )
+
+
+class TestSegment:
+    def test_length_and_right_endpoint(self):
+        seg = Segment(2, 5, 1.0, 0.0)
+        assert seg.length == 4
+        assert seg.right_endpoint == 5
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(5, 2, 0.0, 0.0)
+
+    def test_value_at_uses_local_coordinates(self):
+        seg = Segment(10, 14, 2.0, 1.0)
+        assert seg.value_at(10) == pytest.approx(1.0)
+        assert seg.value_at(12) == pytest.approx(5.0)
+
+    def test_reconstruct(self):
+        seg = Segment(0, 2, 1.0, 3.0)
+        np.testing.assert_allclose(seg.reconstruct(), [3.0, 4.0, 5.0])
+
+    def test_restrict_preserves_the_line(self):
+        seg = Segment(0, 9, 0.5, 1.0)
+        sub = seg.restrict(4, 7)
+        for t in range(4, 8):
+            assert sub.value_at(t) == pytest.approx(seg.value_at(t))
+
+    def test_restrict_outside_rejected(self):
+        seg = Segment(2, 5, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            seg.restrict(0, 3)
+        with pytest.raises(ValueError):
+            seg.restrict(3, 9)
+
+    def test_fit_from_stats(self):
+        series = np.array([1.0, 2.0, 3.0, 10.0, 10.0])
+        seg = Segment.fit(SeriesStats(series), 0, 2)
+        assert (seg.a, seg.b) == pytest.approx((1.0, 1.0))
+
+    def test_to_fit_round_trip(self):
+        seg = Segment(0, 4, 0.3, -1.0)
+        fit = seg.to_fit()
+        assert fit.coefficients == pytest.approx((0.3, -1.0))
+        assert fit.length == 5
+
+
+class TestLinearSegmentation:
+    def test_basic_properties(self):
+        rep = simple_segmentation()
+        assert rep.n_segments == 3
+        assert rep.length == 10
+        assert rep.right_endpoints == [3, 6, 9]
+        assert rep.n_coefficients == 9
+        assert len(rep) == 3
+        assert rep[1].b == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSegmentation([])
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSegmentation([Segment(0, 3, 0, 0), Segment(5, 9, 0, 0)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSegmentation([Segment(0, 3, 0, 0), Segment(3, 9, 0, 0)])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            LinearSegmentation([Segment(1, 9, 0, 0)])
+
+    def test_reconstruct_concatenates_segments(self):
+        rep = simple_segmentation()
+        recon = rep.reconstruct()
+        assert recon.shape == (10,)
+        np.testing.assert_allclose(recon[:4], [0.0, 1.0, 2.0, 3.0])
+        np.testing.assert_allclose(recon[4:7], [5.0, 5.0, 5.0])
+
+    def test_segment_index_at(self):
+        rep = simple_segmentation()
+        assert rep.segment_index_at(0) == 0
+        assert rep.segment_index_at(3) == 0
+        assert rep.segment_index_at(4) == 1
+        assert rep.segment_index_at(9) == 2
+        with pytest.raises(IndexError):
+            rep.segment_index_at(10)
+
+    def test_value_at(self):
+        rep = simple_segmentation()
+        assert rep.value_at(5) == pytest.approx(5.0)
+        assert rep.value_at(8) == pytest.approx(1.0)
+
+    def test_partition_refines_without_changing_reconstruction(self):
+        rep = simple_segmentation()
+        refined = rep.partition([1, 5, 9])
+        assert set(rep.right_endpoints) <= set(refined.right_endpoints)
+        np.testing.assert_allclose(refined.reconstruct(), rep.reconstruct())
+
+    def test_partition_rejects_out_of_range_endpoints(self):
+        rep = simple_segmentation()
+        with pytest.raises(ValueError):
+            rep.partition([20])  # beyond the series end
+        with pytest.raises(ValueError):
+            rep.partition([-1, 9])
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=8))
+    def test_partition_always_covers_union(self, extra):
+        rep = simple_segmentation()
+        refined = rep.partition(sorted(set(extra) | {9}))
+        assert set(refined.right_endpoints) == set(extra) | {9} | set(rep.right_endpoints)
+        np.testing.assert_allclose(refined.reconstruct(), rep.reconstruct())

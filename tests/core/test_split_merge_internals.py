@@ -1,0 +1,150 @@
+"""Focused tests for the split & merge machinery's internals."""
+
+import numpy as np
+import pytest
+
+from repro.core.linefit import SeriesStats
+from repro.core.segment import Segment
+from repro.core.split_merge import (
+    find_split_point,
+    merge_pair_area,
+    split_merge,
+)
+
+
+@pytest.fixture
+def vshape():
+    """A V-shaped series: one obvious split point at the valley."""
+    series = np.concatenate([np.linspace(10, 0, 20), np.linspace(0.5, 10, 20)])
+    return series, SeriesStats(series)
+
+
+class TestMergePairArea:
+    def test_zero_for_collinear_neighbours(self):
+        series = np.arange(40.0)
+        stats = SeriesStats(series)
+        left = Segment.fit(stats, 0, 19)
+        right = Segment.fit(stats, 20, 39)
+        assert merge_pair_area(stats, left, right) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_v_shape(self, vshape):
+        _, stats = vshape
+        left = Segment.fit(stats, 0, 19)
+        right = Segment.fit(stats, 20, 39)
+        assert merge_pair_area(stats, left, right) > 1.0
+
+    def test_monotone_in_dissimilarity(self):
+        stats_flat = SeriesStats(np.concatenate([np.zeros(20), np.full(20, 1.0)]))
+        stats_steep = SeriesStats(np.concatenate([np.zeros(20), np.full(20, 10.0)]))
+        area_flat = merge_pair_area(
+            stats_flat, Segment.fit(stats_flat, 0, 19), Segment.fit(stats_flat, 20, 39)
+        )
+        area_steep = merge_pair_area(
+            stats_steep, Segment.fit(stats_steep, 0, 19), Segment.fit(stats_steep, 20, 39)
+        )
+        assert area_steep > area_flat
+
+
+class TestFindSplitPoint:
+    def test_single_point_segment_unsplittable(self):
+        stats = SeriesStats(np.arange(5.0))
+        assert find_split_point(stats, Segment.fit(stats, 2, 2)) is None
+
+    def test_v_shape_split_near_valley(self, vshape):
+        _, stats = vshape
+        whole = Segment.fit(stats, 0, 39)
+        t = find_split_point(stats, whole)
+        assert 15 <= t <= 24
+
+    def test_two_point_segment(self):
+        stats = SeriesStats(np.array([0.0, 5.0, 0.0]))
+        t = find_split_point(stats, Segment.fit(stats, 0, 1))
+        assert t == 0
+
+    def test_split_point_within_bounds(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=50)
+        stats = SeriesStats(series)
+        seg = Segment.fit(stats, 10, 39)
+        t = find_split_point(stats, seg)
+        assert 10 <= t < 39
+
+
+class TestPeakSplitMode:
+    def test_unknown_mode_rejected(self):
+        stats = SeriesStats(np.arange(10.0))
+        with pytest.raises(ValueError):
+            find_split_point(stats, Segment.fit(stats, 0, 9), mode="bogus")
+
+    def test_peak_finds_the_valley_on_v_shape(self, vshape):
+        _, stats = vshape
+        whole = Segment.fit(stats, 0, 39)
+        t = find_split_point(stats, whole, mode="peak")
+        assert 14 <= t <= 25
+
+    def test_peak_matches_scan_on_unimodal_landscape(self, vshape):
+        _, stats = vshape
+        whole = Segment.fit(stats, 0, 39)
+        assert find_split_point(stats, whole, mode="peak") == find_split_point(
+            stats, whole, mode="scan"
+        )
+
+    def test_peak_single_point_segment(self):
+        stats = SeriesStats(np.arange(5.0))
+        assert find_split_point(stats, Segment.fit(stats, 2, 2), mode="peak") is None
+
+    def test_sapla_with_peak_mode(self):
+        from repro.core import SAPLA
+
+        series = np.random.default_rng(7).normal(size=120).cumsum()
+        rep = SAPLA(n_segments=5, split_mode="peak").transform(series)
+        assert rep.n_segments <= 5
+        assert rep.length == 120
+
+    def test_sapla_rejects_unknown_split_mode(self):
+        from repro.core import SAPLA
+
+        with pytest.raises(ValueError):
+            SAPLA(n_segments=4, split_mode="bogus")
+
+
+class TestSplitMergeDriver:
+    def test_idempotent_at_target(self, vshape):
+        series, stats = vshape
+        segments = split_merge(stats, [Segment.fit(stats, 0, 19), Segment.fit(stats, 20, 39)], 2)
+        assert len(segments) == 2
+        again = split_merge(stats, segments, 2)
+        assert [(s.start, s.end) for s in again] == [(s.start, s.end) for s in segments]
+
+    def test_merge_down_prefers_collinear_pairs(self):
+        """Three segments where the first two are collinear: those merge."""
+        series = np.concatenate([np.linspace(0, 10, 30), np.full(15, -5.0)])
+        stats = SeriesStats(series)
+        seeds = [
+            Segment.fit(stats, 0, 14),
+            Segment.fit(stats, 15, 29),
+            Segment.fit(stats, 30, 44),
+        ]
+        merged = split_merge(stats, seeds, 2)
+        assert len(merged) == 2
+        assert merged[0].end == 29  # the linear ramp stayed one segment
+
+    def test_split_up_targets_worst_segment(self):
+        """One flat + one V segment: the V segment splits first."""
+        series = np.concatenate(
+            [np.zeros(20), np.linspace(0, 8, 10), np.linspace(8, 0, 10)]
+        )
+        stats = SeriesStats(series)
+        seeds = [Segment.fit(stats, 0, 19), Segment.fit(stats, 20, 39)]
+        result = split_merge(stats, seeds, 3)
+        assert len(result) == 3
+        boundaries = [s.end for s in result]
+        assert any(25 <= b <= 33 for b in boundaries)  # split inside the V
+
+    def test_all_unit_segments_handled(self):
+        series = np.array([0.0, 1.0, 0.0, 1.0])
+        stats = SeriesStats(series)
+        seeds = [Segment.fit(stats, i, i) for i in range(4)]
+        result = split_merge(stats, seeds, 2)
+        assert len(result) == 2
+        assert result[0].start == 0 and result[-1].end == 3

@@ -1,0 +1,112 @@
+"""Tests for the streaming (online) SAPLA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SeriesStats, StreamingSAPLA
+from repro.core.bounds import exact_max_deviation
+from repro.core.linefit import LineFit
+
+
+class TestBasics:
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingSAPLA(max_segments=0)
+
+    def test_nan_rejected(self):
+        stream = StreamingSAPLA(4)
+        with pytest.raises(ValueError):
+            stream.append(float("nan"))
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingSAPLA(4).representation
+
+    def test_single_point(self):
+        stream = StreamingSAPLA(4)
+        stream.append(3.0)
+        rep = stream.representation
+        assert rep.length == 1
+        assert rep.reconstruct()[0] == pytest.approx(3.0)
+
+    def test_counts(self):
+        stream = StreamingSAPLA(4)
+        stream.extend([1.0, 2.0, 3.0])
+        assert stream.n_points == 3
+        assert 1 <= stream.n_segments <= 4
+
+    def test_repr(self):
+        stream = StreamingSAPLA(3)
+        stream.extend([0.0, 1.0])
+        assert "StreamingSAPLA" in repr(stream)
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=200
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_is_always_a_valid_cover(self, values, budget):
+        stream = StreamingSAPLA(budget)
+        stream.extend(values)
+        rep = stream.representation
+        assert rep.length == len(values)
+        assert rep.n_segments <= budget
+        assert np.isfinite(rep.reconstruct()).all()
+
+    def test_memory_stays_bounded(self):
+        stream = StreamingSAPLA(max_segments=6)
+        rng = np.random.default_rng(0)
+        stream.extend(rng.normal(size=5000).cumsum())
+        assert stream.n_segments <= 6
+        assert len(stream._closed) <= 6
+
+    def test_segments_are_exact_fits(self):
+        """Every closed segment's coefficients equal the least-squares fit of
+        the points it covers — the exactness the statistics guarantee."""
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=300).cumsum()
+        stream = StreamingSAPLA(5)
+        stream.extend(values)
+        stats = SeriesStats(values)
+        for seg in stream.representation:
+            ref = stats.window_fit(seg.start, seg.end).coefficients
+            assert (seg.a, seg.b) == pytest.approx(ref, abs=1e-6)
+
+
+class TestQuality:
+    def test_piecewise_linear_stream_recovered(self):
+        series = np.concatenate(
+            [np.linspace(0, 10, 50), np.linspace(10, -10, 50), np.linspace(-10, 0, 50)]
+        )
+        stream = StreamingSAPLA(max_segments=4)
+        stream.extend(series)
+        rep = stream.representation
+        dev = max(exact_max_deviation(series, seg) for seg in rep)
+        assert dev < 1.0
+
+    def test_comparable_to_offline_on_random_walk(self):
+        from repro.core import SAPLA
+
+        rng = np.random.default_rng(2)
+        series = rng.normal(size=400).cumsum()
+        online = StreamingSAPLA(6)
+        online.extend(series)
+        offline = SAPLA(n_segments=6).transform(series)
+        dev_online = max(exact_max_deviation(series, s) for s in online.representation)
+        dev_offline = max(exact_max_deviation(series, s) for s in offline)
+        assert dev_online <= dev_offline * 4 + 1.0  # online pays a bounded premium
+
+    def test_budget_one_is_single_fit(self):
+        values = np.arange(50.0)
+        stream = StreamingSAPLA(1)
+        stream.extend(values)
+        rep = stream.representation
+        assert rep.n_segments == 1
+        ref = LineFit.from_values(values).coefficients
+        assert (rep[0].a, rep[0].b) == pytest.approx(ref)

@@ -1,0 +1,135 @@
+"""Tests for the synthetic archive, generators and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    FAMILIES,
+    UCRLikeArchive,
+    generate,
+    resample_to_length,
+    z_normalize,
+)
+
+
+class TestNormalize:
+    def test_z_normalize_moments(self):
+        series = np.random.default_rng(0).normal(loc=5, scale=3, size=200)
+        z = z_normalize(series)
+        assert z.mean() == pytest.approx(0.0, abs=1e-9)
+        assert z.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_series_centered_not_divided(self):
+        z = z_normalize(np.full(10, 4.0))
+        np.testing.assert_allclose(z, 0.0)
+
+    def test_resample_identity(self):
+        series = np.arange(16.0)
+        np.testing.assert_array_equal(resample_to_length(series, 16), series)
+
+    def test_resample_preserves_endpoints(self):
+        series = np.array([1.0, 5.0, 2.0, 8.0])
+        out = resample_to_length(series, 11)
+        assert out[0] == pytest.approx(1.0)
+        assert out[-1] == pytest.approx(8.0)
+        assert out.shape == (11,)
+
+    def test_resample_down(self):
+        out = resample_to_length(np.sin(np.linspace(0, 6, 100)), 10)
+        assert out.shape == (10,)
+
+    def test_resample_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            resample_to_length(np.arange(4.0), 0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_produces_finite_series(self, family):
+        rng = np.random.default_rng(1)
+        series = generate(family, rng, 256)
+        assert series.shape == (256,)
+        assert np.isfinite(series).all()
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_is_not_constant(self, family):
+        rng = np.random.default_rng(2)
+        series = generate(family, rng, 512)
+        assert series.std() > 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            generate("nope", np.random.default_rng(0), 64)
+
+    def test_spike_family_has_bursts(self):
+        rng = np.random.default_rng(3)
+        series = generate("spike", rng, 512)
+        assert np.abs(series).max() > 5 * np.abs(np.median(series))
+
+    def test_step_family_has_plateaus(self):
+        rng = np.random.default_rng(4)
+        series = generate("step", rng, 512)
+        diffs = np.abs(np.diff(series))
+        # most consecutive deltas are tiny (plateaus), a few are big (saccades)
+        assert np.quantile(diffs, 0.5) < np.quantile(diffs, 0.995) / 3
+
+
+class TestArchive:
+    def test_exactly_117_datasets(self):
+        assert len(DATASETS) == 117
+
+    def test_known_names_present(self):
+        for name in ("Adiac", "ECG200", "EOGHorizontalSignal", "Yoga", "Crop"):
+            assert name in DATASETS
+
+    def test_variable_length_names_absent(self):
+        for name in ("PLAID", "AllGestureWiimoteX", "GestureMidAirD1"):
+            assert name not in DATASETS
+
+    def test_families_are_valid(self):
+        assert set(DATASETS.values()) <= set(FAMILIES)
+
+    def test_load_shapes(self):
+        archive = UCRLikeArchive(length=128, n_series=10, n_queries=2)
+        ds = archive.load("ECG200")
+        assert ds.data.shape == (10, 128)
+        assert ds.queries.shape == (2, 128)
+        assert ds.family == "spike"
+        assert ds.length == 128
+
+    def test_series_are_z_normalized(self):
+        archive = UCRLikeArchive(length=256, n_series=5, n_queries=1)
+        ds = archive.load("Coffee")
+        for row in ds.data:
+            assert row.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic(self):
+        a = UCRLikeArchive(length=128, n_series=4, n_queries=1).load("Wafer")
+        b = UCRLikeArchive(length=128, n_series=4, n_queries=1).load("Wafer")
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_different_datasets_differ(self):
+        archive = UCRLikeArchive(length=128, n_series=4, n_queries=1)
+        a = archive.load("ECG200")
+        b = archive.load("ECG5000")
+        assert not np.allclose(a.data, b.data)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            UCRLikeArchive().load("NotADataset")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            UCRLikeArchive(length=2)
+
+    def test_one_per_family_is_stratified(self):
+        archive = UCRLikeArchive()
+        subset = archive.one_per_family()
+        assert len(subset) == len(set(DATASETS.values()))
+        assert len({archive.family_of(n) for n in subset}) == len(subset)
+
+    def test_iteration_and_len(self):
+        archive = UCRLikeArchive()
+        assert len(archive) == 117
+        assert sorted(archive) == archive.names

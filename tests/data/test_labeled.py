@@ -1,0 +1,52 @@
+"""Tests for labeled dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import LabeledDataset, load_labeled
+
+
+class TestLoadLabeled:
+    def test_shapes_and_labels(self):
+        ds = load_labeled("ECG200", n_classes=3, n_per_class=5, n_queries_per_class=2, length=64)
+        assert ds.data.shape == (15, 64)
+        assert ds.queries.shape == (6, 64)
+        assert ds.n_classes == 3
+        assert set(ds.labels) == {0, 1, 2}
+        assert len(ds.query_labels) == 6
+        assert ds.length == 64
+
+    def test_deterministic(self):
+        a = load_labeled("Coffee", length=64)
+        b = load_labeled("Coffee", length=64)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_instances_are_z_normalized(self):
+        ds = load_labeled("Adiac", length=64)
+        for row in ds.data:
+            assert row.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_classes_are_separable(self):
+        """Same-class instances sit closer than cross-class on average."""
+        ds = load_labeled("Adiac", n_classes=2, n_per_class=8, length=128, noise=0.2)
+        same, cross = [], []
+        for i in range(len(ds.data)):
+            for j in range(i + 1, len(ds.data)):
+                d = float(np.linalg.norm(ds.data[i] - ds.data[j]))
+                (same if ds.labels[i] == ds.labels[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_labeled("NotADataset")
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(ValueError):
+            load_labeled("Coffee", n_classes=1)
+
+    def test_train_split_is_shuffled(self):
+        ds = load_labeled("Coffee", n_classes=2, n_per_class=10, length=64)
+        assert not all(
+            ds.labels[i] <= ds.labels[i + 1] for i in range(len(ds.labels) - 1)
+        )

@@ -1,0 +1,60 @@
+"""Tests for the dataset complexity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import profile_dataset, profile_series
+
+
+class TestProfileSeries:
+    def test_straight_line(self):
+        profile = profile_series(np.linspace(0, 10, 100))
+        assert profile.turning_points == 0.0
+        assert profile.trend_strength == pytest.approx(1.0)
+
+    def test_step_signal_is_plateau_heavy(self):
+        series = np.concatenate([np.zeros(50), np.full(50, 5.0)])
+        profile = profile_series(series)
+        assert profile.plateau_fraction > 0.9
+
+    def test_alternating_signal_maximises_turning_points(self):
+        series = np.tile([0.0, 1.0], 50)
+        profile = profile_series(series)
+        assert profile.turning_points > 0.9
+
+    def test_white_noise_has_high_spectral_entropy(self):
+        noise = np.random.default_rng(0).normal(size=512)
+        sine = np.sin(np.linspace(0, 20 * np.pi, 512))
+        assert (
+            profile_series(noise).spectral_entropy
+            > profile_series(sine).spectral_entropy + 0.3
+        )
+
+    def test_constant_series(self):
+        profile = profile_series(np.full(32, 2.0))
+        assert profile.trend_strength == 0.0
+        assert profile.spectral_entropy == 0.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            profile_series(np.array([1.0, 2.0]))
+
+
+class TestProfileDataset:
+    def test_mean_over_rows(self):
+        data = np.stack([np.linspace(0, 1, 64), np.linspace(1, 0, 64)])
+        profile = profile_dataset(data)
+        assert profile.trend_strength == pytest.approx(1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            profile_dataset(np.zeros(16))
+
+    def test_families_are_distinguishable(self):
+        """Step-family datasets are plateau-heavier than walk-family ones."""
+        from repro.data import UCRLikeArchive
+
+        archive = UCRLikeArchive(length=256, n_series=6, n_queries=0)
+        step = profile_dataset(archive.load("EOGHorizontalSignal").data)
+        walk = profile_dataset(archive.load("Car").data)
+        assert step.plateau_fraction > walk.plateau_fraction

@@ -1,0 +1,90 @@
+"""Tests for the real-UCR tsv loader (exercised on synthetic tsv files)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_ucr_dataset, load_ucr_tsv
+
+
+def write_tsv(path, labels, matrix):
+    with open(path, "w") as handle:
+        for label, row in zip(labels, matrix):
+            values = "\t".join(f"{v:.6f}" for v in row)
+            handle.write(f"{label}\t{values}\n")
+
+
+@pytest.fixture
+def ucr_dir(tmp_path):
+    """A fake extracted UCR archive with one dataset."""
+    rng = np.random.default_rng(0)
+    folder = tmp_path / "FakeSet"
+    folder.mkdir()
+    train = rng.normal(size=(8, 32))
+    test = rng.normal(size=(4, 32))
+    write_tsv(folder / "FakeSet_TRAIN.tsv", [1, 1, 2, 2, 5, 5, 1, 2], train)
+    write_tsv(folder / "FakeSet_TEST.tsv", [1, 2, 5, 5], test)
+    return tmp_path
+
+
+class TestLoadTSV:
+    def test_labels_recoded_contiguously(self, ucr_dir):
+        labels, series = load_ucr_tsv(ucr_dir / "FakeSet" / "FakeSet_TRAIN.tsv")
+        assert sorted(set(labels)) == [0, 1, 2]  # from {1, 2, 5}
+        assert series.shape == (8, 32)
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\n2\n")
+        with pytest.raises(ValueError):
+            load_ucr_tsv(path)
+
+
+class TestLoadDataset:
+    def test_full_dataset(self, ucr_dir):
+        dataset = load_ucr_dataset(ucr_dir, "FakeSet")
+        assert dataset.data.shape == (8, 32)
+        assert dataset.queries.shape == (4, 32)
+        assert dataset.n_classes == 3
+        # z-normalised by default
+        for row in dataset.data:
+            assert row.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_resampling(self, ucr_dir):
+        dataset = load_ucr_dataset(ucr_dir, "FakeSet", length=64)
+        assert dataset.data.shape == (8, 64)
+
+    def test_no_normalization(self, ucr_dir):
+        dataset = load_ucr_dataset(ucr_dir, "FakeSet", normalize=False)
+        assert any(abs(row.mean()) > 1e-6 for row in dataset.data)
+
+    def test_missing_dataset(self, ucr_dir):
+        with pytest.raises(FileNotFoundError):
+            load_ucr_dataset(ucr_dir, "NoSuchSet")
+
+    def test_missing_test_split_tolerated(self, tmp_path):
+        folder = tmp_path / "TrainOnly"
+        folder.mkdir()
+        write_tsv(folder / "TrainOnly_TRAIN.tsv", [0, 1], np.zeros((2, 16)) + [[1.0], [2.0]])
+        dataset = load_ucr_dataset(tmp_path, "TrainOnly")
+        assert dataset.queries.shape[0] == 0
+
+    def test_nan_values_handled_with_resampling(self, tmp_path):
+        folder = tmp_path / "Gappy"
+        folder.mkdir()
+        matrix = np.random.default_rng(1).normal(size=(3, 20))
+        matrix[0, 5] = np.nan  # a missing value, as DodgerLoop* have
+        write_tsv(folder / "Gappy_TRAIN.tsv", [0, 1, 0], matrix)
+        dataset = load_ucr_dataset(tmp_path, "Gappy", length=20)
+        assert dataset.data.shape == (3, 20)
+        assert np.isfinite(dataset.data).all()
+
+    def test_variable_length_without_resampling_rejected(self, tmp_path):
+        folder = tmp_path / "VarLen"
+        folder.mkdir()
+        matrix = np.random.default_rng(2).normal(size=(2, 20))
+        matrix[0, 15:] = np.nan  # shorter first series after NaN stripping
+        write_tsv(folder / "VarLen_TRAIN.tsv", [0, 1], matrix)
+        with pytest.raises(ValueError):
+            load_ucr_dataset(tmp_path, "VarLen")
+        dataset = load_ucr_dataset(tmp_path, "VarLen", length=16)
+        assert dataset.data.shape == (2, 16)

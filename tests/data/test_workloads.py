@@ -1,0 +1,64 @@
+"""Tests for the query perturbation workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data import PERTURBATIONS, perturb, query_workload
+
+SERIES = np.sin(np.linspace(0, 12, 200)) + 0.1
+
+
+class TestPerturb:
+    @pytest.mark.parametrize("kind", sorted(PERTURBATIONS))
+    def test_shape_preserved(self, kind):
+        out = perturb(SERIES, kind, 0.2, seed=1)
+        assert out.shape == SERIES.shape
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("kind", sorted(PERTURBATIONS))
+    def test_severity_zero_is_identity(self, kind):
+        np.testing.assert_array_equal(perturb(SERIES, kind, 0.0), SERIES)
+
+    @pytest.mark.parametrize("kind", sorted(PERTURBATIONS))
+    def test_deterministic(self, kind):
+        a = perturb(SERIES, kind, 0.3, seed=7)
+        b = perturb(SERIES, kind, 0.3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_grows_with_severity(self):
+        small = np.linalg.norm(perturb(SERIES, "noise", 0.05, seed=2) - SERIES)
+        large = np.linalg.norm(perturb(SERIES, "noise", 0.5, seed=2) - SERIES)
+        assert large > small
+
+    def test_shift_is_a_rotation(self):
+        out = perturb(SERIES, "shift", 0.1, seed=3)
+        assert sorted(out) == pytest.approx(sorted(SERIES))
+
+    def test_scale_preserves_shape_up_to_factor(self):
+        out = perturb(SERIES, "scale", 0.2, seed=4)
+        ratio = out / SERIES
+        assert ratio.std() == pytest.approx(0.0, abs=1e-9)
+
+    def test_dropout_creates_linear_stretch(self):
+        out = perturb(SERIES, "dropout", 0.2, seed=5)
+        second_diff = np.abs(np.diff(out, n=2))
+        assert (second_diff < 1e-9).sum() >= 0.1 * len(SERIES)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            perturb(SERIES, "alien", 0.1)
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ValueError):
+            perturb(SERIES, "noise", -0.1)
+
+
+class TestQueryWorkload:
+    def test_per_row_determinism_and_variation(self):
+        queries = np.stack([SERIES, SERIES])
+        out = query_workload(queries, "noise", 0.2, seed=1)
+        assert out.shape == queries.shape
+        # identical inputs get different perturbations per row
+        assert not np.allclose(out[0], out[1])
+        again = query_workload(queries, "noise", 0.2, seed=1)
+        np.testing.assert_array_equal(out, again)

@@ -1,0 +1,121 @@
+"""Tests for DTW and LB_Keogh."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import dtw, dtw_envelope, euclidean, lb_keogh
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def series_pair(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n).cumsum(), rng.normal(size=n).cumsum()
+
+
+class TestDTW:
+    def test_identity(self):
+        a, _ = series_pair()
+        assert dtw(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        a, b = series_pair(seed=1)
+        assert dtw(a, b) == pytest.approx(dtw(b, a))
+
+    def test_never_exceeds_euclidean(self):
+        """The diagonal path is always available, so DTW <= Euclid."""
+        for seed in range(10):
+            a, b = series_pair(seed=seed)
+            assert dtw(a, b) <= euclidean(a, b) + 1e-9
+
+    def test_warping_absorbs_shift(self):
+        """A small time shift costs DTW far less than Euclid."""
+        t = np.linspace(0, 6 * np.pi, 120)
+        a = np.sin(t)
+        b = np.roll(a, 4)
+        assert dtw(a, b, band=8) < 0.5 * euclidean(a, b)
+
+    def test_band_monotone(self):
+        """Wider bands can only reduce the distance."""
+        a, b = series_pair(seed=2)
+        narrow = dtw(a, b, band=1)
+        wide = dtw(a, b, band=20)
+        assert wide <= narrow + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dtw(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            dtw(np.array([]), np.array([]))
+
+    def test_unconstrained_matches_textbook_case(self):
+        a = np.array([0.0, 0.0, 1.0, 2.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 2.0, 1.0, 0.0, 0.0])
+        assert dtw(a, b, band=6) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEnvelope:
+    def test_envelope_brackets_series(self):
+        a, _ = series_pair(seed=3)
+        lower, upper = dtw_envelope(a, band=5)
+        assert (lower <= a + 1e-12).all()
+        assert (a <= upper + 1e-12).all()
+
+    def test_wider_band_widens_envelope(self):
+        a, _ = series_pair(seed=4)
+        l1, u1 = dtw_envelope(a, band=2)
+        l2, u2 = dtw_envelope(a, band=10)
+        assert (l2 <= l1 + 1e-12).all()
+        assert (u2 >= u1 - 1e-12).all()
+
+
+class TestLBKeogh:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lower_bounds_dtw(self, seed):
+        a, b = series_pair(seed=seed + 10)
+        band = 4
+        assert lb_keogh(a, b, band) <= dtw(a, b, band) + 1e-9
+
+    def test_zero_for_candidate_inside_envelope(self):
+        a = np.sin(np.linspace(0, 6, 60))
+        assert lb_keogh(a, a, band=3) == 0.0
+
+    def test_precomputed_envelope_matches(self):
+        a, b = series_pair(seed=20)
+        env = dtw_envelope(a, band=4)
+        assert lb_keogh(a, b, 4, envelope=env) == pytest.approx(lb_keogh(a, b, 4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lb_keogh(np.zeros(3), np.zeros(4))
+
+    @given(st.lists(finite, min_size=4, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_lower_bound_property(self, values):
+        a = np.asarray(values)
+        b = a[::-1].copy()
+        assert lb_keogh(a, b, band=2) <= dtw(a, b, band=2) + 1e-6
+
+
+class TestDTWClassification:
+    def test_classifier_with_dtw_metric(self):
+        from repro.apps import KNNClassifier
+        from repro.data import load_labeled
+        from repro.reduction import PAA
+
+        dataset = load_labeled(
+            "GunPoint", n_classes=2, n_per_class=8, n_queries_per_class=2, length=96
+        )
+        clf = KNNClassifier(PAA(12), k=1, metric="dtw", band=5)
+        report = clf.evaluate(dataset)
+        assert report.accuracy >= 0.75
+        assert 0.0 < report.mean_pruning_power <= 1.0
+
+    def test_unknown_metric_rejected(self):
+        from repro.apps import KNNClassifier
+        from repro.reduction import PAA
+
+        with pytest.raises(ValueError):
+            KNNClassifier(PAA(12), metric="cosine")

@@ -1,0 +1,126 @@
+"""DBCH-tree structural invariants and hull behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.distance import dist_par, make_suite
+from repro.index.dbch import DBCHTree
+from repro.index.entries import Entry
+from repro.reduction import SAPLAReducer
+
+
+def scalar_distance(a, b):
+    """A trivial metric for structural tests: reps are floats."""
+    return abs(a - b)
+
+
+def make_scalar_tree(values, max_entries=5, min_entries=2):
+    tree = DBCHTree(scalar_distance, max_entries=max_entries, min_entries=min_entries)
+    for i, v in enumerate(values):
+        tree.insert(Entry(series_id=i, representation=float(v)))
+    return tree
+
+
+def check_invariants(tree):
+    for node in tree.iter_nodes():
+        items = node.items()
+        if node is not tree.root:
+            assert len(items) >= tree.min_entries
+        assert len(items) <= tree.max_entries
+        assert node.hull is not None
+        assert node.volume >= 0.0
+        if not node.is_leaf:
+            for child in node.children:
+                assert child.parent is node
+
+
+class TestDBCHStructure:
+    def test_fill_validation(self):
+        with pytest.raises(ValueError):
+            DBCHTree(scalar_distance, max_entries=4, min_entries=4)
+
+    @pytest.mark.parametrize("count", [1, 5, 6, 30, 100])
+    def test_invariants_after_inserts(self, count):
+        values = np.random.default_rng(count).normal(size=count) * 10
+        tree = make_scalar_tree(values)
+        assert len(tree) == count
+        check_invariants(tree)
+
+    def test_all_entries_reachable(self):
+        values = np.random.default_rng(1).normal(size=64)
+        tree = make_scalar_tree(values)
+        seen = set()
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                seen.update(e.series_id for e in node.entries)
+        assert seen == set(range(64))
+
+    def test_leaf_hull_is_max_pairwise_distance(self):
+        tree = make_scalar_tree([0.0, 1.0, 10.0])
+        leaf = tree.root
+        assert leaf.volume == pytest.approx(10.0)
+        assert sorted(leaf.hull) == [0.0, 10.0]
+
+    def test_node_distance_inside_hull_is_zero(self):
+        tree = make_scalar_tree([0.0, 10.0])
+        assert tree.node_distance(5.0, tree.root) == 0.0
+
+    def test_node_distance_outside_hull(self):
+        tree = make_scalar_tree([0.0, 10.0])
+        # query 25: du = 25, dl = 15, volume = 10 -> 15 - 10 = 5
+        assert tree.node_distance(25.0, tree.root) == pytest.approx(5.0)
+
+    def test_split_separates_clusters(self):
+        """Two well-separated value clusters should land in different leaves."""
+        values = [0.0, 0.1, 0.2, 100.0, 100.1, 100.2]
+        tree = make_scalar_tree(values, max_entries=5, min_entries=2)
+        leaves = [n for n in tree.iter_nodes() if n.is_leaf]
+        assert len(leaves) == 2
+        groups = [sorted(e.representation for e in leaf.entries) for leaf in leaves]
+        groups.sort()
+        assert groups[0] == [0.0, 0.1, 0.2]
+        assert groups[1] == [100.0, 100.1, 100.2]
+
+    def test_identical_representations_do_not_break(self):
+        tree = make_scalar_tree([3.0] * 20)
+        assert len(tree) == 20
+        check_invariants(tree)
+
+
+class TestDBCHWithRepresentations:
+    def test_tree_over_sapla_representations(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(40, 64)).cumsum(axis=1)
+        reducer = SAPLAReducer(12)
+        suite = make_suite(reducer)
+        tree = DBCHTree(suite.pairwise)
+        for i, series in enumerate(data):
+            tree.insert(Entry(series_id=i, representation=reducer.transform(series)))
+        check_invariants(tree)
+        assert len(tree) == 40
+
+    def test_homogeneous_clusters_grouped(self):
+        """Series from two distinct generators should mostly separate."""
+        rng = np.random.default_rng(8)
+        flat = rng.normal(scale=0.1, size=(10, 64))
+        trend = np.linspace(0, 50, 64) + rng.normal(scale=0.1, size=(10, 64))
+        data = np.vstack([flat, trend])
+        reducer = SAPLAReducer(12)
+        tree = DBCHTree(dist_par, max_entries=5, min_entries=2)
+        for i, series in enumerate(data):
+            tree.insert(Entry(series_id=i, representation=reducer.transform(series)))
+        # the root's two subtrees should split flat vs trend nearly perfectly
+        assert not tree.root.is_leaf
+        purity = []
+        for child in tree.root.children:
+            ids = set()
+            stack = [child]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    ids.update(e.series_id for e in node.entries)
+                else:
+                    stack.extend(node.children)
+            flat_count = sum(1 for i in ids if i < 10)
+            purity.append(max(flat_count, len(ids) - flat_count) / len(ids))
+        assert min(purity) >= 0.8

@@ -1,0 +1,125 @@
+"""Tests for the iSAX tree."""
+
+import numpy as np
+import pytest
+
+from repro.data import z_normalize
+from repro.index import ISAXIndex, linear_scan
+from repro.index.isax import _breakpoints, _Word
+
+
+def dataset(count=60, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(count, n)).cumsum(axis=1)
+    return np.stack([z_normalize(row) for row in raw])
+
+
+class TestBreakpoints:
+    def test_counts(self):
+        assert _breakpoints(1).shape == (1,)
+        assert _breakpoints(3).shape == (7,)
+
+    def test_nested_across_cardinalities(self):
+        """The property iSAX prefix-matching relies on."""
+        coarse = _breakpoints(2)
+        fine = _breakpoints(3)
+        for bp in coarse:
+            assert np.min(np.abs(fine - bp)) < 1e-12
+
+    def test_symbol_prefix_property(self):
+        """A symbol at b bits equals the top b bits of the full symbol."""
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=200)
+        full_bits = 6
+        full = np.searchsorted(_breakpoints(full_bits), values)
+        for bits in (1, 2, 3):
+            coarse = np.searchsorted(_breakpoints(bits), values)
+            np.testing.assert_array_equal(coarse, full >> (full_bits - bits))
+
+
+class TestWord:
+    def test_matches_prefix(self):
+        word = _Word(symbols=(0b10,), bits=(2,))
+        assert word.matches(np.array([0b10_11]), max_bits=4)
+        assert not word.matches(np.array([0b01_11]), max_bits=4)
+
+    def test_refined(self):
+        word = _Word(symbols=(1, 0), bits=(1, 1))
+        child = word.refined(0, 1)
+        assert child.symbols == (0b11, 0)
+        assert child.bits == (2, 1)
+
+
+class TestISAXIndex:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ISAXIndex(base_bits=0)
+        with pytest.raises(ValueError):
+            ISAXIndex(base_bits=5, max_bits=3)
+        with pytest.raises(ValueError):
+            ISAXIndex(leaf_capacity=1)
+
+    def test_search_before_ingest_rejected(self):
+        index = ISAXIndex()
+        with pytest.raises(RuntimeError):
+            index.knn(np.zeros(8), 1)
+        with pytest.raises(RuntimeError):
+            index.approximate_search(np.zeros(8))
+
+    def test_ingest_requires_matrix(self):
+        with pytest.raises(ValueError):
+            ISAXIndex().ingest(np.zeros(8))
+
+    def test_all_series_indexed(self):
+        data = dataset()
+        index = ISAXIndex(n_segments=8, leaf_capacity=6)
+        index.ingest(data)
+        assert len(index) == len(data)
+        counts = index.node_counts()
+        assert counts["total"] == counts["internal"] + counts["leaf"]
+
+    def test_knn_is_exact(self):
+        """All iSAX bounds are true lower bounds, so k-NN must be exact."""
+        data = dataset(seed=2)
+        index = ISAXIndex(n_segments=8, leaf_capacity=5)
+        index.ingest(data)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            query = z_normalize(
+                data[rng.integers(len(data))] + rng.normal(scale=0.1, size=data.shape[1])
+            )
+            got = index.knn(query, 5)
+            truth = linear_scan(data, query, 5)
+            assert got.ids == truth.ids
+            assert got.distances == pytest.approx(truth.distances)
+
+    def test_knn_prunes(self):
+        data = dataset(count=120, seed=4)
+        index = ISAXIndex(n_segments=8, leaf_capacity=6)
+        index.ingest(data)
+        result = index.knn(data[0], 1)
+        assert result.ids[0] == 0
+        assert result.pruning_power < 1.0
+
+    def test_approximate_search_returns_similar_leaf(self):
+        data = dataset(count=100, seed=5)
+        index = ISAXIndex(n_segments=8, leaf_capacity=8)
+        index.ingest(data)
+        candidates = index.approximate_search(data[10])
+        assert candidates  # the query's own leaf is never empty
+        assert 10 in candidates
+
+    def test_split_occurs_with_small_leaves(self):
+        data = dataset(count=80, seed=6)
+        index = ISAXIndex(n_segments=8, leaf_capacity=4)
+        index.ingest(data)
+        assert index.node_counts()["internal"] >= 1
+
+    def test_identical_series_overflow_leaf(self):
+        """Fully-refined identical words grow one leaf instead of looping."""
+        data = np.tile(z_normalize(np.sin(np.linspace(0, 6, 32))), (20, 1))
+        index = ISAXIndex(n_segments=4, max_bits=3, leaf_capacity=4)
+        index.ingest(data)
+        assert len(index) == 20
+        result = index.knn(data[0], 3)
+        assert len(result.ids) == 3

@@ -1,0 +1,63 @@
+"""Tests for the feature mapping feeding the R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.segment import LinearSegmentation, Segment
+from repro.index.mbr import feature_vector, feature_weights
+from repro.reduction import CHEBY, SAX, SAPLAReducer
+
+SERIES = np.random.default_rng(0).normal(size=64).cumsum()
+
+
+class TestFeatureVector:
+    def test_segmentation_interleaves_means_and_endpoints(self):
+        rep = LinearSegmentation([Segment(0, 3, 1.0, 0.0), Segment(4, 7, 0.0, 5.0)])
+        features = feature_vector(rep)
+        # mean of segment 0: b + a*(l-1)/2 = 0 + 1.5; endpoint 3
+        assert features[0] == pytest.approx(1.5)
+        assert features[1] == 3.0
+        assert features[2] == pytest.approx(5.0)
+        assert features[3] == 7.0
+
+    def test_padding_to_budget(self):
+        rep = LinearSegmentation([Segment(0, 7, 0.0, 2.0)])
+        features = feature_vector(rep, n_segments=3)
+        assert features.shape == (6,)
+        # padded slots repeat the last segment's (mean, endpoint)
+        assert features[2] == features[0] and features[4] == features[0]
+        assert features[3] == features[1] and features[5] == features[1]
+
+    def test_padding_never_truncates(self):
+        rep = SAPLAReducer(12).transform(SERIES)
+        features = feature_vector(rep, n_segments=2)  # smaller than actual
+        assert features.shape == (2 * rep.n_segments,)
+
+    def test_chebyshev_features_are_coefficients(self):
+        rep = CHEBY(6).transform(SERIES)
+        np.testing.assert_array_equal(feature_vector(rep), rep.coefficients)
+
+    def test_sax_features_are_symbols(self):
+        rep = SAX(8).transform(SERIES)
+        np.testing.assert_array_equal(feature_vector(rep), rep.symbols.astype(float))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            feature_vector(object())
+
+
+class TestFeatureWeights:
+    def test_weights_match_feature_dimensions(self):
+        rep = SAPLAReducer(12).transform(SERIES)
+        assert feature_weights(rep).shape == feature_vector(rep).shape
+        assert feature_weights(rep, 6).shape == feature_vector(rep, 6).shape
+
+    def test_value_dims_weighted_by_segment_length(self):
+        rep = LinearSegmentation([Segment(0, 15, 0.0, 0.0)])
+        weights = feature_weights(rep)
+        assert weights[0] == pytest.approx(4.0)  # sqrt(16/1)
+        assert weights[1] < 1.0  # endpoint dims damped
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            feature_weights(3.14)

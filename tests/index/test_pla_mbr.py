@@ -1,0 +1,92 @@
+"""Tests for the Chen-style query-to-PLA-MBR lower bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import dist_pla, euclidean
+from repro.index.pla_mbr import PLABox, pla_feature, pla_mbr_mindist
+from repro.reduction import PLA
+
+N_COEFF = 8  # N = 4 equal segments
+LENGTH = 64
+
+
+def reps(count, seed=0):
+    rng = np.random.default_rng(seed)
+    reducer = PLA(N_COEFF)
+    return [reducer.transform(rng.normal(size=LENGTH).cumsum()) for _ in range(count)]
+
+
+class TestPLABox:
+    def test_of_and_extend(self):
+        members = reps(5)
+        box = PLABox.of(members)
+        for rep in members:
+            feature = pla_feature(rep)
+            assert (box.mins <= feature + 1e-12).all()
+            assert (feature <= box.maxs + 1e-12).all()
+
+    def test_layout_mismatch_rejected(self):
+        box = PLABox.of(reps(2))
+        other = PLA(4).transform(np.random.default_rng(1).normal(size=LENGTH))
+        with pytest.raises(ValueError):
+            box.extend(other)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PLABox.of([])
+
+
+class TestMindist:
+    def test_point_box_equals_dist_pla(self):
+        member = reps(1, seed=2)[0]
+        query = reps(1, seed=3)[0]
+        box = PLABox.of([member])
+        assert pla_mbr_mindist(query, box) == pytest.approx(
+            dist_pla(query, member), rel=1e-9
+        )
+
+    def test_query_inside_box_gives_zero(self):
+        members = reps(6, seed=4)
+        box = PLABox.of(members)
+        assert pla_mbr_mindist(members[2], box) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lower_bounds_every_member(self, seed):
+        """The defining property: MINDIST <= Dist_PLA(q, C) for all C in box."""
+        members = reps(8, seed=seed + 10)
+        box = PLABox.of(members)
+        query = reps(1, seed=seed + 100)[0]
+        bound = pla_mbr_mindist(query, box)
+        for member in members:
+            assert bound <= dist_pla(query, member) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lower_bounds_euclidean_of_members(self, seed):
+        """Chained: MINDIST <= Dist_PLA <= Euclid for raw member series."""
+        rng = np.random.default_rng(seed + 500)
+        reducer = PLA(N_COEFF)
+        raws = [rng.normal(size=LENGTH).cumsum() for _ in range(6)]
+        members = [reducer.transform(raw) for raw in raws]
+        box = PLABox.of(members)
+        raw_query = rng.normal(size=LENGTH).cumsum()
+        query = reducer.transform(raw_query)
+        bound = pla_mbr_mindist(query, box)
+        for raw in raws:
+            assert bound <= euclidean(raw_query, raw) + 1e-9
+
+    def test_query_layout_mismatch_rejected(self):
+        box = PLABox.of(reps(3, seed=6))
+        with pytest.raises(ValueError):
+            pla_mbr_mindist(PLA(4).transform(np.zeros(LENGTH) + 1.0), box)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_property(self, seed):
+        members = reps(4, seed=seed)
+        box = PLABox.of(members)
+        query = reps(1, seed=seed + 77777)[0]
+        bound = pla_mbr_mindist(query, box)
+        assert all(bound <= dist_pla(query, m) + 1e-9 for m in members)

@@ -1,0 +1,135 @@
+"""R-tree structural invariants and behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.index.entries import Entry
+from repro.index.mbr import Box
+from repro.index.rtree import RTree
+
+
+def make_tree(points, max_entries=5, min_entries=2, split="quadratic"):
+    tree = RTree(max_entries=max_entries, min_entries=min_entries, split=split)
+    for i, p in enumerate(points):
+        tree.insert(Entry(series_id=i, representation=None, feature=np.asarray(p, float)))
+    return tree
+
+
+def random_points(count, dims=4, seed=0):
+    return np.random.default_rng(seed).normal(size=(count, dims))
+
+
+class TestBox:
+    def test_union_and_contains(self):
+        a = Box.of_point(np.array([0.0, 0.0]))
+        b = Box.of_point(np.array([2.0, 3.0]))
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+        assert u.margin == pytest.approx(5.0)
+
+    def test_enlargement(self):
+        a = Box(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = Box.of_point(np.array([3.0, 1.0]))
+        assert a.enlargement(b) == pytest.approx(2.0)
+        inside = Box.of_point(np.array([0.5, 0.5]))
+        assert a.enlargement(inside) == 0.0
+
+    def test_min_dist_inside_is_zero(self):
+        box = Box(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        w = np.ones(2)
+        assert box.min_dist(np.array([1.0, 1.0]), w) == 0.0
+        assert box.min_dist(np.array([5.0, 2.0]), w) == pytest.approx(3.0)
+
+    def test_weighted_min_dist(self):
+        box = Box(np.array([0.0]), np.array([1.0]))
+        assert box.min_dist(np.array([3.0]), np.array([2.0])) == pytest.approx(4.0)
+
+
+def check_invariants(tree):
+    """Every parent box contains its children; fills within limits."""
+    for node in tree.iter_nodes():
+        items = node.items()
+        if node is not tree.root:
+            assert len(items) >= tree.min_entries
+        assert len(items) <= tree.max_entries
+        if node.is_leaf:
+            for entry in node.entries:
+                assert node.box.contains(Box.of_point(entry.feature))
+        else:
+            for child in node.children:
+                assert child.parent is node
+                assert node.box.contains(child.box)
+
+
+class TestRTree:
+    def test_fill_factor_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=4, min_entries=4)
+
+    def test_entry_needs_feature(self):
+        with pytest.raises(ValueError):
+            RTree().insert(Entry(series_id=0, representation=None, feature=None))
+
+    @pytest.mark.parametrize("count", [1, 5, 6, 25, 100])
+    def test_invariants_after_inserts(self, count):
+        tree = make_tree(random_points(count))
+        assert len(tree) == count
+        check_invariants(tree)
+
+    def test_all_entries_reachable(self):
+        count = 60
+        tree = make_tree(random_points(count, seed=2))
+        seen = set()
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                seen.update(e.series_id for e in node.entries)
+        assert seen == set(range(count))
+
+    def test_height_grows_logarithmically(self):
+        small = make_tree(random_points(10, seed=3))
+        large = make_tree(random_points(200, seed=3))
+        assert small.height <= large.height <= 8
+
+    def test_node_counts(self):
+        tree = make_tree(random_points(50, seed=4))
+        counts = tree.node_counts()
+        assert counts["total"] == counts["internal"] + counts["leaf"]
+        assert counts["leaf"] >= 1
+
+    def test_node_distance_zero_for_contained_query(self):
+        tree = make_tree(random_points(30, seed=5))
+        weights = np.ones(4)
+        inside = tree.root.box.mins  # a corner of the root box
+        assert tree.node_distance(inside, weights, tree.root) == 0.0
+
+    def test_identical_points_do_not_break_split(self):
+        points = np.zeros((20, 3))
+        tree = make_tree(points)
+        assert len(tree) == 20
+        check_invariants(tree)
+
+
+class TestLinearSplit:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(split="cubic")
+
+    @pytest.mark.parametrize("count", [6, 30, 120])
+    def test_invariants_hold(self, count):
+        tree = make_tree(random_points(count, seed=7), split="linear")
+        assert len(tree) == count
+        check_invariants(tree)
+
+    def test_all_entries_reachable(self):
+        count = 80
+        tree = make_tree(random_points(count, seed=8), split="linear")
+        seen = set()
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                seen.update(e.series_id for e in node.entries)
+        assert seen == set(range(count))
+
+    def test_identical_points_do_not_break(self):
+        tree = make_tree(np.zeros((20, 3)), split="linear")
+        assert len(tree) == 20
+        check_invariants(tree)

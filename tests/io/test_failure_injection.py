@@ -1,0 +1,72 @@
+"""Failure-injection tests: corrupted and malformed persisted artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    from_jsonable,
+    load_dataset,
+    load_representations,
+    save_dataset,
+    save_representations,
+)
+from repro.reduction import SAPLAReducer
+
+
+class TestCorruptRepresentations:
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "reps.json"
+        rep = SAPLAReducer(12).transform(np.arange(32.0))
+        save_representations(path, [rep])
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(json.JSONDecodeError):
+            load_representations(path)
+
+    def test_missing_type_field(self):
+        with pytest.raises(ValueError):
+            from_jsonable({"segments": []})
+
+    def test_segments_violating_invariants(self):
+        payload = {
+            "type": "segmentation",
+            "segments": [
+                {"start": 0, "end": 4, "a": 0.0, "b": 0.0},
+                {"start": 9, "end": 12, "a": 0.0, "b": 0.0},  # gap
+            ],
+        }
+        with pytest.raises(ValueError):
+            from_jsonable(payload)
+
+    def test_reversed_segment_bounds(self):
+        payload = {
+            "type": "segmentation",
+            "segments": [{"start": 5, "end": 2, "a": 0.0, "b": 0.0}],
+        }
+        with pytest.raises(ValueError):
+            from_jsonable(payload)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_representations(tmp_path / "nope.json")
+
+
+class TestCorruptDatasets:
+    def test_truncated_npz(self, tmp_path):
+        from repro.data import UCRLikeArchive
+
+        dataset = UCRLikeArchive(length=64, n_series=3, n_queries=1).load("Coffee")
+        path = tmp_path / "ds.npz"
+        save_dataset(path, dataset)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(Exception):
+            load_dataset(path)
+
+    def test_wrong_file_contents(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        np.savez_compressed(path, unrelated=np.zeros(3))
+        with pytest.raises(KeyError):
+            load_dataset(path)

@@ -1,0 +1,67 @@
+"""Round-trip tests for the persistence layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import UCRLikeArchive
+from repro.io import (
+    from_jsonable,
+    load_dataset,
+    load_representations,
+    save_dataset,
+    save_representations,
+    to_jsonable,
+)
+from repro.reduction import CHEBY, SAX, SAPLAReducer
+
+rng = np.random.default_rng(0)
+SERIES = rng.normal(size=96).cumsum()
+
+
+class TestRepresentationRoundTrip:
+    def test_segmentation(self):
+        rep = SAPLAReducer(12).transform(SERIES)
+        back = from_jsonable(to_jsonable(rep))
+        np.testing.assert_allclose(back.reconstruct(), rep.reconstruct())
+        assert back.right_endpoints == rep.right_endpoints
+
+    def test_chebyshev(self):
+        rep = CHEBY(8).transform(SERIES)
+        back = from_jsonable(to_jsonable(rep))
+        np.testing.assert_allclose(back.coefficients, rep.coefficients)
+        assert back.n == rep.n
+        assert back.residual_norm == pytest.approx(rep.residual_norm)
+
+    def test_sax(self):
+        sax = SAX(8, alphabet_size=6)
+        rep = sax.transform(SERIES)
+        back = from_jsonable(to_jsonable(rep))
+        np.testing.assert_array_equal(back.symbols, rep.symbols)
+        assert back.bounds == rep.bounds
+        assert sax.mindist(rep, back) == 0.0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+        with pytest.raises(ValueError):
+            from_jsonable({"type": "bogus"})
+
+
+class TestFiles:
+    def test_representations_file(self, tmp_path):
+        reps = [SAPLAReducer(12).transform(SERIES), CHEBY(8).transform(SERIES)]
+        path = tmp_path / "reps.json"
+        save_representations(path, reps)
+        loaded = load_representations(path)
+        assert len(loaded) == 2
+        np.testing.assert_allclose(loaded[0].reconstruct(), reps[0].reconstruct())
+
+    def test_dataset_file(self, tmp_path):
+        dataset = UCRLikeArchive(length=64, n_series=4, n_queries=1).load("Coffee")
+        path = tmp_path / "coffee.npz"
+        save_dataset(path, dataset)
+        loaded = load_dataset(path)
+        assert loaded.name == "Coffee"
+        assert loaded.family == dataset.family
+        np.testing.assert_array_equal(loaded.data, dataset.data)
+        np.testing.assert_array_equal(loaded.queries, dataset.queries)

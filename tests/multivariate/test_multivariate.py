@@ -1,0 +1,102 @@
+"""Tests for multivariate reduction and search."""
+
+import numpy as np
+import pytest
+
+from repro.multivariate import (
+    MultivariateDatabase,
+    MultivariateReducer,
+    multivariate_euclidean,
+)
+from repro.reduction import PAA, SAPLAReducer
+
+
+def collection(count=20, channels=3, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(count, channels, n)).cumsum(axis=2)
+
+
+class TestMultivariateReducer:
+    def test_round_trip_shapes(self):
+        reducer = MultivariateReducer(lambda: SAPLAReducer(12))
+        series = collection(count=1)[0]
+        rep = reducer.transform(series)
+        assert rep.n_channels == 3
+        recon = reducer.reconstruct(rep)
+        assert recon.shape == series.shape
+
+    def test_channels_reduced_independently(self):
+        reducer = MultivariateReducer(lambda: PAA(8))
+        series = collection(count=1, seed=1)[0]
+        rep = reducer.transform(series)
+        uni = PAA(8)
+        for c in range(3):
+            np.testing.assert_allclose(
+                rep.channels[c].reconstruct(), uni.transform(series[c]).reconstruct()
+            )
+
+    def test_max_deviation(self):
+        reducer = MultivariateReducer(lambda: SAPLAReducer(12))
+        assert reducer.max_deviation(collection(count=1, seed=2)[0]) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            MultivariateReducer(lambda: object())
+        reducer = MultivariateReducer(lambda: PAA(8))
+        with pytest.raises(ValueError):
+            reducer.transform(np.zeros(8))
+
+    def test_name(self):
+        assert MultivariateReducer(lambda: SAPLAReducer(12)).name == "MV-SAPLA"
+
+
+class TestMultivariateEuclidean:
+    def test_zero_and_known(self):
+        a = collection(count=1, seed=3)[0]
+        assert multivariate_euclidean(a, a) == 0.0
+        b = a + 1.0
+        assert multivariate_euclidean(a, b) == pytest.approx(np.sqrt(a.size))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            multivariate_euclidean(np.zeros((2, 4)), np.zeros((2, 5)))
+
+
+class TestMultivariateDatabase:
+    def test_knn_exact_with_lb(self):
+        data = collection(seed=4)
+        db = MultivariateDatabase(MultivariateReducer(lambda: SAPLAReducer(12)))
+        db.ingest(data)
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            query = data[rng.integers(len(data))] + rng.normal(scale=0.1, size=data.shape[1:])
+            got = db.knn(query, 3)
+            truth = db.ground_truth(query, 3)
+            assert got.ids == truth.ids
+            assert got.distances == pytest.approx(truth.distances)
+
+    def test_pruning_happens(self):
+        data = collection(count=40, seed=6)
+        db = MultivariateDatabase(MultivariateReducer(lambda: SAPLAReducer(12)))
+        db.ingest(data)
+        result = db.knn(data[0], 1)
+        assert result.ids[0] == 0
+        assert result.pruning_power < 1.0
+
+    def test_validation(self):
+        db = MultivariateDatabase(MultivariateReducer(lambda: PAA(8)))
+        with pytest.raises(RuntimeError):
+            db.knn(np.zeros((2, 8)), 1)
+        with pytest.raises(ValueError):
+            db.ingest(np.zeros((4, 8)))
+        db.ingest(collection(count=4, seed=7))
+        with pytest.raises(ValueError):
+            db.knn(np.zeros((5, 64)), 1)
+
+    def test_self_query(self):
+        data = collection(seed=8)
+        db = MultivariateDatabase(MultivariateReducer(lambda: PAA(8)))
+        db.ingest(data)
+        result = db.knn(data[7], 1)
+        assert result.ids == [7]
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,66 @@
+"""Tests for automatic method selection."""
+
+import numpy as np
+import pytest
+
+from repro.reduction.auto import select_method
+
+
+def collection(kind, count=12, n=96, seed=0):
+    rng = np.random.default_rng(seed)
+    if kind == "linear":
+        slopes = rng.uniform(-1, 1, size=count)
+        return np.outer(slopes, np.arange(n, dtype=float)) + rng.normal(
+            scale=0.01, size=(count, n)
+        )
+    if kind == "steps":
+        data = np.zeros((count, n))
+        for row in data:
+            boundaries = np.sort(rng.choice(np.arange(8, n - 8), 3, replace=False))
+            level = 0.0
+            start = 0
+            for b in list(boundaries) + [n]:
+                row[start:b] = level
+                level += rng.normal(scale=3.0)
+                start = b
+        return data + rng.normal(scale=0.01, size=(count, n))
+    raise ValueError(kind)
+
+
+class TestSelectMethod:
+    def test_linear_data_prefers_a_linear_method(self):
+        report = select_method(collection("linear"), criterion="max_deviation")
+        assert report.best in ("SAPLA", "PLA", "CHEBY")
+        assert report.scores[report.best] == min(report.scores.values())
+
+    def test_step_data_prefers_constants(self):
+        report = select_method(collection("steps"), criterion="max_deviation")
+        assert report.best in ("APCA", "SAPLA")
+
+    def test_time_criterion_picks_a_cheap_method(self):
+        report = select_method(collection("linear"), criterion="time")
+        assert report.best in ("PLA", "PAA", "CHEBY")
+
+    def test_tightness_criterion_runs(self):
+        report = select_method(collection("linear", seed=1), criterion="tightness")
+        assert set(report.scores) == {"SAPLA", "APCA", "PLA", "PAA", "CHEBY"}
+        assert all(score >= 0 for score in report.scores.values())
+
+    def test_reducer_factory(self):
+        report = select_method(collection("linear", seed=2))
+        reducer = report.reducer(12)
+        assert reducer.name == report.best
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_method(np.zeros(8))
+        with pytest.raises(ValueError):
+            select_method(collection("linear"), criterion="bogus")
+        with pytest.raises(ValueError):
+            select_method(collection("linear"), candidates=("NOPE",))
+
+    def test_deterministic(self):
+        a = select_method(collection("steps", seed=3), seed=5)
+        b = select_method(collection("steps", seed=3), seed=5)
+        assert a.best == b.best
+        assert a.scores == pytest.approx(b.scores)

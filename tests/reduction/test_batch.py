@@ -1,0 +1,56 @@
+"""Batch transforms must match the per-row reducers exactly."""
+
+import numpy as np
+import pytest
+
+from repro.index import SeriesDatabase
+from repro.reduction import PAA, PLA
+from repro.reduction.batch import batch_paa, batch_pla
+
+DATA = np.random.default_rng(0).normal(size=(12, 97)).cumsum(axis=1)
+
+
+class TestBatchPAA:
+    def test_matches_per_row(self):
+        batch = batch_paa(DATA, 12)
+        reducer = PAA(12)
+        for row, rep in zip(DATA, batch):
+            ref = reducer.transform(row)
+            assert rep.right_endpoints == ref.right_endpoints
+            np.testing.assert_allclose(rep.reconstruct(), ref.reconstruct(), atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            batch_paa(DATA[0], 12)
+
+
+class TestBatchPLA:
+    def test_matches_per_row(self):
+        batch = batch_pla(DATA, 12)
+        reducer = PLA(12)
+        for row, rep in zip(DATA, batch):
+            ref = reducer.transform(row)
+            assert rep.right_endpoints == ref.right_endpoints
+            np.testing.assert_allclose(rep.reconstruct(), ref.reconstruct(), atol=1e-9)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            batch_pla(DATA[0], 12)
+
+    def test_short_series(self):
+        tiny = np.random.default_rng(1).normal(size=(3, 5))
+        batch = batch_pla(tiny, 12)
+        reducer = PLA(12)
+        for row, rep in zip(tiny, batch):
+            np.testing.assert_allclose(
+                rep.reconstruct(), reducer.transform(row).reconstruct(), atol=1e-9
+            )
+
+
+class TestIngestIntegration:
+    def test_precomputed_batch_feeds_ingest(self):
+        reps = batch_paa(DATA, 12)
+        db = SeriesDatabase(PAA(12), index="dbch")
+        db.ingest(DATA, representations=reps)
+        result = db.knn(DATA[3], 1)
+        assert result.ids == [3]

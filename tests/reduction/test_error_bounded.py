@@ -1,0 +1,122 @@
+"""Tests for the error-bounded (user-defined max deviation) reducer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction import ErrorBoundedPLA, SAPLAReducer
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestGuarantee:
+    @given(
+        st.lists(finite, min_size=1, max_size=120),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_always_respected(self, values, bound):
+        """The defining property: every point's error stays within the bound."""
+        series = np.asarray(values)
+        reducer = ErrorBoundedPLA(bound)
+        recon = reducer.reconstruct(reducer.transform(series))
+        assert float(np.abs(series - recon).max()) <= bound + 1e-9
+
+    def test_zero_bound_handles_exact_lines(self):
+        series = np.linspace(0, 5, 30)
+        rep = ErrorBoundedPLA(0.0).transform(series)
+        assert rep.n_segments == 1
+
+    def test_zero_bound_on_noise_gives_tiny_segments(self):
+        series = np.random.default_rng(0).normal(size=20)
+        rep = ErrorBoundedPLA(0.0).transform(series)
+        assert all(seg.length <= 2 for seg in rep)
+
+
+class TestSegmentEconomy:
+    def test_looser_bound_fewer_segments(self):
+        series = np.random.default_rng(1).normal(size=200).cumsum()
+        tight = ErrorBoundedPLA(0.2).transform(series).n_segments
+        loose = ErrorBoundedPLA(2.0).transform(series).n_segments
+        assert loose < tight
+
+    def test_piecewise_linear_signal_compressed_maximally(self):
+        series = np.concatenate([np.linspace(0, 10, 50), np.linspace(10, 0, 50)])
+        rep = ErrorBoundedPLA(0.01).transform(series)
+        assert rep.n_segments <= 3
+
+    def test_compression_ratio(self):
+        series = np.linspace(0, 10, 100)
+        ratio = ErrorBoundedPLA(0.5).compression_ratio(series)
+        assert ratio == pytest.approx(3 / 100)
+
+    def test_greedy_matches_sapla_quality_at_same_budget(self):
+        """At the segment count the greedy method chose, SAPLA achieves a
+        comparable (usually better) max deviation — the duality the paper
+        notes between the two formulations."""
+        series = np.random.default_rng(2).normal(size=256).cumsum()
+        bound = 1.5
+        greedy = ErrorBoundedPLA(bound).transform(series)
+        sapla = SAPLAReducer(3 * greedy.n_segments).transform(series)
+        sapla_dev = float(np.abs(series - sapla.reconstruct()).max())
+        assert sapla_dev <= bound * 2.5
+
+
+class TestPolynomialDegrees:
+    def test_degree_bound_respected(self):
+        series = np.random.default_rng(3).normal(size=150).cumsum()
+        for degree in (2, 3):
+            reducer = ErrorBoundedPLA(0.8, degree=degree)
+            pieces = reducer.transform_poly(series)
+            recon = reducer.reconstruct_poly(pieces)
+            assert float(np.abs(series - recon).max()) <= 0.8 + 1e-9
+
+    def test_higher_degree_compresses_curvature_better(self):
+        t = np.linspace(-1, 1, 200)
+        series = 4 * t**2  # pure curvature
+        linear = len(ErrorBoundedPLA(0.1, degree=1).transform(series))
+        quadratic = len(ErrorBoundedPLA(0.1, degree=2).transform_poly(series))
+        assert quadratic < linear
+        assert quadratic == 1  # a single quadratic fits exactly
+
+    def test_transform_requires_degree_one(self):
+        with pytest.raises(ValueError):
+            ErrorBoundedPLA(1.0, degree=2).transform(np.arange(10.0))
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            ErrorBoundedPLA(1.0, degree=0)
+        with pytest.raises(ValueError):
+            ErrorBoundedPLA(1.0, degree=9)
+
+    def test_poly_pieces_cover_series(self):
+        series = np.random.default_rng(4).normal(size=77)
+        pieces = ErrorBoundedPLA(0.5, degree=2).transform_poly(series)
+        assert pieces[0][0] == 0
+        assert pieces[-1][1] == 76
+        for (_, prev_end, _), (next_start, _, _) in zip(pieces, pieces[1:]):
+            assert next_start == prev_end + 1
+
+
+class TestValidation:
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorBoundedPLA(-1.0)
+
+    def test_bad_input_rejected(self):
+        reducer = ErrorBoundedPLA(1.0)
+        with pytest.raises(ValueError):
+            reducer.transform(np.array([]))
+        with pytest.raises(ValueError):
+            reducer.transform(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            reducer.transform(np.array([1.0, np.nan]))
+
+    def test_single_point(self):
+        rep = ErrorBoundedPLA(1.0).transform(np.array([4.0]))
+        assert rep.n_segments == 1
+        assert rep.reconstruct()[0] == pytest.approx(4.0)
+
+    def test_repr(self):
+        assert "0.5" in repr(ErrorBoundedPLA(0.5))

@@ -1,0 +1,67 @@
+"""Tests for the 1d-SAX (mean + slope symbols) extension."""
+
+import numpy as np
+import pytest
+
+from repro.data import z_normalize
+from repro.distance import euclidean
+from repro.reduction import SAX, OneDSAX
+
+rng = np.random.default_rng(0)
+SERIES = z_normalize(rng.normal(size=128).cumsum())
+
+
+class TestOneDSAX:
+    def test_symbols_within_alphabets(self):
+        reducer = OneDSAX(8, mean_alphabet=4, slope_alphabet=4)
+        rep = reducer.transform(SERIES)
+        assert rep.mean_symbols.min() >= 0 and rep.mean_symbols.max() < 4
+        assert rep.slope_symbols.min() >= 0 and rep.slope_symbols.max() < 4
+        assert len(rep.bounds) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneDSAX(8, mean_alphabet=1)
+        with pytest.raises(ValueError):
+            OneDSAX(8, slope_alphabet=1)
+
+    def test_reconstruction_shape(self):
+        reducer = OneDSAX(8)
+        recon = reducer.reconstruct(reducer.transform(SERIES))
+        assert recon.shape == SERIES.shape
+        assert np.isfinite(recon).all()
+
+    def test_slopes_improve_on_plain_sax_for_trends(self):
+        """On trending data, slope symbols cut reconstruction error."""
+        trend = z_normalize(np.linspace(0, 10, 128) + rng.normal(scale=0.05, size=128))
+        one_d = OneDSAX(8, mean_alphabet=8, slope_alphabet=8)
+        plain = SAX(8, alphabet_size=8)
+        err_1d = float(np.abs(trend - one_d.reconstruct(one_d.transform(trend))).max())
+        err_sax = float(np.abs(trend - plain.reconstruct(plain.transform(trend))).max())
+        assert err_1d <= err_sax + 1e-9
+
+    def test_mindist_lower_bounds_euclidean(self):
+        reducer = OneDSAX(8, mean_alphabet=6)
+        for seed in range(15):
+            r = np.random.default_rng(seed + 100)
+            a = z_normalize(r.normal(size=96))
+            b = z_normalize(r.normal(size=96))
+            bound = reducer.mindist(reducer.transform(a), reducer.transform(b))
+            assert bound <= euclidean(a, b) + 1e-9
+
+    def test_mindist_zero_for_identical(self):
+        reducer = OneDSAX(8)
+        rep = reducer.transform(SERIES)
+        assert reducer.mindist(rep, rep) == 0.0
+
+    def test_mindist_layout_mismatch(self):
+        reducer = OneDSAX(8)
+        other = OneDSAX(4)
+        with pytest.raises(ValueError):
+            reducer.mindist(reducer.transform(SERIES), other.transform(SERIES))
+
+    def test_identical_trends_share_slope_symbols(self):
+        up = z_normalize(np.linspace(0, 1, 64))
+        reducer = OneDSAX(4, slope_alphabet=4)
+        rep = reducer.transform(up)
+        assert len(set(rep.slope_symbols.tolist())) == 1  # uniform slope

@@ -1,0 +1,295 @@
+"""Shared behavioural tests across every reducer, plus Table 1 conventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segment import LinearSegmentation
+from repro.reduction import REDUCERS, CHEBY, PAA, PLA, SAX, APCA, APLA, PAALM, SAPLAReducer
+
+rng = np.random.default_rng(42)
+SERIES = rng.normal(size=96).cumsum()
+
+SEGMENT_BASED = [SAPLAReducer, APLA, APCA, PLA, PAA, PAALM]
+ALL = SEGMENT_BASED + [CHEBY, SAX]
+
+# Table 1's coefficient cost per segment
+EXPECTED_COST = {
+    "SAPLA": 3,
+    "APLA": 3,
+    "APCA": 2,
+    "PLA": 2,
+    "PAA": 1,
+    "PAALM": 1,
+    "CHEBY": 1,
+    "SAX": 1,
+}
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.name)
+class TestReducerContract:
+    def test_reconstruction_shape(self, cls):
+        reducer = cls(n_coefficients=12)
+        recon = reducer.reconstruct(reducer.transform(SERIES))
+        assert recon.shape == SERIES.shape
+        assert np.isfinite(recon).all()
+
+    def test_table1_coefficient_cost(self, cls):
+        assert cls.coefficients_per_segment == EXPECTED_COST[cls.name]
+
+    def test_table1_segment_count(self, cls):
+        reducer = cls(n_coefficients=12)
+        assert reducer.n_segments == 12 // EXPECTED_COST[cls.name]
+
+    def test_rejects_empty_and_2d(self, cls):
+        reducer = cls(n_coefficients=12)
+        with pytest.raises(ValueError):
+            reducer.transform(np.array([]))
+        with pytest.raises(ValueError):
+            reducer.transform(np.zeros((4, 4)))
+
+    def test_rejects_too_small_budget(self, cls):
+        with pytest.raises(ValueError):
+            cls(n_coefficients=0)
+
+    def test_max_deviation_nonnegative(self, cls):
+        reducer = cls(n_coefficients=12)
+        assert reducer.max_deviation(SERIES) >= 0.0
+
+    def test_short_series(self, cls):
+        short = np.array([1.0, 2.0, 1.5])
+        reducer = cls(n_coefficients=12)
+        recon = reducer.reconstruct(reducer.transform(short))
+        assert recon.shape == short.shape
+
+    def test_registry_contains_method(self, cls):
+        assert REDUCERS[cls.name] is cls
+
+
+@pytest.mark.parametrize("cls", SEGMENT_BASED, ids=lambda c: c.name)
+class TestSegmentBased:
+    def test_returns_valid_segmentation(self, cls):
+        rep = cls(n_coefficients=12).transform(SERIES)
+        assert isinstance(rep, LinearSegmentation)
+        assert rep.length == len(SERIES)
+
+    def test_segment_budget_respected(self, cls):
+        reducer = cls(n_coefficients=12)
+        rep = reducer.transform(SERIES)
+        assert rep.n_segments <= reducer.n_segments
+
+    def test_constant_segments_for_constant_methods(self, cls):
+        if cls.name not in ("APCA", "PAA", "PAALM"):
+            pytest.skip("linear method")
+        rep = cls(n_coefficients=12).transform(SERIES)
+        assert all(seg.a == 0.0 for seg in rep)
+
+
+class TestQualityOrdering:
+    """The paper's headline quality relationships (Figs. 1, 12a)."""
+
+    @staticmethod
+    def _deviation_sum(rep, series):
+        return sum(
+            float(np.abs(series[s.start : s.end + 1] - s.reconstruct()).max()) for s in rep
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_apla_optimal_sum_at_equal_segment_count(self, seed):
+        """APLA minimises the sum of segment max deviations; at the same
+        segment count no other linear segmentation can beat it."""
+        series = np.random.default_rng(seed).normal(size=64).cumsum()
+        apla = self._deviation_sum(APLA(12).transform(series), series)  # N = 4
+        pla = self._deviation_sum(PLA(8).transform(series), series)  # N = 4
+        sapla = self._deviation_sum(SAPLAReducer(12).transform(series), series)  # N = 4
+        assert apla <= pla + 1e-9
+        assert apla <= sapla + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sapla_close_to_apla(self, seed):
+        """SAPLA sacrifices only a little max deviation vs the optimal APLA."""
+        series = np.random.default_rng(seed + 10).normal(size=64).cumsum()
+        apla = APLA(12).max_deviation(series)
+        sapla = SAPLAReducer(12).max_deviation(series)
+        assert sapla <= max(2.5 * apla, apla + 1.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_adaptive_beats_equal_on_bursty_series(self, seed):
+        """Adaptive segmentation wins on series with localised structure."""
+        rng = np.random.default_rng(seed + 20)
+        series = np.zeros(120)
+        series[40:44] = 12.0  # a burst an equal-length grid straddles
+        series += rng.normal(scale=0.1, size=120)
+        assert SAPLAReducer(12).max_deviation(series) <= PAA(12).max_deviation(series) + 1e-9
+
+
+class TestAPLA:
+    def test_optimal_on_tiny_series_vs_bruteforce(self):
+        from itertools import combinations
+
+        from repro.core.linefit import SeriesStats
+        from repro.core.segment import Segment
+
+        series = np.array([0.0, 1.0, 5.0, 2.0, 2.5, 8.0, 7.0, 3.0])
+        n, target = len(series), 3
+        stats = SeriesStats(series)
+
+        def cost(boundaries):
+            pts = [-1] + list(boundaries) + [n - 1]
+            total = 0.0
+            for s, e in zip(pts, pts[1:]):
+                seg = Segment.fit(stats, s + 1, e)
+                total += float(
+                    np.abs(series[s + 1 : e + 1] - seg.reconstruct()).max()
+                )
+            return total
+
+        brute = min(cost(b) for b in combinations(range(n - 1), target - 1))
+        rep = APLA(n_coefficients=3 * target).transform(series)
+        got = sum(
+            float(np.abs(series[s.start : s.end + 1] - s.reconstruct()).max()) for s in rep
+        )
+        assert got <= brute + 1e-9
+
+    def test_error_matrix_values(self):
+        from repro.reduction.apla import error_matrix
+
+        series = np.array([0.0, 1.0, 2.0, 10.0])
+        matrix = error_matrix(series)
+        assert matrix[0, 2] == pytest.approx(0.0, abs=1e-12)  # perfect line
+        assert matrix[0, 0] == 0.0
+        assert matrix[0, 3] > 1.0
+
+    def test_error_matrix_matches_direct_computation(self):
+        from repro.core.linefit import SeriesStats
+        from repro.core.segment import Segment
+        from repro.reduction.apla import error_matrix
+
+        series = np.random.default_rng(1).normal(size=20)
+        stats = SeriesStats(series)
+        matrix = error_matrix(series)
+        for i in range(0, 20, 3):
+            for j in range(i, 20, 4):
+                seg = Segment.fit(stats, i, j)
+                ref = float(np.abs(series[i : j + 1] - seg.reconstruct()).max())
+                assert matrix[i, j] == pytest.approx(ref, abs=1e-9)
+
+
+class TestAPCA:
+    def test_perfect_steps_recovered(self):
+        series = np.concatenate([np.full(20, 1.0), np.full(20, 5.0), np.full(20, -2.0)])
+        rep = APCA(n_coefficients=6).transform(series)  # N = 3
+        assert rep.n_segments == 3
+        assert APCA(n_coefficients=6).max_deviation(series) == pytest.approx(0.0, abs=1e-9)
+
+    def test_adaptive_boundaries_follow_steps(self):
+        series = np.concatenate([np.full(50, 0.0), np.full(10, 10.0)])
+        rep = APCA(n_coefficients=4).transform(series)
+        assert 49 in rep.right_endpoints
+
+
+class TestPLAandPAA:
+    def test_pla_exact_on_straight_line(self):
+        series = np.linspace(0, 10, 50)
+        assert PLA(n_coefficients=4).max_deviation(series) == pytest.approx(0.0, abs=1e-9)
+
+    def test_paa_segments_are_means(self):
+        series = np.arange(8.0)
+        rep = PAA(n_coefficients=4).transform(series)
+        assert [seg.b for seg in rep] == pytest.approx([0.5, 2.5, 4.5, 6.5])
+
+    def test_equal_length_within_one(self):
+        rep = PLA(n_coefficients=6).transform(SERIES)
+        lengths = [seg.length for seg in rep]
+        assert max(lengths) - min(lengths) <= 1
+
+
+class TestCHEBY:
+    def test_exact_on_low_degree_polynomial(self):
+        x = np.linspace(-1, 1, 40)
+        series = 2 * x**2 - x + 1
+        assert CHEBY(n_coefficients=5).max_deviation(series) == pytest.approx(0.0, abs=1e-8)
+
+    def test_more_coefficients_reduce_error(self):
+        few = CHEBY(n_coefficients=4).max_deviation(SERIES)
+        many = CHEBY(n_coefficients=24).max_deviation(SERIES)
+        assert many <= few + 1e-9
+
+    def test_residual_norm_recorded(self):
+        rep = CHEBY(n_coefficients=6).transform(SERIES)
+        recon = CHEBY(n_coefficients=6).reconstruct(rep)
+        assert rep.residual_norm == pytest.approx(float(np.linalg.norm(SERIES - recon)), rel=1e-6)
+
+
+class TestSAX:
+    def test_symbols_within_alphabet(self):
+        sax = SAX(n_coefficients=8, alphabet_size=4)
+        rep = sax.transform(SERIES)
+        assert rep.symbols.min() >= 0
+        assert rep.symbols.max() < 4
+
+    def test_mindist_zero_for_identical(self):
+        sax = SAX(n_coefficients=8)
+        rep = sax.transform(SERIES)
+        assert sax.mindist(rep, rep) == 0.0
+
+    def test_mindist_lower_bounds_euclidean_znormalised(self):
+        sax = SAX(n_coefficients=8, alphabet_size=6)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = rng.normal(size=64)
+            b = rng.normal(size=64)
+            a = (a - a.mean()) / a.std()
+            b = (b - b.mean()) / b.std()
+            dist = float(np.linalg.norm(a - b))
+            assert sax.mindist(sax.transform(a), sax.transform(b)) <= dist + 1e-9
+
+    def test_mindist_requires_same_layout(self):
+        sax = SAX(n_coefficients=8)
+        other = SAX(n_coefficients=4)
+        with pytest.raises(ValueError):
+            sax.mindist(sax.transform(SERIES), other.transform(SERIES))
+
+    def test_alphabet_validation(self):
+        with pytest.raises(ValueError):
+            SAX(n_coefficients=8, alphabet_size=1)
+
+
+class TestPAALM:
+    def test_smoothing_reduces_variance(self):
+        from repro.reduction.paalm import lagrangian_smooth
+
+        noisy = np.random.default_rng(0).normal(size=200)
+        smoothed = lagrangian_smooth(noisy, lam=10.0)
+        assert smoothed.var() < noisy.var()
+
+    def test_lambda_zero_is_plain_paa(self):
+        series = SERIES
+        paalm = PAALM(n_coefficients=12, lam=0.0).transform(series)
+        paa = PAA(n_coefficients=12).transform(series)
+        got = [seg.b for seg in paalm]
+        ref = [seg.b for seg in paa]
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            PAALM(n_coefficients=12, lam=-1.0)
+
+    def test_worse_max_deviation_than_paa_on_noisy_data(self):
+        """PAALM's pattern orientation costs max deviation (the paper's point)."""
+        noisy = np.random.default_rng(5).normal(size=240) * 3
+        assert (
+            PAALM(n_coefficients=12, lam=20.0).max_deviation(noisy)
+            >= PAA(n_coefficients=12).max_deviation(noisy) - 1e-6
+        )
+
+
+@given(st.integers(min_value=3, max_value=36), st.integers(min_value=4, max_value=64))
+@settings(max_examples=25, deadline=None)
+def test_all_reducers_cover_any_series(m, n):
+    series = np.random.default_rng(m * n).normal(size=n).cumsum()
+    for cls in ALL:
+        reducer = cls(n_coefficients=m)
+        recon = reducer.reconstruct(reducer.transform(series))
+        assert recon.shape == series.shape

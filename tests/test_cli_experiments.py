@@ -1,0 +1,43 @@
+"""CLI coverage for the remaining experiment subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+COMMON = [
+    "--datasets", "Coffee",
+    "--length", "64", "--series", "5", "--queries", "1", "--ks", "2",
+    "--methods", "SAPLA", "PAA",
+]
+
+
+class TestExperimentPaths:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", *COMMON]) == 0
+        assert "reduction_time_s" in capsys.readouterr().out
+
+    def test_fig14(self, capsys):
+        assert main(["experiment", "fig14", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "ingest_time_s" in out
+        assert "LinearScan" in out
+
+    def test_fig15(self, capsys):
+        assert main(["experiment", "fig15", *COMMON]) == 0
+        assert "total_nodes" in capsys.readouterr().out
+
+    def test_ablation_bounds(self, capsys):
+        assert main(["experiment", "ablation-bounds", *COMMON]) == 0
+        assert "peak-split" in capsys.readouterr().out
+
+    def test_methods_filter_restricts_rows(self, capsys):
+        assert main(["experiment", "fig12", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "SAPLA" in out and "PAA" in out
+        assert "CHEBY" not in out
+
+    def test_fig13_chart_rendered(self, capsys):
+        assert main(["experiment", "fig13", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "pruning power (lower is better)" in out
+        assert "█" in out
