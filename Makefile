@@ -1,12 +1,17 @@
 # Convenience targets for the SAPLA reproduction.
 
-.PHONY: install test bench bench-full examples results clean
+.PHONY: install test bench bench-full examples results clean verify-obs
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# observability layer: marker-selected tests + the metric-name lint
+verify-obs:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/ -m obs -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

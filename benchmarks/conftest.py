@@ -6,7 +6,9 @@ Scale knobs (defaults are CI-sized; see DESIGN.md for the full-grid knobs):
     REPRO_COEFFICIENTS, REPRO_KS, REPRO_APLA_MAX_LENGTH
 
 Each bench renders its figure's rows as a table; tables are written to
-``benchmarks/results/`` and echoed in the terminal summary.
+``benchmarks/results/`` and echoed in the terminal summary.  Benches that
+capture the observability layer also drop a machine-readable
+``<name>.report.json`` (:class:`repro.obs.RunReport`) next to the table.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import pathlib
 import pytest
 
 from repro.bench import config_from_env, render_table, run_index_grid
+from repro.obs import RunReport
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: "list[str]" = []
@@ -27,6 +30,12 @@ def publish_table(name: str, title: str, rows) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     _TABLES.append(text)
+
+
+def publish_report(name: str, report: RunReport) -> pathlib.Path:
+    """Persist a RunReport next to the bench's table (``<name>.report.json``)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return report.save(RESULTS_DIR / f"{name}.report.json")
 
 
 def pytest_terminal_summary(terminalreporter):

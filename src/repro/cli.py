@@ -8,6 +8,11 @@ Commands
 ``reconstruct``  rebuild a series from a representation JSON
 ``knn``          run k-NN over a dataset with a chosen method and index
 ``experiment``   regenerate one of the paper's tables/figures
+``stats``        list the metric catalogue or summarise a saved run report
+
+``knn`` and ``experiment`` accept ``--report out.json`` to capture the
+observability layer (counters, gauges, histograms, span tree) for the run
+and write it as a schema-versioned :class:`repro.obs.RunReport`.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import obs
 from .bench import (
     ExperimentConfig,
     print_table,
@@ -112,6 +118,22 @@ def _cmd_reconstruct(args) -> int:
     return 0
 
 
+def _knn_rows(db: SeriesDatabase, dataset, k: int) -> list:
+    rows = []
+    for qi, query in enumerate(dataset.queries):
+        truth = db.ground_truth(query, k)
+        result = db.knn(query, k)
+        rows.append(
+            {
+                "query": qi,
+                "neighbours": " ".join(map(str, result.ids)),
+                "pruning_power": result.pruning_power,
+                "accuracy": result.accuracy_against(truth),
+            }
+        )
+    return rows
+
+
 def _cmd_knn(args) -> int:
     if args.dataset.endswith(".npz"):
         dataset = load_dataset(args.dataset)
@@ -121,23 +143,59 @@ def _cmd_knn(args) -> int:
     reducer = REDUCERS[args.method](n_coefficients=args.coefficients)
     index = None if args.index == "none" else args.index
     db = SeriesDatabase(reducer, index=index)
-    db.ingest(dataset.data)
-    rows = []
-    for qi, query in enumerate(dataset.queries):
-        truth = db.ground_truth(query, args.k)
-        result = db.knn(query, args.k)
-        rows.append(
-            {
-                "query": qi,
-                "neighbours": " ".join(map(str, result.ids)),
-                "pruning_power": result.pruning_power,
-                "accuracy": result.accuracy_against(truth),
+    if args.report:
+        with obs.capture() as session:
+            with obs.span("cli.knn"):
+                db.ingest(dataset.data)
+                rows = _knn_rows(db, dataset, args.k)
+        report = session.report(
+            meta={
+                "command": "knn",
+                "dataset": dataset.name,
+                "method": args.method,
+                "coefficients": args.coefficients,
+                "index": args.index,
+                "k": args.k,
+                "n_series": int(dataset.data.shape[0]),
+                "length": int(dataset.data.shape[1]),
             }
         )
+        report.save(args.report)
+    else:
+        db.ingest(dataset.data)
+        rows = _knn_rows(db, dataset, args.k)
     print_table(
         f"k-NN (k={args.k}, {args.method}, index={args.index}) over {dataset.name}", rows
     )
+    if args.report:
+        print(f"wrote {args.report}")
     return 0
+
+
+def _cmd_stats(args) -> int:
+    if args.report:
+        report = obs.RunReport.load(args.report)
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(report.meta.items()))
+        print_table(f"run report {args.report} ({meta})", report.summary_rows())
+        if report.spans:
+            print("\nspan tree (wall seconds, CPU seconds, calls):")
+            _print_spans(report.spans, indent=1)
+        return 0
+    rows = [
+        {"metric": name, "kind": kind, "description": description}
+        for name, (kind, description) in sorted(obs.CATALOG.items())
+    ]
+    print_table("canonical metric catalogue (repro.obs)", rows)
+    return 0
+
+
+def _print_spans(spans, indent: int) -> None:
+    for node in spans:
+        print(
+            f"{'  ' * indent}{node['name']:<28} wall={node['wall_s']:.4f}s "
+            f"cpu={node['cpu_s']:.4f}s calls={node['calls']}"
+        )
+        _print_spans(node.get("children", ()), indent + 1)
 
 
 def _cmd_report(args) -> int:
@@ -176,6 +234,27 @@ def _cmd_experiment(args) -> int:
     if args.methods:
         config_kwargs["methods"] = tuple(args.methods)
     config = ExperimentConfig(**config_kwargs)
+    if args.report:
+        with obs.capture() as session:
+            with obs.span("cli.experiment"):
+                code = _run_experiment(args, config)
+        session.report(
+            meta={
+                "command": "experiment",
+                "which": args.which,
+                "datasets": list(config.dataset_names),
+                "coefficients": list(config.coefficients),
+                "ks": list(config.ks),
+                "length": config.length,
+                "n_series": config.n_series,
+            }
+        ).save(args.report)
+        print(f"wrote {args.report}")
+        return code
+    return _run_experiment(args, config)
+
+
+def _run_experiment(args, config: ExperimentConfig) -> int:
     which = args.which
     if which == "all":
         from .bench import run_all
@@ -263,7 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--length", type=int, default=256)
     p.add_argument("--series", type=int, default=50)
+    p.add_argument(
+        "--report", default=None, metavar="OUT.json",
+        help="capture metrics + spans for the run and write a RunReport here",
+    )
     p.set_defaults(func=_cmd_knn)
+
+    p = sub.add_parser("stats", help="metric catalogue / run-report summary")
+    p.add_argument(
+        "--report", default=None, metavar="RUN.json",
+        help="summarise this RunReport instead of listing the catalogue",
+    )
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("report", help="render a markdown report from results")
     p.add_argument("--results", default="results", help="run_all output directory")
@@ -284,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", default="results", help="directory for 'all' results")
     p.add_argument("--overwrite", action="store_true", help="re-run cached experiments")
+    p.add_argument(
+        "--report", default=None, metavar="OUT.json",
+        help="capture metrics + spans for the run and write a RunReport here",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     return parser

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from .bounds import segment_bound
 from .linefit import SeriesStats
 from .segment import Segment
@@ -105,5 +106,6 @@ def move_endpoints(
                 break
             segments[pair_index] = new_left
             segments[pair_index + 1] = new_right
+            obs.count("sapla.endpoint.moves")
             budget -= 1
     return segments

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from .endpoint_movement import move_endpoints
 from .initialization import initialize
 from .linefit import SeriesStats
@@ -79,13 +80,19 @@ class SAPLA:
             raise ValueError("cannot reduce an empty series")
         if not np.isfinite(series).all():
             raise ValueError("SAPLA input contains NaN or infinite values")
-        stats = SeriesStats(series)
-        segments = initialize(stats, self.n_segments)
-        segments = split_merge(
-            stats, segments, self.n_segments, self.bound_mode, split_mode=self.split_mode
-        )
-        if self.refine_endpoints:
-            segments = move_endpoints(stats, segments, self.bound_mode)
+        with obs.span("sapla.transform"):
+            obs.count("sapla.transforms")
+            stats = SeriesStats(series)
+            with obs.span("sapla.initialize"):
+                segments = initialize(stats, self.n_segments)
+            with obs.span("sapla.split_merge"):
+                segments = split_merge(
+                    stats, segments, self.n_segments, self.bound_mode, split_mode=self.split_mode
+                )
+            if self.refine_endpoints:
+                with obs.span("sapla.endpoint_movement"):
+                    segments = move_endpoints(stats, segments, self.bound_mode)
+            obs.observe("sapla.segment_count", len(segments))
         return LinearSegmentation(segments)
 
     def __repr__(self) -> str:

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from .areas import reconstruction_area
 from .bounds import segment_bound
 from .linefit import SeriesStats
@@ -33,6 +34,7 @@ __all__ = ["split_merge", "find_split_point", "merge_pair_area"]
 
 def merge_pair_area(stats: SeriesStats, left: Segment, right: Segment) -> float:
     """Reconstruction Area of merging two adjacent segments (Definition 4.2)."""
+    obs.count("sapla.area_evaluations")
     merged = stats.window_fit(left.start, right.end)
     return reconstruction_area(left.to_fit(), right.to_fit(), merged)
 
@@ -58,6 +60,7 @@ def find_split_point(
     whole = segment.to_fit()
 
     def area_at(t: int) -> float:
+        obs.count("sapla.area_evaluations")
         left = stats.window_fit(segment.start, t)
         right = stats.window_fit(t + 1, segment.end)
         return reconstruction_area(left, right, whole)
@@ -120,6 +123,7 @@ def _merge_down(stats: SeriesStats, segments: "list[Segment]", target: int) -> "
         if li not in nodes or ri not in nodes or nxt.get(li) != ri:
             continue  # stale entry
         merged = _merge(stats, nodes[li], nodes[ri])
+        obs.count("sapla.split_merge.merges")
         mid = next_id
         next_id += 1
         nodes[mid] = merged
@@ -167,6 +171,7 @@ def _split_up(
             if t is not None:
                 left, right = _split(stats, segments[i], t)
                 segments[i : i + 1] = [left, right]
+                obs.count("sapla.split_merge.splits")
                 break
         else:
             break  # every segment is a single point; cannot reach target
@@ -248,6 +253,7 @@ def split_merge(
     rounds = max_rounds if max_rounds is not None else 2 * target
     total = _total_bound(values, segments, bound_mode)
     for _ in range(rounds):
+        obs.count("sapla.split_merge.rounds")
         candidates = [
             probe(stats, segments, bound_mode, split_mode)
             for probe in (_probe_split_then_merge, _probe_merge_then_split)

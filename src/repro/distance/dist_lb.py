@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..core.linefit import SeriesStats
 from ..core.segment import LinearSegmentation, Segment
 from .segmentwise import dist_s
@@ -55,6 +56,7 @@ def project_onto_layout(series: np.ndarray, layout: LinearSegmentation) -> Linea
 
 def dist_lb(query: np.ndarray, rep_c: LinearSegmentation) -> float:
     """Guaranteed lower bound of ``Dist(Q, C)`` from C's representation only."""
+    obs.count("dist.lb.calls")
     projected = project_onto_layout(query, rep_c)
     total = sum(dist_s(sq, sc) for sq, sc in zip(projected, rep_c))
     return float(np.sqrt(max(total, 0.0)))

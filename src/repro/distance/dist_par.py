@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..core.segment import LinearSegmentation
 from .segmentwise import dist_s
 
@@ -33,6 +34,7 @@ __all__ = ["dist_par"]
 
 def dist_par(rep_q: LinearSegmentation, rep_c: LinearSegmentation) -> float:
     """Dist_PAR between two adaptive-length representations (Eq. (13))."""
+    obs.count("dist.par.calls")
     if rep_q.length != rep_c.length:
         raise ValueError(
             f"representations cover different lengths: {rep_q.length} vs {rep_c.length}"

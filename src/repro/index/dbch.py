@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional
 
+from .. import obs
 from .entries import Entry
 
 __all__ = ["DBCHTree", "DBCHNode"]
@@ -57,6 +58,7 @@ class DBCHNode:
 
     def recompute_hull(self, distance: PairwiseDistance) -> None:
         """Recompute the covering pair ``(u, l)`` and its volume."""
+        obs.count("dbch.hull_recomputations")
         reps = self.member_representations()
         if len(reps) == 1:
             self.hull = (reps[0], reps[0])
@@ -94,6 +96,7 @@ class DBCHTree:
     # ------------------------------------------------------------------
     def insert(self, entry: Entry) -> None:
         """Insert one entry, growing hulls and splitting on overflow."""
+        obs.count("dbch.inserts")
         leaf = self._choose_leaf(self.root, entry.representation)
         leaf.entries.append(entry)
         self._adjust_upwards(leaf)
@@ -133,6 +136,7 @@ class DBCHTree:
         leaf, entry = found
         leaf.entries.remove(entry)
         self.size -= 1
+        obs.count("dbch.deletes")
         self._condense(leaf)
         return True
 
@@ -185,6 +189,7 @@ class DBCHTree:
     # node splitting (seeds = maximum pairwise distance; paper Sec. 5.3)
     # ------------------------------------------------------------------
     def _split(self, node: DBCHNode) -> None:
+        obs.count("dbch.splits")
         items = node.items()
         reps = [
             item.representation if node.is_leaf else _node_anchor(item) for item in items

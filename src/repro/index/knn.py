@@ -11,12 +11,12 @@ a linear scan gives the accuracy (Eq. (15)).
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..distance.euclidean import euclidean
 from ..distance.suite import QueryContext, make_suite
 from ..reduction.base import Reducer
@@ -27,6 +27,47 @@ from .mbr import feature_vector, feature_weights
 from .rtree import RTree
 
 __all__ = ["KNNResult", "SeriesDatabase", "linear_scan"]
+
+
+class _Frontier:
+    """Best-first priority queue mixing index nodes and leaf entries.
+
+    Items sort by distance with a monotonically increasing tick as the
+    tie-break, so equal-distance items pop in insertion order and payloads
+    never need to be comparable.  Push counts per kind feed the search
+    accounting (heap pushes, nodes/candidates pruned).
+    """
+
+    __slots__ = ("_heap", "_tick", "node_pushes", "entry_pushes")
+
+    def __init__(self):
+        self._heap: list = []
+        self._tick = 0
+        self.node_pushes = 0
+        self.entry_pushes = 0
+
+    def push_node(self, distance: float, node) -> None:
+        self.node_pushes += 1
+        self._push(distance, "node", node)
+
+    def push_entry(self, bound: float, entry: Entry) -> None:
+        self.entry_pushes += 1
+        self._push(bound, "entry", entry)
+
+    def _push(self, key: float, kind: str, payload) -> None:
+        self._tick += 1
+        heapq.heappush(self._heap, (key, self._tick, kind, payload))
+
+    def pop(self) -> "tuple[float, str, object]":
+        key, _, kind, payload = heapq.heappop(self._heap)
+        return key, kind, payload
+
+    @property
+    def pushes(self) -> int:
+        return self.node_pushes + self.entry_pushes
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
 
 
 @dataclass
@@ -119,36 +160,42 @@ class SeriesDatabase:
             raise ValueError("ingest expects a (count, n) array of series")
         if representations is not None and len(representations) != len(data):
             raise ValueError("one representation per data row is required")
-        self.data = data
-        self.entries = []
-        budget = getattr(self.reducer, "n_segments", None)
-        for series_id, series in enumerate(data):
-            representation = (
-                representations[series_id]
-                if representations is not None
-                else self.reducer.transform(series)
-            )
-            feature = feature_vector(representation, budget)
-            self.entries.append(
-                Entry(series_id=series_id, representation=representation, feature=feature)
-            )
-        if self.index_kind == "rtree":
-            self._weights = feature_weights(self.entries[0].representation, budget)
-            if bulk:
-                self.tree = bulk_load_rtree(self.entries, self.max_entries, self.min_entries)
-            else:
-                self.tree = RTree(self.max_entries, self.min_entries)
-                for entry in self.entries:
-                    self.tree.insert(entry)
-        elif self.index_kind == "dbch":
-            if bulk:
-                self.tree = bulk_load_dbch(
-                    self.entries, self.suite.pairwise, self.max_entries, self.min_entries
+        with obs.span("db.ingest"):
+            self.data = data
+            self.entries = []
+            budget = getattr(self.reducer, "n_segments", None)
+            for series_id, series in enumerate(data):
+                representation = (
+                    representations[series_id]
+                    if representations is not None
+                    else self.reducer.transform(series)
                 )
-            else:
-                self.tree = DBCHTree(self.suite.pairwise, self.max_entries, self.min_entries)
-                for entry in self.entries:
-                    self.tree.insert(entry)
+                feature = feature_vector(representation, budget)
+                self.entries.append(
+                    Entry(series_id=series_id, representation=representation, feature=feature)
+                )
+            if self.index_kind == "rtree":
+                self._weights = feature_weights(self.entries[0].representation, budget)
+                if bulk:
+                    self.tree = bulk_load_rtree(self.entries, self.max_entries, self.min_entries)
+                else:
+                    self.tree = RTree(self.max_entries, self.min_entries)
+                    for entry in self.entries:
+                        self.tree.insert(entry)
+            elif self.index_kind == "dbch":
+                if bulk:
+                    self.tree = bulk_load_dbch(
+                        self.entries, self.suite.pairwise, self.max_entries, self.min_entries
+                    )
+                else:
+                    self.tree = DBCHTree(self.suite.pairwise, self.max_entries, self.min_entries)
+                    for entry in self.entries:
+                        self.tree.insert(entry)
+            if self.tree is not None and obs.is_enabled():
+                from .stats import leaf_fill
+
+                gauge = "dbch.leaf_fill" if self.index_kind == "dbch" else "rtree.leaf_fill"
+                obs.gauge_set(gauge, leaf_fill(self.tree))
 
     # ------------------------------------------------------------------
     def knn(self, query: np.ndarray, k: int) -> KNNResult:
@@ -158,16 +205,19 @@ class SeriesDatabase:
         if k < 1:
             raise ValueError("k must be >= 1")
         query = np.asarray(query, dtype=float)
-        ctx = QueryContext(series=query, representation=self.reducer.transform(query))
-        if self.tree is None:
-            return self._filtered_scan(ctx, query, k)
-        return self._tree_search(ctx, query, k)
+        with obs.span("knn.search"):
+            obs.count("knn.queries")
+            ctx = QueryContext(series=query, representation=self.reducer.transform(query))
+            if self.tree is None:
+                return self._filtered_scan(ctx, query, k)
+            return self._tree_search(ctx, query, k)
 
     def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
         """Exact k-NN by linear scan over the ingested raw data."""
         data = self.data
         live = {e.series_id for e in self.entries}
-        result = linear_scan(data, query, k + (len(data) - len(live)))
+        with obs.span("knn.ground_truth"):
+            result = linear_scan(data, query, k + (len(data) - len(live)))
         kept = [
             (i, d) for i, d in zip(result.ids, result.distances) if i in live
         ][:k]
@@ -269,6 +319,7 @@ class SeriesDatabase:
             heapq.heappush(best, (-true, series_id))
             if len(best) > k:
                 heapq.heappop(best)
+        self._record_search(verified, 0, candidates=len(bounds), node_pushes=0, heap_pushes=0)
         return self._result(best, verified, 0)
 
     def _tree_search(self, ctx: QueryContext, query: np.ndarray, k: int) -> KNNResult:
@@ -281,14 +332,14 @@ class SeriesDatabase:
         reflects exactly the tightness of the method's bound plus the
         index's navigation quality.
         """
-        counter = itertools.count()
         root = self.tree.root
-        frontier: list = [(self._node_distance(ctx, root), next(counter), "node", root)]
+        frontier = _Frontier()
+        frontier.push_node(self._node_distance(ctx, root), root)
         best: "List[tuple[float, int]]" = []
         verified = 0
         visited = 0
         while frontier:
-            dist, _, kind, payload = heapq.heappop(frontier)
+            dist, kind, payload = frontier.pop()
             if len(best) == k and dist >= -best[0][0]:
                 break
             if kind == "entry":
@@ -302,14 +353,38 @@ class SeriesDatabase:
             if payload.is_leaf:
                 for entry in payload.entries:
                     bound = self.suite.query_bound(ctx, entry.representation)
-                    heapq.heappush(frontier, (bound, next(counter), "entry", entry))
+                    frontier.push_entry(bound, entry)
             else:
                 for child in payload.children:
-                    heapq.heappush(
-                        frontier,
-                        (self._node_distance(ctx, child), next(counter), "node", child),
-                    )
+                    frontier.push_node(self._node_distance(ctx, child), child)
+        self._record_search(
+            verified,
+            visited,
+            candidates=frontier.entry_pushes,
+            node_pushes=frontier.node_pushes,
+            heap_pushes=frontier.pushes,
+        )
         return self._result(best, verified, visited)
+
+    def _record_search(
+        self, verified: int, visited: int, candidates: int, node_pushes: int, heap_pushes: int
+    ) -> None:
+        """Flush one query's accounting into the metrics registry.
+
+        ``candidates`` is how many entries met the representation bound
+        stage; those never verified were pruned by the active bound, so the
+        per-bound pruning counters plus ``knn.entries_refined`` reconstruct
+        the paper's pruning power from a report alone.
+        """
+        if not obs.is_enabled():
+            return
+        obs.count("knn.nodes_visited", visited)
+        obs.count("knn.nodes_pruned", max(node_pushes - visited, 0))
+        obs.count("knn.entries_refined", verified)
+        obs.count("knn.heap_pushes", heap_pushes)
+        obs.count("dist.euclidean.exact", verified)
+        obs.count(obs.PRUNED_METRICS[self.suite.mode], max(candidates - verified, 0))
+        obs.observe("knn.verified_per_query", verified)
 
     def _node_distance(self, ctx: QueryContext, node) -> float:
         if self.index_kind == "rtree":

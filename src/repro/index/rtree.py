@@ -12,6 +12,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from .. import obs
 from .entries import Entry
 from .mbr import Box
 
@@ -34,6 +35,7 @@ class RTreeNode:
 
     def recompute_box(self) -> None:
         """Recompute the MBR from the current members."""
+        obs.count("rtree.mbr_recomputations")
         boxes = (
             [Box.of_point(e.feature) for e in self.entries]
             if self.is_leaf
@@ -76,6 +78,7 @@ class RTree:
         """Insert one entry, splitting overflowing nodes on the way up."""
         if entry.feature is None:
             raise ValueError("R-tree entries need a feature vector")
+        obs.count("rtree.inserts")
         leaf = self._choose_leaf(self.root, Box.of_point(entry.feature))
         leaf.entries.append(entry)
         self._adjust_upwards(leaf)
@@ -100,6 +103,7 @@ class RTree:
 
     def _split(self, node: RTreeNode) -> None:
         """Quadratic split: the most wasteful pair seeds the two groups."""
+        obs.count("rtree.splits")
         items = node.items()
         boxes = [_item_box(item) for item in items]
         if self.split_strategy == "linear":
@@ -162,6 +166,7 @@ class RTree:
         leaf, entry = found
         leaf.entries.remove(entry)
         self.size -= 1
+        obs.count("rtree.deletes")
         self._condense(leaf)
         return True
 

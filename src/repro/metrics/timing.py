@@ -1,7 +1,9 @@
-"""CPU-time measurement helpers.
+"""CPU- and wall-time measurement helpers.
 
 The paper measures CPU time rather than wall-clock time because the whole
 pipeline is memory-resident; ``time.process_time`` gives the same semantics.
+``WallTimer`` / ``wall_time`` are the wall-clock siblings for disk-resident
+or I/O-bound extensions where sleeping time matters too.
 """
 
 from __future__ import annotations
@@ -9,32 +11,81 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Optional
 
-__all__ = ["CPUTimer", "cpu_time"]
+__all__ = ["CPUTimer", "WallTimer", "cpu_time", "wall_time"]
 
 
 @dataclass
-class CPUTimer:
-    """Accumulates CPU seconds across one or more timed sections."""
+class _SectionTimer:
+    """Accumulates seconds across one or more non-overlapping timed sections.
+
+    ``start`` while a section is already open raises rather than silently
+    clobbering the running section's start point; ``stop`` without a
+    matching ``start`` raises likewise.
+    """
 
     elapsed: float = 0.0
-    _started: float = field(default=0.0, repr=False)
+    _started: "Optional[float]" = field(default=None, repr=False)
+
+    def _now(self) -> float:
+        raise NotImplementedError
 
     def start(self) -> None:
-        """Begin a timed section."""
-        self._started = time.process_time()
+        """Begin a timed section; raises if one is already running."""
+        if self._started is not None:
+            raise RuntimeError(
+                f"{type(self).__name__}.start() called while a section is running; "
+                "stop() it first (use one timer per concurrent section)"
+            )
+        self._started = self._now()
 
     def stop(self) -> float:
-        """End the section; return and accumulate its CPU seconds."""
-        delta = time.process_time() - self._started
+        """End the section; return and accumulate its seconds."""
+        if self._started is None:
+            raise RuntimeError(f"{type(self).__name__}.stop() called without start()")
+        delta = self._now() - self._started
+        self._started = None
         self.elapsed += delta
         return delta
+
+    @property
+    def running(self) -> bool:
+        """Whether a section is currently open."""
+        return self._started is not None
+
+
+@dataclass
+class CPUTimer(_SectionTimer):
+    """Accumulates CPU seconds across one or more timed sections."""
+
+    def _now(self) -> float:
+        return time.process_time()
+
+
+@dataclass
+class WallTimer(_SectionTimer):
+    """Accumulates wall-clock seconds across one or more timed sections."""
+
+    def _now(self) -> float:
+        return time.perf_counter()
 
 
 @contextmanager
 def cpu_time(timer: "CPUTimer | None" = None):
     """Context manager yielding a :class:`CPUTimer` for the enclosed block."""
     timer = timer or CPUTimer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()
+
+
+@contextmanager
+def wall_time(timer: "WallTimer | None" = None):
+    """Context manager yielding a :class:`WallTimer` for the enclosed block."""
+    timer = timer or WallTimer()
     timer.start()
     try:
         yield timer

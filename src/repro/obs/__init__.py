@@ -1,0 +1,116 @@
+"""repro.obs — zero-dependency observability: metrics, spans, run reports.
+
+The paper's headline claims are measured claims (pruning power, node
+accesses, CPU time), so the hot paths are instrumented with named counters,
+gauges, histograms (:mod:`repro.obs.registry`) and nesting wall+CPU tracing
+spans (:mod:`repro.obs.spans`), exported as schema-versioned JSON
+(:mod:`repro.obs.report`).  All names live in the canonical catalogue
+(:mod:`repro.obs.catalog`); ``scripts/check_metric_names.py`` enforces it.
+
+Everything is **off by default** and costs one flag check per call site when
+off.  Typical use::
+
+    from repro import obs
+
+    with obs.capture() as session:
+        db.ingest(data)
+        db.knn(query, k)
+    report = session.report(meta={"dataset": "Adiac"})
+    report.save("out.json")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .catalog import CATALOG, PRUNED_METRICS, describe, kind_of
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    gauge_set,
+    observe,
+    registry,
+    set_registry,
+)
+from .report import SCHEMA_VERSION, RunReport
+from .spans import Span, SpanRecorder, recorder, set_recorder, span
+
+__all__ = [
+    "CATALOG",
+    "PRUNED_METRICS",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "Span",
+    "SpanRecorder",
+    "capture",
+    "count",
+    "describe",
+    "disable",
+    "enable",
+    "gauge_set",
+    "is_enabled",
+    "kind_of",
+    "observe",
+    "recorder",
+    "registry",
+    "reset",
+    "set_recorder",
+    "set_registry",
+    "span",
+]
+
+
+def enable() -> None:
+    """Turn on metric collection and span recording process-wide."""
+    registry().enabled = True
+    recorder().enabled = True
+
+
+def disable() -> None:
+    """Turn off collection; instrumented call sites become near-free."""
+    registry().enabled = False
+    recorder().enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether the default registry is currently collecting."""
+    return registry().enabled
+
+
+def reset() -> None:
+    """Drop every collected metric and span (the enabled flag is kept)."""
+    registry().reset()
+    recorder().reset()
+
+
+class capture:
+    """Context manager: reset + enable on entry, restore the flag on exit.
+
+    The collected data stays readable after exit via :meth:`report`, so the
+    caller can serialise once the timed region is over.
+    """
+
+    def __init__(self):
+        self._was_enabled = False
+
+    def __enter__(self) -> "capture":
+        self._was_enabled = is_enabled()
+        reset()
+        enable()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if not self._was_enabled:
+            disable()
+        return False
+
+    def report(self, meta: "Optional[Dict[str, object]]" = None) -> RunReport:
+        """Snapshot what was collected inside the ``with`` block."""
+        return RunReport.collect(meta=meta)

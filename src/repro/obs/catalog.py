@@ -1,0 +1,109 @@
+"""Canonical catalogue of every metric and span name the codebase emits.
+
+Instrumented call sites must use names declared here — the
+``scripts/check_metric_names.py`` lint walks ``src/repro`` and fails on any
+literal metric name that is missing from this catalogue.  Keeping the
+catalogue in one flat module gives three things: a single place to read what
+a number means, a machine-checkable contract between instrumentation and
+reports, and stable names for downstream trajectory files (``BENCH_*.json``).
+
+Naming convention: dotted lowercase paths, ``<subsystem>.<event>`` or
+``<subsystem>.<stage>.<event>``.  Counters count events, gauges hold a last
+value, histograms record per-observation distributions (count/sum/min/max),
+and spans time regions of code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "SPAN",
+    "CATALOG",
+    "PRUNED_METRICS",
+    "kind_of",
+    "describe",
+]
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+SPAN = "span"
+
+#: name -> (kind, one-line description); the single source of truth.
+CATALOG: "dict[str, tuple[str, str]]" = {
+    # ------------------------------------------------------------------ k-NN
+    "knn.queries": (COUNTER, "k-NN queries answered"),
+    "knn.nodes_visited": (COUNTER, "index nodes expanded during best-first search"),
+    "knn.nodes_pruned": (COUNTER, "index nodes enqueued but never expanded"),
+    "knn.entries_refined": (COUNTER, "leaf entries verified against raw data"),
+    "knn.heap_pushes": (COUNTER, "frontier priority-queue pushes"),
+    "knn.pruned.dist_par": (COUNTER, "candidates pruned by the Dist_PAR bound"),
+    "knn.pruned.dist_lb": (COUNTER, "candidates pruned by the Dist_LB bound"),
+    "knn.pruned.dist_ae": (COUNTER, "candidates pruned by the Dist_AE bound"),
+    "knn.pruned.aligned": (COUNTER, "candidates pruned by an aligned equal-length bound"),
+    "knn.pruned.triangle": (COUNTER, "candidates pruned by the CHEBY triangle bound"),
+    "knn.pruned.mindist": (COUNTER, "candidates pruned by the SAX MINDIST bound"),
+    "knn.verified_per_query": (HISTOGRAM, "raw verifications needed by one query"),
+    # ----------------------------------------------------------- DBCH-tree
+    "dbch.inserts": (COUNTER, "entries inserted into a DBCH-tree"),
+    "dbch.deletes": (COUNTER, "entries deleted from a DBCH-tree"),
+    "dbch.splits": (COUNTER, "DBCH node splits on overflow"),
+    "dbch.hull_recomputations": (COUNTER, "covering-pair (hull) recomputations"),
+    "dbch.leaf_fill": (GAUGE, "mean entries per DBCH leaf after the last build"),
+    # -------------------------------------------------------------- R-tree
+    "rtree.inserts": (COUNTER, "entries inserted into an R-tree"),
+    "rtree.deletes": (COUNTER, "entries deleted from an R-tree"),
+    "rtree.splits": (COUNTER, "R-tree node splits on overflow"),
+    "rtree.mbr_recomputations": (COUNTER, "bounding-box recomputations"),
+    "rtree.leaf_fill": (GAUGE, "mean entries per R-tree leaf after the last build"),
+    # --------------------------------------------------------------- SAPLA
+    "sapla.transforms": (COUNTER, "series reduced by the SAPLA pipeline"),
+    "sapla.split_merge.rounds": (COUNTER, "split&merge probe rounds executed"),
+    "sapla.split_merge.merges": (COUNTER, "adjacent-pair merges applied"),
+    "sapla.split_merge.splits": (COUNTER, "segment splits applied"),
+    "sapla.endpoint.moves": (COUNTER, "endpoint moves accepted in stage 3"),
+    "sapla.area_evaluations": (COUNTER, "Reconstruction Area evaluations"),
+    "sapla.segment_count": (HISTOGRAM, "segments per reduced series"),
+    # ----------------------------------------------------------- distances
+    "dist.par.calls": (COUNTER, "Dist_PAR invocations"),
+    "dist.lb.calls": (COUNTER, "Dist_LB invocations"),
+    "dist.euclidean.exact": (COUNTER, "exact raw-series Euclidean fallbacks"),
+    # ------------------------------------------------------------- storage
+    "storage.page_reads": (COUNTER, "physical page reads from the backing file"),
+    "storage.page_writes": (COUNTER, "physical page writes to the backing file"),
+    "storage.cache_hits": (COUNTER, "page reads served by the LRU cache"),
+    # --------------------------------------------------------------- spans
+    "cli.knn": (SPAN, "whole `repro knn` command"),
+    "cli.experiment": (SPAN, "whole `repro experiment` command"),
+    "bench.run": (SPAN, "whole instrumented benchmark pass"),
+    "db.ingest": (SPAN, "reduce + index every row of a collection"),
+    "knn.search": (SPAN, "one filter-and-refine k-NN query"),
+    "knn.ground_truth": (SPAN, "one exact linear-scan reference query"),
+    "sapla.transform": (SPAN, "full three-stage SAPLA reduction of one series"),
+    "sapla.initialize": (SPAN, "SAPLA stage 1 — single-scan initialization"),
+    "sapla.split_merge": (SPAN, "SAPLA stage 2 — split & merge iteration"),
+    "sapla.endpoint_movement": (SPAN, "SAPLA stage 3 — endpoint movement"),
+}
+
+#: distance-suite mode -> the pruning counter that mode's bound feeds
+#: (keeps dynamically-selected names inside the catalogue contract).
+PRUNED_METRICS: "dict[str, str]" = {
+    "par": "knn.pruned.dist_par",
+    "lb": "knn.pruned.dist_lb",
+    "ae": "knn.pruned.dist_ae",
+    "aligned": "knn.pruned.aligned",
+    "triangle": "knn.pruned.triangle",
+    "mindist": "knn.pruned.mindist",
+}
+
+
+def kind_of(name: str) -> str:
+    """The declared kind of ``name``; raises ``KeyError`` when undeclared."""
+    return CATALOG[name][0]
+
+
+def describe(name: str) -> str:
+    """The declared one-line description of ``name``."""
+    return CATALOG[name][1]

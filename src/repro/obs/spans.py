@@ -1,0 +1,161 @@
+"""Lightweight tracing spans with wall + CPU time and a nesting tree.
+
+``with span("knn.search"):`` opens a span under the currently active one;
+repeated spans with the same name under the same parent *aggregate* (call
+count plus accumulated wall and CPU seconds) instead of appending, so a
+10k-query run exports a tree of a dozen nodes, not 10k.
+
+Disabled mode returns a shared no-op context manager — ``span(...)``
+allocates nothing per call, matching the registry's hot-path contract.
+Span names must be declared with kind ``span`` in :mod:`repro.obs.catalog`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .catalog import SPAN, kind_of
+
+__all__ = ["Span", "SpanRecorder", "recorder", "set_recorder", "span"]
+
+
+class Span:
+    """One aggregated node of the span tree."""
+
+    __slots__ = ("name", "calls", "wall_s", "cpu_s", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: "Dict[str, Span]" = {}
+
+    def child(self, name: str) -> "Span":
+        """The child span called ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = Span(name)
+            self.children[name] = node
+        return node
+
+    def child_wall_s(self) -> float:
+        """Summed wall time of the direct children."""
+        return sum(c.wall_s for c in self.children.values())
+
+    def to_dict(self) -> dict:
+        """Plain-data tree: name, calls, wall/cpu seconds, children."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        node = cls(payload["name"])
+        node.calls = int(payload["calls"])
+        node.wall_s = float(payload["wall_s"])
+        node.cpu_s = float(payload["cpu_s"])
+        for child in payload.get("children", ()):
+            node.children[child["name"]] = cls.from_dict(child)
+        return node
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled-mode ``span()`` calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager that times one region and folds it into the tree."""
+
+    __slots__ = ("_recorder", "_name", "_node", "_wall0", "_cpu0")
+
+    def __init__(self, rec: "SpanRecorder", name: str):
+        self._recorder = rec
+        self._name = name
+
+    def __enter__(self) -> Span:
+        rec = self._recorder
+        parent = rec._stack[-1]
+        self._node = parent.child(self._name)
+        rec._stack.append(self._node)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self._node
+
+    def __exit__(self, *exc) -> bool:
+        node = self._node
+        node.wall_s += time.perf_counter() - self._wall0
+        node.cpu_s += time.process_time() - self._cpu0
+        node.calls += 1
+        stack = self._recorder._stack
+        if len(stack) > 1 and stack[-1] is node:
+            stack.pop()
+        return False
+
+
+class SpanRecorder:
+    """Owns one span tree plus the active-span stack."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.root = Span("root")
+        self._stack: "List[Span]" = [self.root]
+
+    def reset(self) -> None:
+        """Drop the collected tree and any dangling stack state."""
+        self.root = Span("root")
+        self._stack = [self.root]
+
+    def span(self, name: str) -> "_LiveSpan | _NoopSpan":
+        """A context manager timing ``name`` under the active span."""
+        if not self.enabled:
+            return _NOOP
+        if kind_of(name) != SPAN:  # KeyError on undeclared names
+            raise KeyError(f"{name} is not declared as a span in the catalogue")
+        return _LiveSpan(self, name)
+
+    def tree(self) -> "List[dict]":
+        """The collected top-level spans as plain data."""
+        return [c.to_dict() for c in self.root.children.values()]
+
+
+#: the process-local default recorder all instrumentation writes to
+_RECORDER = SpanRecorder(enabled=False)
+
+
+def recorder() -> SpanRecorder:
+    """The process-local default span recorder."""
+    return _RECORDER
+
+
+def set_recorder(new: SpanRecorder) -> SpanRecorder:
+    """Swap the default recorder (tests); returns the previous one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = new
+    return previous
+
+
+def span(name: str) -> "_LiveSpan | _NoopSpan":
+    """Open (on ``with``) a span named ``name`` on the default recorder."""
+    rec = _RECORDER
+    if not rec.enabled:
+        return _NOOP
+    return rec.span(name)

@@ -16,6 +16,8 @@ from typing import Union
 
 import numpy as np
 
+from .. import obs
+
 __all__ = ["PageStats", "PagedSeriesStore"]
 
 PathLike = Union[str, pathlib.Path]
@@ -77,6 +79,8 @@ class PagedSeriesStore:
         with open(store.path, "wb") as handle:
             handle.write(header.ljust(store.page_size, b"\0"))
             handle.write(data.tobytes())
+        total_bytes = store.page_size + data.nbytes
+        obs.count("storage.page_writes", -(-total_bytes // store.page_size))
         return store
 
     @classmethod
@@ -112,11 +116,13 @@ class PagedSeriesStore:
         if page_id in self._cache:
             self._cache.move_to_end(page_id)
             self.stats.cache_hits += 1
+            obs.count("storage.cache_hits")
             return self._cache[page_id]
         with open(self.path, "rb") as handle:
             handle.seek(self.page_size * page_id)
             payload = handle.read(self.page_size)
         self.stats.page_reads += 1
+        obs.count("storage.page_reads")
         self._cache[page_id] = payload
         if len(self._cache) > self.cache_pages:
             self._cache.popitem(last=False)

@@ -1,0 +1,137 @@
+"""Counter/gauge/histogram semantics and the disabled-mode no-op contract."""
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Run each test against a fresh, disabled default registry."""
+    previous = obs.set_registry(MetricsRegistry(enabled=False))
+    yield
+    obs.set_registry(previous)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("knn.queries")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("knn.queries").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("dbch.leaf_fill")
+        g.set(2.0)
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_histogram_aggregates(self):
+        h = Histogram("knn.verified_per_query")
+        for v in (4, 10, 1):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 1.0
+        assert h.max == 10.0
+        assert h.mean == pytest.approx(5.0)
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("knn.queries") is reg.counter("knn.queries")
+
+    def test_undeclared_name_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(KeyError):
+            reg.counter("not.in.catalog")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(KeyError):
+            reg.gauge("knn.queries")  # declared as a counter
+
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("knn.queries").inc(2)
+        reg.gauge("dbch.leaf_fill").set(3.0)
+        reg.histogram("knn.verified_per_query").observe(7)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"knn.queries": 2}
+        assert snap["gauges"] == {"dbch.leaf_fill": 3.0}
+        assert snap["histograms"]["knn.verified_per_query"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("knn.queries").inc()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestModuleHelpers:
+    def test_disabled_calls_record_nothing(self):
+        obs.count("knn.queries", 3)
+        obs.gauge_set("dbch.leaf_fill", 1.0)
+        obs.observe("knn.verified_per_query", 2.0)
+        snap = obs.registry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_path_never_touches_instruments(self):
+        """The no-op path must return before any instrument lookup."""
+
+        class Exploding(MetricsRegistry):
+            def counter(self, name):
+                raise AssertionError("disabled count() reached the registry")
+
+        previous = obs.set_registry(Exploding(enabled=False))
+        try:
+            obs.count("knn.queries")  # must not raise
+        finally:
+            obs.set_registry(previous)
+
+    def test_disabled_count_allocates_nothing(self):
+        """With collection off, count() must not allocate per call."""
+        import gc
+        import sys
+
+        obs.count("knn.queries")  # warm up any lazy state
+        gc.collect()
+        gc.disable()
+        try:
+            before = sys.getallocatedblocks()
+            for _ in range(100):
+                obs.count("knn.queries")
+            after = sys.getallocatedblocks()
+        finally:
+            gc.enable()
+        # unrelated interpreter churn can move a block or two; 100 calls
+        # allocating anything per call would move ~100+
+        assert after - before < 20
+
+    def test_enabled_calls_record(self):
+        obs.enable()
+        try:
+            obs.count("knn.queries", 2)
+            obs.observe("knn.verified_per_query", 4.0)
+            snap = obs.registry().snapshot()
+        finally:
+            obs.disable()
+        assert snap["counters"]["knn.queries"] == 2
+        assert snap["histograms"]["knn.verified_per_query"]["mean"] == 4.0
+
+    def test_capture_restores_disabled_flag(self):
+        assert not obs.is_enabled()
+        with obs.capture():
+            assert obs.is_enabled()
+            obs.count("knn.queries")
+        assert not obs.is_enabled()
+        # the collected data survives the exit for reporting
+        assert obs.registry().snapshot()["counters"]["knn.queries"] == 1

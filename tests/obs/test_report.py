@@ -1,0 +1,85 @@
+"""RunReport collection, JSON round-trip, and schema checking."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import SCHEMA_VERSION, RunReport
+from repro.obs.spans import SpanRecorder
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Fresh default registry + recorder per test."""
+    prev_reg = obs.set_registry(MetricsRegistry(enabled=False))
+    prev_rec = obs.set_recorder(SpanRecorder(enabled=False))
+    yield
+    obs.set_registry(prev_reg)
+    obs.set_recorder(prev_rec)
+
+
+def collect_sample() -> RunReport:
+    with obs.capture() as session:
+        obs.count("knn.queries", 3)
+        obs.gauge_set("dbch.leaf_fill", 3.25)
+        obs.observe("knn.verified_per_query", 12.0)
+        with obs.span("cli.knn"):
+            with obs.span("knn.search"):
+                pass
+    return session.report(meta={"dataset": "Adiac", "k": 4})
+
+
+class TestCollect:
+    def test_snapshot_contents(self):
+        report = collect_sample()
+        assert report.schema == SCHEMA_VERSION
+        assert report.created_unix > 0
+        assert report.meta == {"dataset": "Adiac", "k": 4}
+        assert report.counters["knn.queries"] == 3
+        assert report.gauges["dbch.leaf_fill"] == 3.25
+        assert report.histograms["knn.verified_per_query"]["count"] == 1
+        assert report.spans[0]["name"] == "cli.knn"
+        assert report.spans[0]["children"][0]["name"] == "knn.search"
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        report = collect_sample()
+        rebuilt = RunReport.from_json(report.to_json())
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_save_and_load(self, tmp_path):
+        report = collect_sample()
+        path = report.save(tmp_path / "run.json")
+        loaded = RunReport.load(path)
+        assert loaded.counters == report.counters
+        assert loaded.spans == report.spans
+
+    def test_file_is_valid_json_with_schema(self, tmp_path):
+        path = collect_sample().save(tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        report = collect_sample()
+        payload = report.to_dict()
+        payload["schema"] = "repro.obs/999"
+        with pytest.raises(ValueError):
+            RunReport.from_dict(payload)
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ValueError):
+            RunReport.from_dict({"counters": {}})
+
+
+class TestSummaryRows:
+    def test_rows_cover_every_instrument(self):
+        report = collect_sample()
+        rows = {r["metric"]: r["kind"] for r in report.summary_rows()}
+        assert rows["knn.queries"] == "counter"
+        assert rows["dbch.leaf_fill"] == "gauge"
+        assert rows["knn.verified_per_query"] == "histogram"

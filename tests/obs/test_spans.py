@@ -1,0 +1,101 @@
+"""Span nesting, aggregation, timing accumulation, and no-op behavior."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import Span, SpanRecorder, _NOOP
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Run each test against a fresh, disabled default recorder."""
+    previous = obs.set_recorder(SpanRecorder(enabled=False))
+    yield
+    obs.set_recorder(previous)
+
+
+class TestNesting:
+    def test_spans_nest_under_the_active_span(self):
+        rec = SpanRecorder(enabled=True)
+        with rec.span("cli.knn"):
+            with rec.span("db.ingest"):
+                pass
+            with rec.span("knn.search"):
+                pass
+        tree = rec.tree()
+        assert [n["name"] for n in tree] == ["cli.knn"]
+        assert sorted(c["name"] for c in tree[0]["children"]) == ["db.ingest", "knn.search"]
+
+    def test_same_name_aggregates_not_appends(self):
+        rec = SpanRecorder(enabled=True)
+        for _ in range(5):
+            with rec.span("knn.search"):
+                pass
+        tree = rec.tree()
+        assert len(tree) == 1
+        assert tree[0]["calls"] == 5
+
+    def test_times_accumulate_and_cover_children(self):
+        rec = SpanRecorder(enabled=True)
+        with rec.span("cli.knn"):
+            with rec.span("knn.search"):
+                time.sleep(0.01)
+        root = rec.root.children["cli.knn"]
+        child = root.children["knn.search"]
+        assert child.wall_s >= 0.009
+        assert root.wall_s >= child.wall_s
+        assert root.child_wall_s() == pytest.approx(child.wall_s)
+
+    def test_exception_still_closes_span(self):
+        rec = SpanRecorder(enabled=True)
+        with pytest.raises(RuntimeError):
+            with rec.span("cli.knn"):
+                raise RuntimeError("boom")
+        assert rec.root.children["cli.knn"].calls == 1
+        assert rec._stack == [rec.root]
+
+    def test_undeclared_span_name_rejected(self):
+        rec = SpanRecorder(enabled=True)
+        with pytest.raises(KeyError):
+            rec.span("not.a.span")
+
+    def test_counter_name_is_not_a_span(self):
+        rec = SpanRecorder(enabled=True)
+        with pytest.raises(KeyError):
+            rec.span("knn.queries")
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_the_shared_noop(self):
+        """span() with collection off returns one shared object — it cannot
+        allocate anything per call."""
+        assert obs.span("cli.knn") is _NOOP
+        assert obs.span("knn.search") is obs.span("db.ingest")
+
+    def test_disabled_span_records_nothing(self):
+        with obs.span("cli.knn"):
+            pass
+        assert obs.recorder().tree() == []
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        rec = SpanRecorder(enabled=True)
+        with rec.span("cli.knn"):
+            with rec.span("knn.search"):
+                pass
+        payload = rec.tree()[0]
+        rebuilt = Span.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_reset_clears_tree_and_stack(self):
+        rec = SpanRecorder(enabled=True)
+        with rec.span("cli.knn"):
+            pass
+        rec.reset()
+        assert rec.tree() == []
+        assert rec._stack == [rec.root]
