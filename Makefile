@@ -1,6 +1,6 @@
 # Convenience targets for the SAPLA reproduction.
 
-.PHONY: install test bench bench-full examples results clean verify-obs
+.PHONY: install test bench bench-full examples results clean verify-obs verify-engine
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,13 @@ test:
 verify-obs:
 	python scripts/check_metric_names.py
 	PYTHONPATH=src pytest tests/ -m obs -q
+
+# batched query engine: its tests + a small-N batch-knn smoke benchmark
+verify-engine:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/engine -q
+	PYTHONPATH=src REPRO_SERIES=64 REPRO_QUERIES=16 REPRO_LENGTH=64 \
+	pytest benchmarks/bench_batch_knn.py --benchmark-only -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

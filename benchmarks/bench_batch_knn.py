@@ -1,0 +1,107 @@
+"""Extension — batched vs sequential k-NN throughput (repro.engine).
+
+The engine answers a batch of queries with vectorised candidate
+verification (one NumPy matrix operation per round) and, for aligned
+methods, one stacked bound evaluation per query instead of a Python loop
+over every entry.  This bench times the same query set through the classic
+sequential loop (``ExecutionMode.SEQUENTIAL``) and through the batched path,
+checks the answers are byte-identical, and records the throughput ratio —
+the acceptance gate is >= 3x at batch >= 64 on the filtered-scan
+configuration.
+
+Scale knobs: ``REPRO_LENGTH`` / ``REPRO_SERIES`` / ``REPRO_QUERIES``
+(defaults 128 / 512 / 64; the Makefile's ``verify-engine`` smoke run
+shrinks them).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.engine import ExecutionMode, QueryOptions
+from repro.index import SeriesDatabase
+from repro.kinds import IndexKind
+from repro.reduction import PAA, SAPLAReducer
+
+from conftest import publish_report, publish_table
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _time_mode(db, queries, options):
+    started = time.perf_counter()
+    batch = db.knn_batch(queries, options)
+    return batch, time.perf_counter() - started
+
+
+def test_batched_vs_sequential_throughput(benchmark):
+    length = _env_int("REPRO_LENGTH", 128)
+    n_series = _env_int("REPRO_SERIES", 512)
+    n_queries = _env_int("REPRO_QUERIES", 64)
+    k = 8
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(n_series, length)).cumsum(axis=1)
+    picks = rng.integers(0, n_series, size=n_queries)
+    queries = data[picks] + rng.normal(scale=0.05, size=(n_queries, length))
+
+    # the headline configuration (aligned bounds + filtered scan) plus a
+    # tree configuration, smaller because SAPLA reduction dominates ingest
+    tree_count = min(n_series, 128)
+    tree_queries = queries[: min(n_queries, 32)]
+    configs = (
+        ("PAA", "scan", PAA(12), None, data, queries),
+        ("SAPLA", "dbch", SAPLAReducer(12), IndexKind.DBCH, data[:tree_count], tree_queries),
+    )
+    rows = []
+    with obs.capture() as session:
+        with obs.span("bench.run"):
+            for method, index_label, reducer, index, rows_data, rows_queries in configs:
+                db = SeriesDatabase(reducer, index=index)
+                db.ingest(rows_data, bulk=index is not None)
+                sequential, t_seq = _time_mode(
+                    db, rows_queries, QueryOptions(k=k, mode=ExecutionMode.SEQUENTIAL)
+                )
+                batched, t_bat = _time_mode(db, rows_queries, QueryOptions(k=k))
+                for a, b in zip(sequential.results, batched.results):
+                    assert a.ids == b.ids
+                    assert a.distances == b.distances
+                rows.append(
+                    {
+                        "method": method,
+                        "index": index_label,
+                        "batch": len(rows_queries),
+                        "sequential_qps": len(rows_queries) / t_seq,
+                        "batched_qps": len(rows_queries) / t_bat,
+                        "speedup": t_seq / t_bat,
+                    }
+                )
+    publish_table(
+        "batch_knn",
+        f"Extension — batched vs sequential k-NN (k={k}, {n_series}x{length})",
+        rows,
+    )
+    publish_report(
+        "batch_knn",
+        session.report(
+            meta={
+                "bench": "batch_knn",
+                "length": length,
+                "n_series": n_series,
+                "n_queries": n_queries,
+                "k": k,
+                "rows": rows,
+            }
+        ),
+    )
+
+    scan_row = rows[0]
+    if scan_row["batch"] >= 64 and n_series >= 256:
+        assert scan_row["speedup"] >= 3.0, scan_row
+
+    db = SeriesDatabase(PAA(12), index=None)
+    db.ingest(data)
+    benchmark(db.knn_batch, queries, QueryOptions(k=k))

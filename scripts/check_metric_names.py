@@ -1,6 +1,7 @@
 """Lint: every instrumented call site must use a catalogued metric name.
 
-Walks ``src/repro`` with ``ast``, finds calls to the observability helpers
+Walks ``src/repro`` and ``benchmarks`` with ``ast``, finds calls to the
+observability helpers
 (``obs.count`` / ``obs.gauge_set`` / ``obs.observe`` / ``obs.span`` and
 their bare-imported forms, plus ``registry.counter/gauge/histogram`` and
 ``recorder.span``), and checks every *literal* first argument against the
@@ -83,12 +84,19 @@ def check_file(path: pathlib.Path) -> "list[str]":
     return violations
 
 
+#: directory trees the lint walks (benchmarks emit engine.* names too)
+WALKED = (ROOT / "src" / "repro", ROOT / "benchmarks")
+
+
 def main() -> int:
     violations: "list[str]" = []
-    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
-        if any(skip in path.parents for skip in SKIP):
+    for base in WALKED:
+        if not base.is_dir():
             continue
-        violations.extend(check_file(path))
+        for path in sorted(base.rglob("*.py")):
+            if any(skip in path.parents for skip in SKIP):
+                continue
+            violations.extend(check_file(path))
     if violations:
         print(f"{len(violations)} metric-name violation(s):")
         for line in violations:

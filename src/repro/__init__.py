@@ -10,11 +10,14 @@ the paper's introduction motivates.
 The most-used entry points are re-exported here::
 
     from repro import SAPLA, SeriesDatabase, UCRLikeArchive
+    from repro import IndexKind, DistanceMode, QueryEngine, QueryOptions
 """
 
 from .core import SAPLA, LinearSegmentation, Segment, StreamingSAPLA, sapla_transform
 from .data import UCRLikeArchive
+from .engine import BatchResult, ExecutionMode, QueryEngine, QueryOptions
 from .index import SeriesDatabase
+from .kinds import DistanceMode, IndexKind
 
 __version__ = "1.0.0"
 
@@ -26,5 +29,11 @@ __all__ = [
     "LinearSegmentation",
     "SeriesDatabase",
     "UCRLikeArchive",
+    "IndexKind",
+    "DistanceMode",
+    "QueryEngine",
+    "QueryOptions",
+    "BatchResult",
+    "ExecutionMode",
     "__version__",
 ]

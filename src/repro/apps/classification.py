@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from ..data.labeled import LabeledDataset
 from ..index.knn import SeriesDatabase
+from ..kinds import IndexKind
 from ..reduction.base import Reducer
 
 __all__ = ["ClassificationReport", "KNNClassifier"]
@@ -42,7 +44,7 @@ class KNNClassifier:
         self,
         reducer: Reducer,
         k: int = 1,
-        index: "str | None" = "dbch",
+        index: "Union[IndexKind, str, None]" = IndexKind.DBCH,
         metric: str = "euclidean",
         band: "int | None" = None,
     ):

@@ -10,11 +10,12 @@ hits are de-duplicated to the locally best offset.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from ..index.knn import SeriesDatabase
+from ..kinds import IndexKind
 from ..reduction.base import Reducer
 from ..reduction.paa import PAA
 from .windows import sliding_windows, windows_overlap
@@ -39,7 +40,7 @@ class SubsequenceIndex:
             recall granularity for index size).
         reducer: reduction method for window representations
             (default ``PAA(12)``).
-        index: underlying structure (``'dbch'``, ``'rtree'`` or ``None``).
+        index: underlying structure (an :class:`repro.IndexKind` or ``None``).
     """
 
     def __init__(
@@ -47,7 +48,7 @@ class SubsequenceIndex:
         window: int,
         stride: int = 1,
         reducer: "Optional[Reducer]" = None,
-        index: "Optional[str]" = "dbch",
+        index: "Union[IndexKind, str, None]" = IndexKind.DBCH,
     ):
         if window < 2:
             raise ValueError("window must be >= 2")

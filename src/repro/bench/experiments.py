@@ -15,6 +15,7 @@ import numpy as np
 from ..core.sapla import SAPLA
 from ..data.normalize import resample_to_length
 from ..index.knn import SeriesDatabase, linear_scan
+from ..kinds import DistanceMode, IndexKind
 from ..metrics.deviation import max_deviation, sum_of_segment_deviations
 from ..reduction import REDUCERS
 from ..reduction.base import Reducer
@@ -126,7 +127,7 @@ def run_index_grid(config: ExperimentConfig) -> "List[Dict]":
                 started = time.process_time()
                 representations = [reducer.transform(s) for s in data]
                 reduction_time = time.process_time() - started
-                for index_kind in ("rtree", "dbch"):
+                for index_kind in (IndexKind.RTREE, IndexKind.DBCH):
                     db = SeriesDatabase(
                         reducer,
                         index=index_kind,
@@ -327,11 +328,11 @@ def run_bound_ablation(config: ExperimentConfig, n_coefficients: int = 12) -> "L
 def run_dbch_ablation(config: ExperimentConfig, n_coefficients: int = 12) -> "List[Dict]":
     """DBCH geometry driven by Dist_PAR vs Dist_LB-style query bounds."""
     rows = []
-    for mode in ("par", "lb"):
+    for mode in (DistanceMode.PAR, DistanceMode.LB):
         prunes, accs = [], []
         for dataset in config.datasets():
             reducer = make_reducer("SAPLA", n_coefficients)
-            db = SeriesDatabase(reducer, index="dbch", distance_mode=mode)
+            db = SeriesDatabase(reducer, index=IndexKind.DBCH, distance_mode=mode)
             db.ingest(dataset.data)
             for query in dataset.queries:
                 for k in config.ks:

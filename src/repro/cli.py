@@ -39,8 +39,10 @@ from .bench import (
     summarise_tree_shape,
 )
 from .data import DATASETS, UCRLikeArchive
+from .engine import QueryOptions
 from .index import SeriesDatabase
 from .io import from_jsonable, load_dataset, save_dataset, to_jsonable
+from .kinds import IndexKind
 from .reduction import REDUCERS
 
 __all__ = ["main"]
@@ -118,11 +120,16 @@ def _cmd_reconstruct(args) -> int:
     return 0
 
 
-def _knn_rows(db: SeriesDatabase, dataset, k: int) -> list:
+def _knn_rows(db: SeriesDatabase, dataset, args) -> list:
+    k = args.k
+    if args.batch:
+        options = QueryOptions(k=k, parallelism=args.parallelism, deadline_s=args.deadline)
+        results = db.knn_batch(dataset.queries, options).results
+    else:
+        results = [db.knn(query, k) for query in dataset.queries]
     rows = []
-    for qi, query in enumerate(dataset.queries):
+    for qi, (query, result) in enumerate(zip(dataset.queries, results)):
         truth = db.ground_truth(query, k)
-        result = db.knn(query, k)
         rows.append(
             {
                 "query": qi,
@@ -141,13 +148,13 @@ def _cmd_knn(args) -> int:
         archive = UCRLikeArchive(length=args.length, n_series=args.series)
         dataset = archive.load(args.dataset)
     reducer = REDUCERS[args.method](n_coefficients=args.coefficients)
-    index = None if args.index == "none" else args.index
+    index = None if args.index == "none" else IndexKind(args.index)
     db = SeriesDatabase(reducer, index=index)
     if args.report:
         with obs.capture() as session:
             with obs.span("cli.knn"):
                 db.ingest(dataset.data)
-                rows = _knn_rows(db, dataset, args.k)
+                rows = _knn_rows(db, dataset, args)
         report = session.report(
             meta={
                 "command": "knn",
@@ -156,6 +163,8 @@ def _cmd_knn(args) -> int:
                 "coefficients": args.coefficients,
                 "index": args.index,
                 "k": args.k,
+                "batch": bool(args.batch),
+                "parallelism": args.parallelism,
                 "n_series": int(dataset.data.shape[0]),
                 "length": int(dataset.data.shape[1]),
             }
@@ -163,7 +172,7 @@ def _cmd_knn(args) -> int:
         report.save(args.report)
     else:
         db.ingest(dataset.data)
-        rows = _knn_rows(db, dataset, args.k)
+        rows = _knn_rows(db, dataset, args)
     print_table(
         f"k-NN (k={args.k}, {args.method}, index={args.index}) over {dataset.name}", rows
     )
@@ -342,6 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--length", type=int, default=256)
     p.add_argument("--series", type=int, default=50)
+    p.add_argument(
+        "--batch", action="store_true",
+        help="answer all queries in one QueryEngine.knn_batch call",
+    )
+    p.add_argument(
+        "--parallelism", type=int, default=1, metavar="N",
+        help="worker processes for --batch frontier walks (1 = in process)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the --batch call; late queries return partial results",
+    )
     p.add_argument(
         "--report", default=None, metavar="OUT.json",
         help="capture metrics + spans for the run and write a RunReport here",

@@ -32,7 +32,6 @@ def initialize(stats: SeriesStats, n_segments: int) -> "list[Segment]":
     """
     if n_segments < 1:
         raise ValueError("n_segments must be >= 1")
-    values = stats.values
     n = len(stats)
     if n == 0:
         raise ValueError("cannot reduce an empty series")
@@ -42,10 +41,14 @@ def initialize(stats: SeriesStats, n_segments: int) -> "list[Segment]":
     segments: "list[Segment]" = []
     threshold_heap: "list[float]" = []  # the paper's eta: N-1 largest areas
     start = 0
-    fit = stats.window_fit(0, 1)
     i = 2
     while i < n:
-        incremented = fit.extend_right(float(values[i]))
+        # Both fits come from the prefix sums (not an incremental
+        # extend_right) so the areas are bit-identical to the vectorised
+        # `_vector_areas`; near-tied thresholds then split the same way in
+        # `initialize` and `initialize_fast`.
+        fit = stats.window_fit(start, i - 1)
+        incremented = stats.window_fit(start, i)
         area = increment_area(fit, incremented)
         heap_not_full = len(threshold_heap) < n_segments - 1
         if heap_not_full or (threshold_heap and area > threshold_heap[0]):
@@ -56,16 +59,10 @@ def initialize(stats: SeriesStats, n_segments: int) -> "list[Segment]":
             segments.append(_close(fit, start, i - 1))
             # the triggering point begins a fresh two-point segment
             start = i
-            if i + 1 < n:
-                fit = stats.window_fit(i, i + 1)
-                i += 2
-            else:
-                fit = stats.window_fit(i, i)
-                i += 1
+            i += 2
         else:
-            fit = incremented
             i += 1
-    segments.append(_close(fit, start, start + fit.length - 1))
+    segments.append(_close(stats.window_fit(start, n - 1), start, n - 1))
     return segments
 
 

@@ -1,0 +1,162 @@
+"""The batched k-NN query engine.
+
+:class:`QueryEngine.knn_batch` plans every query of a batch up front (one
+:mod:`state machine <repro.engine.states>` each), then advances all of them
+in rounds: each round gathers every pending (query, candidate) pair across
+the batch and resolves their exact Euclidean distances in a single
+``np.linalg.norm(rows - query_rows, axis=1)`` matrix operation — the same
+row-wise primitive :func:`repro.index.linear_scan` uses, so distances agree
+bit-for-bit.  Because each state's decisions depend only on its own history,
+a query answers identically whether it runs alone (``SeriesDatabase.knn``),
+inside a batch, or inside a worker process (``parallelism > 1``).
+
+Deadlines are checked between rounds: when the batch's ``deadline_s``
+expires, the remaining queries finalise with their best-so-far neighbours
+and are reported in :attr:`BatchResult.timed_out`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..index.knn import record_search
+from .options import BatchResult, ExecutionMode, QueryOptions
+from .parallel import run_parallel
+from .states import gather_rows, make_state
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Batched query execution over one :class:`repro.index.SeriesDatabase`.
+
+    The engine is stateless between calls; it reads the database's entries,
+    tree and distance suite at call time, so ingest/insert/delete between
+    batches are picked up automatically.
+    """
+
+    def __init__(self, database):
+        self.database = database
+
+    def knn_batch(
+        self, queries: np.ndarray, options: "Optional[QueryOptions]" = None
+    ) -> BatchResult:
+        """Answer every row of ``queries`` (shape ``(Q, n)``) at ``options.k``.
+
+        Returns a :class:`BatchResult` whose ``results[i]`` corresponds to
+        ``queries[i]``, with ids and distances byte-identical to running
+        each query alone.
+        """
+        options = options if options is not None else QueryOptions()
+        db = self.database
+        if db.data is None:
+            raise RuntimeError("ingest data before searching")
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("knn_batch expects a (Q, n) array of queries")
+        start = time.perf_counter()
+        with obs.span("engine.knn_batch"):
+            results, timed_out, rounds, used_workers = self._dispatch(queries, options)
+            for result in results:
+                record_search(result, db.suite.mode)
+            if obs.is_enabled():
+                obs.count("engine.batches")
+                obs.count("engine.rounds", rounds)
+                obs.count("engine.pairs_verified", sum(r.n_verified for r in results))
+                obs.observe("engine.batch_size", len(queries))
+                obs.gauge_set("engine.parallelism", used_workers)
+                if timed_out:
+                    obs.count("engine.timeouts", len(timed_out))
+        return BatchResult(
+            results=results,
+            timed_out=sorted(timed_out),
+            elapsed_s=time.perf_counter() - start,
+            rounds=rounds,
+            parallelism=used_workers,
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, queries: np.ndarray, options: QueryOptions):
+        """Choose and run an execution strategy; returns
+        ``(results, timed_out, rounds, workers_used)``."""
+        if options.parallelism > 1 and options.mode is not ExecutionMode.SEQUENTIAL:
+            fanned = run_parallel(self.database, queries, options)
+            if fanned is not None:
+                results, timed_out, rounds, workers = fanned
+                return results, timed_out, rounds, workers
+        if options.mode is ExecutionMode.SEQUENTIAL:
+            return self._run_sequential(queries, options) + (1,)
+        return self._run_vectorized(queries, options) + (1,)
+
+    def _run_vectorized(self, queries: np.ndarray, options: QueryOptions):
+        """All queries advance in lockstep; one distance call per round."""
+        db = self.database
+        deadline = _absolute_deadline(options)
+        states = [
+            make_state(db, query, options.k, options.lookahead, use_batch_bounds=True)
+            for query in queries
+        ]
+        rounds, timed_out = self._execute(states, queries, deadline)
+        return [state.finalize() for state in states], timed_out, rounds
+
+    def _run_sequential(self, queries: np.ndarray, options: QueryOptions):
+        """Classic baseline: each query runs to completion with scalar bounds."""
+        db = self.database
+        deadline = _absolute_deadline(options)
+        results, timed_out, rounds = [], [], 0
+        for index in range(len(queries)):
+            state = make_state(
+                db, queries[index], options.k, options.lookahead, use_batch_bounds=False
+            )
+            done_rounds, late = self._execute([state], queries[index][None, :], deadline)
+            rounds += done_rounds
+            if late:
+                timed_out.append(index)
+            results.append(state.finalize())
+        return results, timed_out, rounds
+
+    def _execute(self, states: list, queries: np.ndarray, deadline: "Optional[float]"):
+        """Drive ``states`` to completion; returns ``(rounds, timed_out)``.
+
+        ``timed_out`` holds the indices (into ``states``) still unfinished
+        when the deadline fired; their partial heaps remain valid.
+        """
+        data = self.database.data
+        active = list(range(len(states)))
+        rounds = 0
+        timed_out: "List[int]" = []
+        while active:
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = list(active)
+                break
+            pending: "list[tuple[int, List[int]]]" = []
+            for index in active:
+                series_ids = states[index].advance()
+                if series_ids:
+                    pending.append((index, series_ids))
+            if pending:
+                all_sids = [sid for _, sids in pending for sid in sids]
+                owners = [index for index, sids in pending for _ in sids]
+                rows = gather_rows(data, all_sids)
+                query_rows = queries[np.asarray(owners, dtype=np.intp)]
+                distances = np.linalg.norm(rows - query_rows, axis=1)
+                cursor = 0
+                for index, series_ids in pending:
+                    states[index].feed(
+                        series_ids, distances[cursor : cursor + len(series_ids)]
+                    )
+                    cursor += len(series_ids)
+                rounds += 1
+            active = [index for index in active if not states[index].done]
+        return rounds, timed_out
+
+
+def _absolute_deadline(options: QueryOptions) -> "Optional[float]":
+    """Translate ``deadline_s`` into an absolute monotonic instant."""
+    if options.deadline_s is None:
+        return None
+    return time.monotonic() + options.deadline_s

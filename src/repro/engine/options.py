@@ -1,0 +1,105 @@
+"""Typed options and results for the batched query engine.
+
+The engine's public vocabulary: :class:`ExecutionMode` names the execution
+strategies, :class:`QueryOptions` is the validated, immutable per-batch
+configuration, and :class:`BatchResult` carries every per-query
+:class:`repro.index.KNNResult` plus batch-level accounting.  All validation
+is eager — a bad option raises here, never mid-round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Union
+
+from ..index.knn import KNNResult
+
+__all__ = ["ExecutionMode", "QueryOptions", "BatchResult"]
+
+
+class ExecutionMode(str, Enum):
+    """How :meth:`repro.engine.QueryEngine.knn_batch` executes a batch.
+
+    ``AUTO`` lets the engine choose (currently: vectorised, fanned across a
+    worker pool when ``parallelism > 1``).  ``VECTORIZED`` forces the batched
+    path: stacked representation bounds where the method supports them and
+    one NumPy verification pass per round across all pending (query,
+    candidate) pairs.  ``SEQUENTIAL`` runs each query to completion on its
+    own with scalar bounds — the classic per-query loop, kept as the
+    benchmark baseline.  All modes return identical ids and distances.
+    """
+
+    AUTO = "auto"
+    SEQUENTIAL = "sequential"
+    VECTORIZED = "vectorized"
+
+    def __str__(self) -> str:  # keep f-strings printing 'auto', not the member
+        return self.value
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Validated, immutable configuration for one ``knn_batch`` call.
+
+    Args:
+        k: neighbours per query (>= 1).
+        mode: an :class:`ExecutionMode` (or its string value).
+        deadline_s: optional wall-clock budget for the whole batch; queries
+            unfinished at the deadline return their best-so-far neighbours
+            and are listed in :attr:`BatchResult.timed_out`.
+        parallelism: worker processes for the frontier walks (1 = in
+            process).  Honoured in ``AUTO``/``VECTORIZED`` mode when the raw
+            data can be shared; silently sequential otherwise.
+        lookahead: candidates verified per query per round after the initial
+            ``k`` (1 reproduces the classic one-at-a-time refinement and is
+            required for verification counts to match the sequential path).
+    """
+
+    k: int = 1
+    mode: "Union[ExecutionMode, str]" = ExecutionMode.AUTO
+    deadline_s: Optional[float] = None
+    parallelism: int = 1
+    lookahead: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "mode", ExecutionMode(self.mode))
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one ``knn_batch`` call.
+
+    ``results[i]`` answers ``queries[i]``; ``timed_out`` lists the query
+    indices whose results are partial because the batch deadline fired.
+    """
+
+    results: "List[KNNResult]"
+    timed_out: "List[int]" = field(default_factory=list)
+    elapsed_s: float = 0.0
+    rounds: int = 0
+    parallelism: int = 1
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries answered."""
+        return len(self.results)
+
+    @property
+    def total_verified(self) -> int:
+        """Raw-series verifications summed over the batch."""
+        return sum(r.n_verified for r in self.results)
+
+    @property
+    def pruning_power(self) -> float:
+        """Aggregate paper Eq. (14): batch verifications over batch candidates."""
+        total = sum(r.n_total for r in self.results)
+        return self.total_verified / total if total else 0.0

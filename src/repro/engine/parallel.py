@@ -1,0 +1,92 @@
+"""Worker-pool fan-out for the batched engine.
+
+``run_parallel`` splits a batch's frontier walks across a ``fork`` process
+pool.  The raw data matrix is copied once into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`); the forked workers inherit the
+mapping, so no per-task pickling or per-worker copy of the collection ever
+happens — each worker swaps the shared view in as its database's ``data``
+and runs the ordinary vectorised engine on its slice of the queries.
+
+Workers return plain :class:`repro.index.KNNResult` lists; the parent
+re-records their accounting into the metrics registry (child registries are
+disabled — they would die with the process).  Fan-out degrades gracefully:
+on platforms without ``fork``, or when the raw data lives behind a paged
+store rather than an in-memory array, ``run_parallel`` returns ``None`` and
+the caller stays sequential.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import replace
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["run_parallel"]
+
+#: set by the parent just before the pool forks; inherited by workers.
+_WORKER_DB = None
+_WORKER_DATA = None
+
+
+def run_parallel(db, queries: np.ndarray, options):
+    """Fan ``queries`` across ``options.parallelism`` worker processes.
+
+    Returns ``(results, timed_out, rounds, workers)`` with results in query
+    order, or ``None`` when fan-out is unavailable (no ``fork`` start
+    method, paged/non-array raw data, or a batch too small to split).
+    """
+    data = db.data
+    if not isinstance(data, np.ndarray):
+        return None  # paged stores hold file handles; keep those in-process
+    workers = min(options.parallelism, len(queries))
+    if workers < 2:
+        return None
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    chunks = [c for c in np.array_split(np.arange(len(queries)), workers) if len(c)]
+    block = shared_memory.SharedMemory(create=True, size=max(data.nbytes, 1))
+    shared = np.ndarray(data.shape, dtype=data.dtype, buffer=block.buf)
+    shared[:] = data
+    per_worker = replace(options, parallelism=1)
+    global _WORKER_DB, _WORKER_DATA
+    _WORKER_DB, _WORKER_DATA = db, shared
+    try:
+        with context.Pool(processes=len(chunks)) as pool:
+            outputs = pool.map(
+                _run_chunk, [(queries[chunk], per_worker) for chunk in chunks]
+            )
+    except OSError:
+        return None
+    finally:
+        _WORKER_DB = _WORKER_DATA = None
+        del shared
+        block.close()
+        block.unlink()
+    results: "List" = []
+    timed_out: "List[int]" = []
+    rounds = 0
+    for chunk, (chunk_results, chunk_timed_out, chunk_rounds) in zip(chunks, outputs):
+        results.extend(chunk_results)
+        timed_out.extend(int(chunk[i]) for i in chunk_timed_out)
+        rounds = max(rounds, chunk_rounds)
+    return results, timed_out, rounds, len(chunks)
+
+
+def _run_chunk(payload):
+    """Worker body: answer one slice of the batch against the shared data."""
+    chunk_queries, options = payload
+    from .. import obs
+    from .engine import QueryEngine
+
+    # this mutates the forked copy only; the parent's database is untouched
+    db = _WORKER_DB
+    db.data = _WORKER_DATA
+    db._engine = None
+    obs.disable()  # the parent re-records accounting from the returned results
+    batch = QueryEngine(db).knn_batch(chunk_queries, options)
+    return batch.results, batch.timed_out, batch.rounds

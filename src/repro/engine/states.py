@@ -1,0 +1,198 @@
+"""Per-query search state machines, stepped in vectorised rounds.
+
+Each query owns one state object — :class:`ScanState` for the tree-less
+GEMINI filtered scan, :class:`TreeState` for the best-first DBCH/R-tree
+walk.  A state alternates between :meth:`~_QueryState.advance` (emit the
+series ids it needs verified next, or finish) and :meth:`~_QueryState.feed`
+(absorb their exact distances).  The engine drives many states in lockstep
+and resolves all pending (query, candidate) pairs of a round in one NumPy
+call; because every decision a state makes depends only on its own
+accumulated state, a batch member answers exactly as the same query would
+alone.
+
+The verification budget is ``k`` on the first advance (the first ``k``
+survivors are always verified — the result heap is not full yet, so no
+stop rule can fire between them) and ``lookahead`` (default 1) afterwards,
+which reproduces the classic one-candidate-at-a-time refinement loop and
+its verification counts exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..index.knn import KNNResult, TopK, _Frontier
+
+__all__ = ["ScanState", "TreeState", "make_state", "gather_rows"]
+
+
+def gather_rows(data, series_ids: "List[int]") -> np.ndarray:
+    """Stack the raw rows for ``series_ids`` into a ``(len, n)`` matrix.
+
+    In-memory arrays fancy-index in one shot; paged stores (anything
+    supporting only integer ``data[i]``) are read row by row, so each
+    verification still pays its page I/O.
+    """
+    if isinstance(data, np.ndarray):
+        return data[np.asarray(series_ids, dtype=np.intp)]
+    return np.stack([np.asarray(data[int(sid)], dtype=float) for sid in series_ids])
+
+
+class _QueryState:
+    """Common machinery: the result heap, budget schedule and accounting."""
+
+    def __init__(self, db, query: np.ndarray, k: int, lookahead: int):
+        self.db = db
+        self.query = query
+        self.ctx = db.query_context(query)
+        self.topk = TopK(k)
+        self.k = k
+        self.lookahead = lookahead
+        self.verified = 0
+        self.done = False
+        self._advances = 0
+
+    def advance(self) -> "List[int]":
+        """Series ids to verify this round (may set :attr:`done`)."""
+        if self.done:
+            return []
+        budget = self.k if self._advances == 0 else self.lookahead
+        self._advances += 1
+        return self._collect(budget)
+
+    def feed(self, series_ids: "List[int]", distances: np.ndarray) -> None:
+        """Absorb the exact distances for the ids the last advance emitted."""
+        for sid, dist in zip(series_ids, distances):
+            self.topk.offer(float(dist), int(sid))
+        self.verified += len(series_ids)
+
+    def _collect(self, budget: int) -> "List[int]":
+        raise NotImplementedError
+
+    def finalize(self) -> KNNResult:
+        """The query's result from whatever has been verified so far."""
+        raise NotImplementedError
+
+    def _ranked(self) -> "tuple[List[int], List[float]]":
+        ranked = self.topk.ranked()
+        return [sid for _, sid in ranked], [d for d, _ in ranked]
+
+
+class ScanState(_QueryState):
+    """GEMINI without a tree: bound every entry, verify in bound order.
+
+    Bounds come from the suite's stacked batch bound when available (one
+    NumPy pass over all entries) and otherwise from the scalar
+    ``query_bound`` loop; candidates are ordered by ``(bound, series id)``
+    and consumed until the next bound strictly exceeds the k-th best true
+    distance.
+    """
+
+    def __init__(self, db, query, k: int, lookahead: int, use_batch_bounds: bool):
+        super().__init__(db, query, k, lookahead)
+        stacked = db.stacked_entries() if use_batch_bounds else None
+        if stacked is not None:
+            sids, packed = stacked
+            bounds = db.suite.query_bound_batch(self.ctx, packed)
+        else:
+            sids = np.array([e.series_id for e in db.entries], dtype=np.int64)
+            bounds = np.array(
+                [db.suite.query_bound(self.ctx, e.representation) for e in db.entries],
+                dtype=float,
+            )
+        if len(sids):
+            order = np.lexsort((sids, bounds))
+            sids, bounds = sids[order], bounds[order]
+        self._sids = sids
+        self._bounds = bounds
+        self._pos = 0
+        self.n_candidates = len(sids)
+
+    def _collect(self, budget: int) -> "List[int]":
+        pending: "List[int]" = []
+        while len(pending) < budget and self._pos < len(self._sids):
+            if self.topk.full and self._bounds[self._pos] > self.topk.threshold:
+                self.done = True
+                return pending
+            pending.append(int(self._sids[self._pos]))
+            self._pos += 1
+        if self._pos >= len(self._sids):
+            self.done = True
+        return pending
+
+    def finalize(self) -> KNNResult:
+        ids, distances = self._ranked()
+        return KNNResult(
+            ids=ids,
+            distances=distances,
+            n_verified=self.verified,
+            n_total=len(self.db.entries),
+            nodes_visited=0,
+            n_candidates=self.n_candidates,
+            node_pushes=0,
+            heap_pushes=0,
+        )
+
+
+class TreeState(_QueryState):
+    """Best-first multi-step search (Hjaltason & Samet / Seidl & Kriegel).
+
+    The priority queue mixes *nodes* (keyed by index-structure distance)
+    and *entries* (keyed by the method's representation bound); an entry
+    reaching the queue front is emitted for verification only while its
+    bound does not strictly exceed the k-th best true distance.  Pruning
+    power then reflects exactly the tightness of the method's bound plus
+    the index's navigation quality.
+    """
+
+    def __init__(self, db, query, k: int, lookahead: int):
+        super().__init__(db, query, k, lookahead)
+        self.frontier = _Frontier()
+        self.visited = 0
+        self.frontier.push_node(db.node_distance(self.ctx, db.tree.root), db.tree.root)
+
+    def _collect(self, budget: int) -> "List[int]":
+        pending: "List[int]" = []
+        db, frontier = self.db, self.frontier
+        while len(pending) < budget and frontier:
+            dist, kind, payload = frontier.pop()
+            if self.topk.full and dist > self.topk.threshold:
+                self.done = True
+                return pending
+            if kind == "entry":
+                pending.append(payload.series_id)
+                continue
+            self.visited += 1
+            if payload.is_leaf:
+                for entry in payload.entries:
+                    frontier.push_entry(
+                        db.suite.query_bound(self.ctx, entry.representation), entry
+                    )
+            else:
+                for child in payload.children:
+                    frontier.push_node(db.node_distance(self.ctx, child), child)
+        if not frontier:
+            self.done = True
+        return pending
+
+    def finalize(self) -> KNNResult:
+        ids, distances = self._ranked()
+        return KNNResult(
+            ids=ids,
+            distances=distances,
+            n_verified=self.verified,
+            n_total=len(self.db.entries),
+            nodes_visited=self.visited,
+            n_candidates=self.frontier.entry_pushes,
+            node_pushes=self.frontier.node_pushes,
+            heap_pushes=self.frontier.pushes,
+        )
+
+
+def make_state(db, query: np.ndarray, k: int, lookahead: int, use_batch_bounds: bool):
+    """The right state machine for ``db``'s index configuration."""
+    if db.tree is None:
+        return ScanState(db, query, k, lookahead, use_batch_bounds)
+    return TreeState(db, query, k, lookahead)

@@ -6,19 +6,28 @@ representation-level bound, and *verify* survivors against the raw series
 with the true Euclidean distance.  Verification count over collection size
 is the paper's pruning power (Eq. (14)); comparing returned neighbours with
 a linear scan gives the accuracy (Eq. (15)).
+
+Query execution itself lives in :mod:`repro.engine`; :meth:`SeriesDatabase.knn`
+is a thin single-query wrapper over :meth:`repro.engine.QueryEngine.knn_batch`,
+so sequential and batched answers are identical by construction.  This module
+keeps the shared building blocks: the :class:`_Frontier` priority queue, the
+:class:`TopK` result heap whose ``(distance, series id)`` tie-break makes the
+tree search agree with :func:`linear_scan` on equal distances, and the
+:func:`record_search` accounting shared by every execution path.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from .. import obs
 from ..distance.euclidean import euclidean
 from ..distance.suite import QueryContext, make_suite
+from ..kinds import DistanceMode, IndexKind, coerce_index_kind
 from ..reduction.base import Reducer
 from .bulk import bulk_load_dbch, bulk_load_rtree
 from .dbch import DBCHTree
@@ -26,7 +35,12 @@ from .entries import Entry
 from .mbr import feature_vector, feature_weights
 from .rtree import RTree
 
-__all__ = ["KNNResult", "SeriesDatabase", "linear_scan"]
+__all__ = ["KNNResult", "SeriesDatabase", "TopK", "linear_scan", "record_search"]
+
+_INF = float("inf")
+
+#: cache sentinel: stacking was attempted and is not applicable
+_STACK_UNAVAILABLE = object()
 
 
 class _Frontier:
@@ -70,6 +84,48 @@ class _Frontier:
         return bool(self._heap)
 
 
+class TopK:
+    """Fixed-capacity best-``k`` set with a stable ``(distance, id)`` tie-break.
+
+    The heap holds ``(-distance, -series_id)`` so eviction always removes the
+    lexicographically largest ``(distance, series_id)`` pair: among equal
+    distances the *larger* id goes first, which keeps exactly the ``k``
+    smallest ``(distance, id)`` pairs.  That matches the order
+    :func:`linear_scan` produces with its stable argsort, so the tree search
+    and the ground truth agree on ties by construction.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int):
+        self.k = k
+        self._heap: "list[tuple[float, int]]" = []
+
+    def offer(self, distance: float, series_id: int) -> None:
+        """Consider one verified candidate."""
+        heapq.heappush(self._heap, (-distance, -series_id))
+        if len(self._heap) > self.k:
+            heapq.heappop(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """Whether ``k`` candidates have been retained."""
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """Current k-th best true distance (``inf`` until full).
+
+        The search may stop once the next bound strictly exceeds this; on
+        equality the candidate is still verified so ties resolve by id.
+        """
+        return -self._heap[0][0] if len(self._heap) >= self.k else _INF
+
+    def ranked(self) -> "list[tuple[float, int]]":
+        """Retained ``(distance, series_id)`` pairs, best first."""
+        return sorted((-neg_d, -neg_sid) for neg_d, neg_sid in self._heap)
+
+
 @dataclass
 class KNNResult:
     """k-NN outcome plus the accounting the paper's figures need."""
@@ -79,6 +135,9 @@ class KNNResult:
     n_verified: int
     n_total: int
     nodes_visited: int = 0
+    n_candidates: int = 0
+    node_pushes: int = 0
+    heap_pushes: int = 0
 
     @property
     def pruning_power(self) -> float:
@@ -93,7 +152,12 @@ class KNNResult:
 
 
 def linear_scan(data: np.ndarray, query: np.ndarray, k: int) -> KNNResult:
-    """Exact k-NN by scanning every raw series — the ground truth."""
+    """Exact k-NN by scanning every raw series — the ground truth.
+
+    Uses the same row-wise ``np.linalg.norm(..., axis=1)`` primitive as the
+    engine's batched verification, so distances agree bit-for-bit, and a
+    stable argsort so equal distances rank by ascending series id.
+    """
     data = np.asarray(data, dtype=float)
     query = np.asarray(query, dtype=float)
     if data.ndim != 2 or data.shape[1] != query.shape[0]:
@@ -108,30 +172,53 @@ def linear_scan(data: np.ndarray, query: np.ndarray, k: int) -> KNNResult:
     )
 
 
+def record_search(result: KNNResult, mode: str) -> None:
+    """Flush one query's accounting into the metrics registry.
+
+    ``result.n_candidates`` is how many entries met the representation-bound
+    stage; those never verified were pruned by the active bound, so the
+    per-bound pruning counters plus ``knn.entries_refined`` reconstruct the
+    paper's pruning power from a report alone.  Shared by the batched engine
+    and (in worker-pool mode) by the parent re-recording worker results.
+    """
+    if not obs.is_enabled():
+        return
+    obs.count("knn.queries")
+    obs.count("knn.nodes_visited", result.nodes_visited)
+    obs.count("knn.nodes_pruned", max(result.node_pushes - result.nodes_visited, 0))
+    obs.count("knn.entries_refined", result.n_verified)
+    obs.count("knn.heap_pushes", result.heap_pushes)
+    obs.count("dist.euclidean.exact", result.n_verified)
+    obs.count(obs.PRUNED_METRICS[mode], max(result.n_candidates - result.n_verified, 0))
+    obs.observe("knn.verified_per_query", result.n_verified)
+
+
 class SeriesDatabase:
     """A collection of raw series, their representations, and an index.
 
     Args:
         reducer: the dimensionality reduction method for this database.
-        index: ``'dbch'`` (the paper's structure), ``'rtree'`` (baseline) or
-            ``None`` (filter every representation linearly, no tree).
-        distance_mode: adaptive-method query-bound mode (see
-            :func:`repro.distance.make_suite`).
+        index: an :class:`repro.IndexKind` — ``DBCH`` (the paper's
+            structure), ``RTREE`` (baseline) or ``NONE``/``None`` (filter
+            every representation linearly, no tree).  The legacy strings
+            ``'dbch'`` / ``'rtree'`` / ``'none'`` still work but emit a
+            ``DeprecationWarning``.
+        distance_mode: adaptive-method query-bound mode, a
+            :class:`repro.DistanceMode` (see :func:`repro.distance.make_suite`);
+            legacy strings are coerced with a ``DeprecationWarning``.
         max_entries / min_entries: node fill factors (paper uses 5 / 2).
     """
 
     def __init__(
         self,
         reducer: Reducer,
-        index: Optional[str] = "dbch",
-        distance_mode: str = "par",
+        index: "Union[IndexKind, str, None]" = IndexKind.DBCH,
+        distance_mode: "Union[DistanceMode, str]" = DistanceMode.PAR,
         max_entries: int = 5,
         min_entries: int = 2,
     ):
-        if index not in ("dbch", "rtree", None):
-            raise ValueError(f"unknown index kind: {index!r}")
         self.reducer = reducer
-        self.index_kind = index
+        self.index_kind: "Optional[IndexKind]" = coerce_index_kind(index)
         self.suite = make_suite(reducer, distance_mode)
         self.max_entries = max_entries
         self.min_entries = min_entries
@@ -139,6 +226,8 @@ class SeriesDatabase:
         self.entries: "List[Entry]" = []
         self.tree = None
         self._weights: Optional[np.ndarray] = None
+        self._rep_cache = None
+        self._engine = None
 
     # ------------------------------------------------------------------
     def ingest(
@@ -163,6 +252,7 @@ class SeriesDatabase:
         with obs.span("db.ingest"):
             self.data = data
             self.entries = []
+            self._rep_cache = None
             budget = getattr(self.reducer, "n_segments", None)
             for series_id, series in enumerate(data):
                 representation = (
@@ -174,7 +264,7 @@ class SeriesDatabase:
                 self.entries.append(
                     Entry(series_id=series_id, representation=representation, feature=feature)
                 )
-            if self.index_kind == "rtree":
+            if self.index_kind == IndexKind.RTREE:
                 self._weights = feature_weights(self.entries[0].representation, budget)
                 if bulk:
                     self.tree = bulk_load_rtree(self.entries, self.max_entries, self.min_entries)
@@ -182,7 +272,7 @@ class SeriesDatabase:
                     self.tree = RTree(self.max_entries, self.min_entries)
                     for entry in self.entries:
                         self.tree.insert(entry)
-            elif self.index_kind == "dbch":
+            elif self.index_kind == IndexKind.DBCH:
                 if bulk:
                     self.tree = bulk_load_dbch(
                         self.entries, self.suite.pairwise, self.max_entries, self.min_entries
@@ -194,23 +284,69 @@ class SeriesDatabase:
             if self.tree is not None and obs.is_enabled():
                 from .stats import leaf_fill
 
-                gauge = "dbch.leaf_fill" if self.index_kind == "dbch" else "rtree.leaf_fill"
+                gauge = (
+                    "dbch.leaf_fill" if self.index_kind == IndexKind.DBCH else "rtree.leaf_fill"
+                )
                 obs.gauge_set(gauge, leaf_fill(self.tree))
 
     # ------------------------------------------------------------------
     def knn(self, query: np.ndarray, k: int) -> KNNResult:
-        """Filter-and-refine k-NN through the configured index."""
+        """Filter-and-refine k-NN through the configured index.
+
+        A thin wrapper over the batched engine with a batch of one, so a
+        single query and a batch member take the same code path and return
+        byte-identical ids and distances.
+        """
         if self.data is None:
             raise RuntimeError("ingest data before searching")
         if k < 1:
             raise ValueError("k must be >= 1")
+        from ..engine import QueryOptions
+
         query = np.asarray(query, dtype=float)
         with obs.span("knn.search"):
-            obs.count("knn.queries")
-            ctx = QueryContext(series=query, representation=self.reducer.transform(query))
-            if self.tree is None:
-                return self._filtered_scan(ctx, query, k)
-            return self._tree_search(ctx, query, k)
+            batch = self.engine().knn_batch(query[None, :], QueryOptions(k=k))
+        return batch.results[0]
+
+    def knn_batch(self, queries: np.ndarray, options=None):
+        """Answer many queries at once — see :meth:`repro.engine.QueryEngine.knn_batch`."""
+        return self.engine().knn_batch(queries, options)
+
+    def engine(self):
+        """The database's lazily-built :class:`repro.engine.QueryEngine`."""
+        if self._engine is None:
+            from ..engine import QueryEngine
+
+            self._engine = QueryEngine(self)
+        return self._engine
+
+    def save(self, directory) -> None:
+        """Persist this fitted database as a directory (see :mod:`repro.io`)."""
+        from ..io.database import save_series_database
+
+        save_series_database(self, directory)
+
+    def stacked_entries(self):
+        """``(series_ids, stacked)`` for the suite's vectorised bound, or ``None``.
+
+        Built lazily and cached until the entry set changes; ``None`` when the
+        method has no stacked layout (adaptive-length representations) or the
+        stored layouts disagree.
+        """
+        if self.suite.stack is None or self.suite.query_bound_batch is None:
+            return None
+        if not self.entries:
+            return None
+        if self._rep_cache is None:
+            try:
+                stacked = self.suite.stack([e.representation for e in self.entries])
+                sids = np.array([e.series_id for e in self.entries], dtype=np.int64)
+                self._rep_cache = (sids, stacked)
+            except ValueError:
+                self._rep_cache = _STACK_UNAVAILABLE
+        if self._rep_cache is _STACK_UNAVAILABLE:
+            return None
+        return self._rep_cache
 
     def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
         """Exact k-NN by linear scan over the ingested raw data."""
@@ -252,6 +388,7 @@ class SeriesDatabase:
             feature=feature_vector(representation, budget),
         )
         self.entries.append(entry)
+        self._rep_cache = None
         if self.tree is not None:
             self.tree.insert(entry)
         return series_id
@@ -266,6 +403,7 @@ class SeriesDatabase:
         self.entries = [e for e in self.entries if e.series_id != series_id]
         if len(self.entries) == before:
             return False
+        self._rep_cache = None
         if self.tree is not None:
             self.tree.delete(series_id)
         return True
@@ -275,7 +413,7 @@ class SeriesDatabase:
 
         Candidates whose representation bound exceeds ``radius`` are pruned;
         survivors are verified on raw data.  With a guaranteed lower bound
-        (``distance_mode='lb'`` for adaptive methods, or any equal-length
+        (``DistanceMode.LB`` for adaptive methods, or any equal-length
         method) the result is exact.
         """
         if self.data is None:
@@ -302,104 +440,15 @@ class SeriesDatabase:
         )
 
     # ------------------------------------------------------------------
-    def _filtered_scan(self, ctx: QueryContext, query: np.ndarray, k: int) -> KNNResult:
-        """GEMINI without a tree: order candidates by the representation
-        bound, verify until the bound exceeds the kth best true distance."""
-        bounds = [
-            (self.suite.query_bound(ctx, e.representation), e.series_id) for e in self.entries
-        ]
-        bounds.sort()
-        best: "List[tuple[float, int]]" = []  # max-heap via negation
-        verified = 0
-        for bound, series_id in bounds:
-            if len(best) == k and bound >= -best[0][0]:
-                break
-            true = euclidean(query, self.data[series_id])
-            verified += 1
-            heapq.heappush(best, (-true, series_id))
-            if len(best) > k:
-                heapq.heappop(best)
-        self._record_search(verified, 0, candidates=len(bounds), node_pushes=0, heap_pushes=0)
-        return self._result(best, verified, 0)
+    def query_context(self, query: np.ndarray) -> QueryContext:
+        """Reduce ``query`` and package it for the distance suite."""
+        return QueryContext(series=query, representation=self.reducer.transform(query))
 
-    def _tree_search(self, ctx: QueryContext, query: np.ndarray, k: int) -> KNNResult:
-        """Best-first multi-step search (Hjaltason & Samet / Seidl & Kriegel).
-
-        The priority queue mixes *nodes* (keyed by index-structure distance)
-        and *entries* (keyed by the method's representation bound); raw
-        verification happens only when an entry reaches the queue front and
-        its bound still beats the kth-best true distance.  Pruning power then
-        reflects exactly the tightness of the method's bound plus the
-        index's navigation quality.
-        """
-        root = self.tree.root
-        frontier = _Frontier()
-        frontier.push_node(self._node_distance(ctx, root), root)
-        best: "List[tuple[float, int]]" = []
-        verified = 0
-        visited = 0
-        while frontier:
-            dist, kind, payload = frontier.pop()
-            if len(best) == k and dist >= -best[0][0]:
-                break
-            if kind == "entry":
-                true = euclidean(query, self.data[payload.series_id])
-                verified += 1
-                heapq.heappush(best, (-true, payload.series_id))
-                if len(best) > k:
-                    heapq.heappop(best)
-                continue
-            visited += 1
-            if payload.is_leaf:
-                for entry in payload.entries:
-                    bound = self.suite.query_bound(ctx, entry.representation)
-                    frontier.push_entry(bound, entry)
-            else:
-                for child in payload.children:
-                    frontier.push_node(self._node_distance(ctx, child), child)
-        self._record_search(
-            verified,
-            visited,
-            candidates=frontier.entry_pushes,
-            node_pushes=frontier.node_pushes,
-            heap_pushes=frontier.pushes,
-        )
-        return self._result(best, verified, visited)
-
-    def _record_search(
-        self, verified: int, visited: int, candidates: int, node_pushes: int, heap_pushes: int
-    ) -> None:
-        """Flush one query's accounting into the metrics registry.
-
-        ``candidates`` is how many entries met the representation bound
-        stage; those never verified were pruned by the active bound, so the
-        per-bound pruning counters plus ``knn.entries_refined`` reconstruct
-        the paper's pruning power from a report alone.
-        """
-        if not obs.is_enabled():
-            return
-        obs.count("knn.nodes_visited", visited)
-        obs.count("knn.nodes_pruned", max(node_pushes - visited, 0))
-        obs.count("knn.entries_refined", verified)
-        obs.count("knn.heap_pushes", heap_pushes)
-        obs.count("dist.euclidean.exact", verified)
-        obs.count(obs.PRUNED_METRICS[self.suite.mode], max(candidates - verified, 0))
-        obs.observe("knn.verified_per_query", verified)
-
-    def _node_distance(self, ctx: QueryContext, node) -> float:
-        if self.index_kind == "rtree":
+    def node_distance(self, ctx: QueryContext, node) -> float:
+        """Index-structure distance from the query to a tree node."""
+        if self.index_kind == IndexKind.RTREE:
             q_feature = feature_vector(
                 ctx.representation, getattr(self.reducer, "n_segments", None)
             )
             return self.tree.node_distance(q_feature, self._weights, node)
         return self.tree.node_distance(ctx.representation, node)
-
-    def _result(self, best: "List[tuple[float, int]]", verified: int, visited: int) -> KNNResult:
-        ranked = sorted((-d, sid) for d, sid in best)
-        return KNNResult(
-            ids=[sid for _, sid in ranked],
-            distances=[d for d, _ in ranked],
-            n_verified=verified,
-            n_total=len(self.entries),
-            nodes_visited=visited,
-        )

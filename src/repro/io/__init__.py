@@ -1,7 +1,11 @@
 """Persistence: JSON codecs for representations, npz for datasets, and
-directory-based round trips for whole similarity databases."""
+directory-based round trips for whole similarity databases.
 
-from .database import load_database, save_database
+The documented database surface is ``database.save(directory)`` plus
+:func:`open_database`; ``save_database``/``load_database`` are deprecated
+aliases kept for pre-engine callers."""
+
+from .database import load_database, open_database, save_database
 from .serialization import (
     from_jsonable,
     load_dataset,
@@ -18,6 +22,7 @@ __all__ = [
     "load_representations",
     "save_dataset",
     "load_dataset",
+    "open_database",
     "save_database",
     "load_database",
 ]

@@ -1,68 +1,160 @@
 """Persistence for whole similarity databases.
 
-A :class:`repro.index.SeriesDatabase` persists as a directory: the raw data
-as ``data.npz``, the representations as ``representations.json``, and the
-configuration as ``config.json``.  Loading rebuilds the reducer from the
-registry and re-indexes from the stored representations (tree structures
-rebuild deterministically and cheaply relative to the reduction pass they
-skip).
+One documented surface for both database flavours: ``database.save(path)``
+persists a fitted :class:`repro.index.SeriesDatabase` *or*
+:class:`repro.storage.DiskBackedDatabase` as a directory, and
+:func:`open_database` reopens either — the directory's ``config.json``
+records which flavour (``kind``) it holds.  An in-memory database stores its
+raw data as ``data.npz``; a disk-backed database keeps its paged store file
+next to the config instead.  Both store the representations as
+``representations.json`` so loading re-indexes without re-reducing (tree
+structures rebuild deterministically and cheaply relative to the reduction
+pass they skip).
+
+The pre-engine entry points :func:`save_database` / :func:`load_database`
+remain as thin deprecated aliases.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import shutil
+import warnings
 from typing import Union
 
 import numpy as np
 
 from ..index.knn import SeriesDatabase
+from ..kinds import DistanceMode, IndexKind
 from ..reduction import REDUCERS
 from .serialization import from_jsonable, to_jsonable
 
-__all__ = ["save_database", "load_database"]
+__all__ = ["open_database", "save_database", "load_database"]
 
 PathLike = Union[str, pathlib.Path]
 
+#: filename of the paged store inside a disk-backed database directory
+STORE_FILENAME = "series.bin"
 
-def save_database(database: SeriesDatabase, directory: PathLike) -> None:
-    """Persist a fitted database (raw data + representations + config)."""
-    if database.data is None:
-        raise ValueError("cannot save a database before ingest")
-    directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(directory / "data.npz", data=database.data)
+
+def _write_common(database, directory: pathlib.Path, config: dict) -> None:
+    """Write the representations and config shared by both flavours."""
     payload = {
         "representations": [to_jsonable(e.representation) for e in database.entries]
     }
     (directory / "representations.json").write_text(json.dumps(payload))
-    config = {
-        "reducer": database.reducer.name,
-        "n_coefficients": database.reducer.n_coefficients,
-        "index": database.index_kind,
-        "distance_mode": database.suite.mode,
-        "max_entries": database.max_entries,
-        "min_entries": database.min_entries,
-    }
+    config.update(
+        {
+            "reducer": database.reducer.name,
+            "n_coefficients": database.reducer.n_coefficients,
+            "index": database.index_kind,
+            "distance_mode": database.suite.mode,
+            "max_entries": database.max_entries,
+            "min_entries": database.min_entries,
+        }
+    )
     (directory / "config.json").write_text(json.dumps(config, indent=2))
 
 
-def load_database(directory: PathLike) -> SeriesDatabase:
-    """Rebuild a database saved by :func:`save_database`."""
+def save_series_database(database: SeriesDatabase, directory: PathLike) -> None:
+    """Persist a fitted in-memory database (raw data + representations + config).
+
+    Prefer the method form ``database.save(directory)``.
+    """
+    if database.data is None:
+        raise ValueError("cannot save a database before ingest")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(directory / "data.npz", data=np.asarray(database.data))
+    _write_common(database, directory, {"kind": "memory"})
+
+
+def save_disk_database(database, directory: PathLike) -> None:
+    """Persist a fitted :class:`repro.storage.DiskBackedDatabase` directory.
+
+    The paged store file is copied in as ``series.bin``; raw series keep
+    living on pages after a reopen.  Prefer ``database.save(directory)``.
+    """
+    if database.store is None:
+        raise ValueError("cannot save a database before ingest")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    store_path = directory / STORE_FILENAME
+    if store_path.resolve() != database.store.path.resolve():
+        shutil.copyfile(database.store.path, store_path)
+    _write_common(
+        database._inner,
+        directory,
+        {
+            "kind": "disk",
+            "page_size": database.store.page_size,
+            "cache_pages": database.store.cache_pages,
+        },
+    )
+
+
+def open_database(directory: PathLike):
+    """Reopen a database directory saved by ``database.save(directory)``.
+
+    Returns a :class:`repro.index.SeriesDatabase` or a
+    :class:`repro.storage.DiskBackedDatabase` according to the directory's
+    recorded ``kind`` (directories written before the kind field default to
+    the in-memory flavour).
+    """
     directory = pathlib.Path(directory)
     config = json.loads((directory / "config.json").read_text())
     reducer = REDUCERS[config["reducer"]](n_coefficients=config["n_coefficients"])
-    mode = config["distance_mode"]
+    raw_index = config.get("index")
+    index = None if raw_index is None else IndexKind(raw_index)
+    raw_mode = config.get("distance_mode")
+    try:
+        mode = DistanceMode(raw_mode)
+    except ValueError:
+        mode = DistanceMode.PAR  # non-adaptive suites store 'aligned' etc.
+    payload = json.loads((directory / "representations.json").read_text())
+    representations = [from_jsonable(item) for item in payload["representations"]]
+    if config.get("kind", "memory") == "disk":
+        from ..storage.database import DiskBackedDatabase
+
+        database = DiskBackedDatabase(
+            reducer,
+            directory / STORE_FILENAME,
+            index=index,
+            distance_mode=mode,
+            page_size=config["page_size"],
+            cache_pages=config["cache_pages"],
+        )
+        database.reopen(representations)
+        return database
     database = SeriesDatabase(
         reducer,
-        index=config["index"],
-        distance_mode=mode if mode in ("par", "lb", "ae") else "par",
+        index=index,
+        distance_mode=mode,
         max_entries=config["max_entries"],
         min_entries=config["min_entries"],
     )
     with np.load(directory / "data.npz", allow_pickle=False) as archive:
         data = archive["data"]
-    payload = json.loads((directory / "representations.json").read_text())
-    representations = [from_jsonable(item) for item in payload["representations"]]
     database.ingest(data, representations=representations)
     return database
+
+
+def save_database(database: SeriesDatabase, directory: PathLike) -> None:
+    """Deprecated alias — use ``database.save(directory)``."""
+    warnings.warn(
+        "save_database is deprecated; use database.save(directory)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    save_series_database(database, directory)
+
+
+def load_database(directory: PathLike) -> SeriesDatabase:
+    """Deprecated alias — use :func:`open_database`."""
+    warnings.warn(
+        "load_database is deprecated; use repro.io.open_database(directory)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return open_database(directory)

@@ -13,12 +13,13 @@ to the multivariate case.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from ..distance.suite import QueryContext, make_suite
 from ..index.knn import KNNResult
+from ..kinds import DistanceMode
 from .reduction import MultivariateReducer, MultivariateRepresentation
 
 __all__ = ["MultivariateDatabase", "multivariate_euclidean"]
@@ -39,11 +40,15 @@ class MultivariateDatabase:
     Args:
         reducer: a :class:`MultivariateReducer`.
         distance_mode: per-channel query-bound mode (see
-            :func:`repro.distance.make_suite`); ``'lb'`` keeps the search
-            exact for adaptive methods.
+            :func:`repro.distance.make_suite`); :attr:`repro.DistanceMode.LB`
+            keeps the search exact for adaptive methods.
     """
 
-    def __init__(self, reducer: MultivariateReducer, distance_mode: str = "lb"):
+    def __init__(
+        self,
+        reducer: MultivariateReducer,
+        distance_mode: "Union[DistanceMode, str]" = DistanceMode.LB,
+    ):
         self.reducer = reducer
         self.distance_mode = distance_mode
         self.data: Optional[np.ndarray] = None

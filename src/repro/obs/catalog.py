@@ -46,6 +46,13 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "knn.pruned.triangle": (COUNTER, "candidates pruned by the CHEBY triangle bound"),
     "knn.pruned.mindist": (COUNTER, "candidates pruned by the SAX MINDIST bound"),
     "knn.verified_per_query": (HISTOGRAM, "raw verifications needed by one query"),
+    # ------------------------------------------------------------- engine
+    "engine.batches": (COUNTER, "knn_batch invocations"),
+    "engine.rounds": (COUNTER, "vectorised verification rounds executed"),
+    "engine.pairs_verified": (COUNTER, "(query, candidate) pairs resolved in batched verification"),
+    "engine.timeouts": (COUNTER, "queries finalised early by a batch deadline"),
+    "engine.batch_size": (HISTOGRAM, "queries per knn_batch call"),
+    "engine.parallelism": (GAUGE, "worker processes used by the last batch"),
     # ----------------------------------------------------------- DBCH-tree
     "dbch.inserts": (COUNTER, "entries inserted into a DBCH-tree"),
     "dbch.deletes": (COUNTER, "entries deleted from a DBCH-tree"),
@@ -80,6 +87,7 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "bench.run": (SPAN, "whole instrumented benchmark pass"),
     "db.ingest": (SPAN, "reduce + index every row of a collection"),
     "knn.search": (SPAN, "one filter-and-refine k-NN query"),
+    "engine.knn_batch": (SPAN, "one batched k-NN execution"),
     "knn.ground_truth": (SPAN, "one exact linear-scan reference query"),
     "sapla.transform": (SPAN, "full three-stage SAPLA reduction of one series"),
     "sapla.initialize": (SPAN, "SAPLA stage 1 — single-scan initialization"),

@@ -14,6 +14,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..index.knn import KNNResult, SeriesDatabase
+from ..kinds import DistanceMode, IndexKind
 from ..reduction.base import Reducer
 from .pages import PagedSeriesStore
 
@@ -28,7 +29,9 @@ class DiskBackedDatabase:
     Args:
         reducer: dimensionality reduction method.
         store_path: backing file for the raw pages.
-        index: ``'dbch'``, ``'rtree'`` or ``None`` (see SeriesDatabase).
+        index: an :class:`repro.IndexKind` (or legacy string / ``None``; see
+            :class:`repro.index.SeriesDatabase`).
+        distance_mode: a :class:`repro.DistanceMode` (or legacy string).
         page_size / cache_pages: storage knobs.
     """
 
@@ -36,8 +39,8 @@ class DiskBackedDatabase:
         self,
         reducer: Reducer,
         store_path: PathLike,
-        index: Optional[str] = "dbch",
-        distance_mode: str = "par",
+        index: "Union[IndexKind, str, None]" = IndexKind.DBCH,
+        distance_mode: "Union[DistanceMode, str]" = DistanceMode.PAR,
         page_size: int = 4096,
         cache_pages: int = 8,
     ):
@@ -58,11 +61,36 @@ class DiskBackedDatabase:
         # raw data now lives on disk; reads go through the store
         self._inner.data = _StoreView(self.store)
 
+    def reopen(self, representations: list) -> None:
+        """Attach an existing store file using persisted representations.
+
+        Used by :func:`repro.io.open_database`: the index rebuilds from the
+        stored representations (one sequential read of the pages, no
+        re-reduction) and subsequent verifications read pages as usual.
+        """
+        self.store = PagedSeriesStore.open(
+            self._store_path, page_size=self._page_size, cache_pages=self._cache_pages
+        )
+        self._inner.ingest(self.store.read_all(), representations=representations)
+        self._inner.data = _StoreView(self.store)
+
     def knn(self, query: np.ndarray, k: int) -> KNNResult:
         """k-NN where every candidate verification reads pages from disk."""
         if self.store is None:
             raise RuntimeError("ingest data before searching")
         return self._inner.knn(query, k)
+
+    def knn_batch(self, queries: np.ndarray, options=None):
+        """Batched k-NN over the paged store — see
+        :meth:`repro.engine.QueryEngine.knn_batch`.
+
+        Verification rows are gathered through the page cache, so batching
+        changes CPU cost, not the I/O accounting; worker-pool fan-out is
+        unavailable for paged data and degrades to in-process execution.
+        """
+        if self.store is None:
+            raise RuntimeError("ingest data before searching")
+        return self._inner.knn_batch(queries, options)
 
     def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
         """Exact answer via a full sequential scan (reads every page)."""
@@ -71,6 +99,12 @@ class DiskBackedDatabase:
         from ..index.knn import linear_scan
 
         return linear_scan(self.store.read_all(), query, k)
+
+    def save(self, directory: PathLike) -> None:
+        """Persist this database as a directory (see :mod:`repro.io`)."""
+        from ..io.database import save_disk_database
+
+        save_disk_database(self, directory)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,163 @@
+"""Equivalence: linear_scan == SeriesDatabase.knn == QueryEngine.knn_batch.
+
+The engine's contract is byte-identity — for every reducer, index and
+distance mode, a batched call returns exactly the ids *and* distances of
+per-query :meth:`SeriesDatabase.knn` calls and of the classic sequential
+loop (``ExecutionMode.SEQUENTIAL``).  Where the query bound is a true lower
+bound (Dist_LB, the aligned methods, CHEBY, SAX mindist) the answers must
+additionally equal the brute-force ground truth, including the stable
+tie-break on duplicate series.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ExecutionMode, QueryEngine, QueryOptions
+from repro.index import SeriesDatabase, linear_scan
+from repro.kinds import DistanceMode, IndexKind
+from repro.reduction import PAA, PLA, REDUCERS
+
+INDEXES = (None, IndexKind.DBCH, IndexKind.RTREE)
+
+#: (reducer name, mode) pairs whose query bound is a guaranteed lower bound,
+#: so filter-and-refine must reproduce the brute-force answer exactly
+EXACT_CONFIGS = [
+    ("SAPLA", DistanceMode.LB),
+    ("APLA", DistanceMode.LB),
+    ("APCA", DistanceMode.LB),
+    ("PLA", DistanceMode.PAR),
+    ("PAA", DistanceMode.PAR),
+    ("PAALM", DistanceMode.PAR),
+    ("CHEBY", DistanceMode.PAR),
+    ("SAX", DistanceMode.PAR),
+]
+
+
+def dataset(count=24, n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(count, n)).cumsum(axis=1)
+
+
+def build(name, index, mode, data):
+    db = SeriesDatabase(REDUCERS[name](8), index=index, distance_mode=mode)
+    db.ingest(data)
+    return db
+
+
+def assert_same(a, b):
+    assert a.ids == b.ids
+    assert a.distances == b.distances
+
+
+@pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
+@pytest.mark.parametrize("mode", list(DistanceMode))
+@pytest.mark.parametrize("name", sorted(REDUCERS))
+def test_batch_matches_per_query_and_sequential(name, mode, index):
+    """Full grid: knn == knn_batch == SEQUENTIAL mode, bit for bit."""
+    data = dataset()
+    db = build(name, index, mode, data)
+    queries = np.stack([data[3] + 0.1, data[10] - 0.2, data[0]])
+    singles = [db.knn(q, 5) for q in queries]
+    batched = db.knn_batch(queries, QueryOptions(k=5))
+    sequential = db.knn_batch(queries, QueryOptions(k=5, mode=ExecutionMode.SEQUENTIAL))
+    assert not batched.timed_out
+    for single, bat, seq in zip(singles, batched.results, sequential.results):
+        assert_same(single, bat)
+        assert_same(single, seq)
+
+
+@pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
+@pytest.mark.parametrize("name,mode", EXACT_CONFIGS)
+def test_lower_bounding_configs_match_linear_scan(name, mode, index):
+    """Where the bound is a true lower bound the engine is exact."""
+    data = dataset(seed=2)
+    db = build(name, index, mode, data)
+    queries = np.stack([data[1] + 0.05, data[7], dataset(1, 48, seed=9)[0]])
+    batched = db.knn_batch(queries, QueryOptions(k=4))
+    for query, result in zip(queries, batched.results):
+        assert_same(result, linear_scan(data, query, 4))
+
+
+@pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
+def test_k_larger_than_count_returns_everything(index):
+    data = dataset(count=6)
+    db = build("PAA", index, DistanceMode.PAR, data)
+    batch = db.knn_batch(data[:2], QueryOptions(k=50))
+    for query, result in zip(data[:2], batch.results):
+        assert len(result.ids) == len(data)
+        assert_same(result, linear_scan(data, query, 50))
+
+
+@pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
+def test_duplicate_series_tie_break_is_stable_by_id(index):
+    """Duplicates: every path keeps the smallest ids, like the stable scan."""
+    base = dataset(count=4)
+    data = np.concatenate([base, base, base])  # ids 0..11, triples of each row
+    db = build("PAA", index, DistanceMode.PAR, data)
+    batch = db.knn_batch(base, QueryOptions(k=5))
+    for query, result in zip(base, batch.results):
+        assert_same(result, linear_scan(data, query, 5))
+
+
+def test_lookahead_changes_rounds_not_answers():
+    data = dataset(count=30)
+    db = build("SAPLA", None, DistanceMode.LB, data)
+    queries = data[:4] + 0.05
+    one = db.knn_batch(queries, QueryOptions(k=3, lookahead=1))
+    eager = db.knn_batch(queries, QueryOptions(k=3, lookahead=8))
+    for a, b in zip(one.results, eager.results):
+        assert_same(a, b)
+
+
+class TestPropertyEquivalence:
+    """Randomised data/batch shapes keep the three paths identical."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        count=st.integers(3, 20),
+        n_queries=st.integers(1, 5),
+        k=st.integers(1, 8),
+        reducer=st.sampled_from([PAA, PLA]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_batches(self, seed, count, n_queries, k, reducer):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(count, 32)).cumsum(axis=1)
+        queries = rng.normal(size=(n_queries, 32)).cumsum(axis=1)
+        db = SeriesDatabase(reducer(6), index=None)
+        db.ingest(data)
+        batch = db.knn_batch(queries, QueryOptions(k=k))
+        sequential = db.knn_batch(
+            queries, QueryOptions(k=k, mode=ExecutionMode.SEQUENTIAL)
+        )
+        for i, query in enumerate(queries):
+            truth = linear_scan(data, query, k)
+            assert_same(batch.results[i], truth)
+            assert_same(sequential.results[i], truth)
+            assert_same(db.knn(query, k), truth)
+
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_trees_agree_with_per_query(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(18, 32)).cumsum(axis=1)
+        queries = rng.normal(size=(3, 32)).cumsum(axis=1)
+        db = SeriesDatabase(REDUCERS["SAPLA"](6), index=IndexKind.DBCH)
+        db.ingest(data)
+        batch = db.knn_batch(queries, QueryOptions(k=k))
+        for i, query in enumerate(queries):
+            assert_same(batch.results[i], db.knn(query, k))
+
+
+def test_engine_is_reusable_across_batches():
+    data = dataset()
+    db = build("PAA", None, DistanceMode.PAR, data)
+    engine = QueryEngine(db)
+    first = engine.knn_batch(data[:2], QueryOptions(k=3))
+    second = engine.knn_batch(data[2:4], QueryOptions(k=3))
+    for query, result in zip(data[:2], first.results):
+        assert_same(result, linear_scan(data, query, 3))
+    for query, result in zip(data[2:4], second.results):
+        assert_same(result, linear_scan(data, query, 3))
