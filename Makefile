@@ -1,6 +1,7 @@
 # Convenience targets for the SAPLA reproduction.
 
-.PHONY: install test bench bench-full examples results clean verify-obs verify-engine
+.PHONY: install test bench bench-full examples results clean verify-obs verify-engine \
+	verify-lifecycle crash-matrix
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +20,17 @@ verify-engine:
 	PYTHONPATH=src pytest tests/engine -q
 	PYTHONPATH=src REPRO_SERIES=64 REPRO_QUERIES=16 REPRO_LENGTH=64 \
 	pytest benchmarks/bench_batch_knn.py --benchmark-only -q
+
+# durability layer: lint + WAL/recovery/maintenance/snapshot tests +
+# the mutate-vs-fresh equivalence property + a short crash matrix
+verify-lifecycle:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/lifecycle tests/property/test_mutate_query_equivalence.py -q
+	python scripts/crash_matrix.py --kills 3 --series 300
+
+# SIGKILL an ingesting subprocess at random points; recovery must lose nothing
+crash-matrix:
+	python scripts/crash_matrix.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,6 +1,7 @@
 """Lint: every instrumented call site must use a catalogued metric name.
 
-Walks ``src/repro`` and ``benchmarks`` with ``ast``, finds calls to the
+Walks ``src/repro`` (including the ``repro.lifecycle`` durability layer),
+``benchmarks`` and ``scripts`` with ``ast``, finds calls to the
 observability helpers
 (``obs.count`` / ``obs.gauge_set`` / ``obs.observe`` / ``obs.span`` and
 their bare-imported forms, plus ``registry.counter/gauge/histogram`` and
@@ -84,8 +85,9 @@ def check_file(path: pathlib.Path) -> "list[str]":
     return violations
 
 
-#: directory trees the lint walks (benchmarks emit engine.* names too)
-WALKED = (ROOT / "src" / "repro", ROOT / "benchmarks")
+#: directory trees the lint walks (benchmarks emit engine.* names, and the
+#: crash-matrix harness under scripts/ emits recovery.* names)
+WALKED = (ROOT / "src" / "repro", ROOT / "benchmarks", ROOT / "scripts")
 
 
 def main() -> int:

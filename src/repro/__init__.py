@@ -11,6 +11,7 @@ The most-used entry points are re-exported here::
 
     from repro import SAPLA, SeriesDatabase, UCRLikeArchive
     from repro import IndexKind, DistanceMode, QueryEngine, QueryOptions
+    from repro import DurabilityOptions, FsyncPolicy
 """
 
 from .core import SAPLA, LinearSegmentation, Segment, StreamingSAPLA, sapla_transform
@@ -18,6 +19,7 @@ from .data import UCRLikeArchive
 from .engine import BatchResult, ExecutionMode, QueryEngine, QueryOptions
 from .index import SeriesDatabase
 from .kinds import DistanceMode, IndexKind
+from .lifecycle.wal import DurabilityOptions, FsyncPolicy
 
 __version__ = "1.0.0"
 
@@ -31,6 +33,8 @@ __all__ = [
     "UCRLikeArchive",
     "IndexKind",
     "DistanceMode",
+    "DurabilityOptions",
+    "FsyncPolicy",
     "QueryEngine",
     "QueryOptions",
     "BatchResult",

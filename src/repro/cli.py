@@ -7,6 +7,9 @@ Commands
 ``reduce``       reduce a series file to a representation JSON
 ``reconstruct``  rebuild a series from a representation JSON
 ``knn``          run k-NN over a dataset with a chosen method and index
+``ingest``       insert series into a saved database through its WAL
+``checkpoint``   fold a database's WAL into its saved state
+``compact``      drop tombstoned rows and reclaim space
 ``experiment``   regenerate one of the paper's tables/figures
 ``stats``        list the metric catalogue or summarise a saved run report
 
@@ -178,6 +181,67 @@ def _cmd_knn(args) -> int:
     )
     if args.report:
         print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from .io import open_database
+    from .lifecycle import DurabilityOptions
+
+    durability = DurabilityOptions(
+        wal=not args.no_wal, fsync=args.fsync, batch_records=args.fsync_batch
+    )
+    with obs.span("cli.ingest"):
+        db = open_database(args.database, durability=durability)
+        if args.input.endswith(".npz"):
+            try:
+                rows = load_dataset(args.input).data
+            except KeyError:  # plain archive with just a 'data' matrix
+                with np.load(args.input, allow_pickle=False) as archive:
+                    rows = np.atleast_2d(np.asarray(archive["data"], dtype=float))
+        else:
+            rows = np.atleast_2d(_read_series(args.input))
+        first = last = None
+        for row in rows:
+            sid = db.insert(row)
+            first = sid if first is None else first
+            last = sid
+        if db.wal is not None:
+            db.wal.sync()
+        else:
+            from .lifecycle import checkpoint
+
+            checkpoint(db)  # without a WAL the inserts only survive a save
+    print(f"inserted {len(rows)} series as ids {first}..{last} into {args.database}")
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    from .io import open_database
+    from .lifecycle import checkpoint
+
+    with obs.span("cli.checkpoint"):
+        db = open_database(args.database)
+        report = checkpoint(db)
+    print(
+        f"checkpointed {report.directory}: {report.live_count} live of "
+        f"{report.row_count} rows, folded {report.wal_bytes_folded} WAL bytes"
+    )
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from .io import open_database
+    from .lifecycle import compact
+
+    with obs.span("cli.compact"):
+        db = open_database(args.database)
+        report = compact(db)
+    print(
+        f"compacted {report.directory}: dropped {report.rows_dropped} of "
+        f"{report.rows_before} rows, reclaimed {report.reclaimed_bytes} bytes "
+        f"({report.reclaimed_fraction:.1%} of raw data)"
+    )
     return 0
 
 
@@ -368,6 +432,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture metrics + spans for the run and write a RunReport here",
     )
     p.set_defaults(func=_cmd_knn)
+
+    p = sub.add_parser("ingest", help="insert series into a saved database (WAL-durable)")
+    p.add_argument("--database", required=True, help="database directory (from save)")
+    p.add_argument("--input", required=True, help=".npz dataset or .npy/.csv/.txt series")
+    p.add_argument(
+        "--fsync", choices=("always", "batch", "never"), default="batch",
+        help="WAL fsync policy for the inserts",
+    )
+    p.add_argument(
+        "--fsync-batch", type=int, default=64, metavar="N",
+        help="records per fsync under --fsync batch",
+    )
+    p.add_argument(
+        "--no-wal", action="store_true",
+        help="skip the write-ahead log (crash loses uncheckpointed inserts)",
+    )
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser("checkpoint", help="fold a database's WAL into its saved state")
+    p.add_argument("--database", required=True, help="database directory (from save)")
+    p.set_defaults(func=_cmd_checkpoint)
+
+    p = sub.add_parser("compact", help="drop tombstoned rows and reclaim space")
+    p.add_argument("--database", required=True, help="database directory (from save)")
+    p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser("stats", help="metric catalogue / run-report summary")
     p.add_argument(

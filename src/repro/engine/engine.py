@@ -52,80 +52,92 @@ class QueryEngine:
         each query alone.
         """
         options = options if options is not None else QueryOptions()
-        db = self.database
-        if db.data is None:
+        if self.database.data is None:
             raise RuntimeError("ingest data before searching")
         queries = np.asarray(queries, dtype=float)
         if queries.ndim != 2:
             raise ValueError("knn_batch expects a (Q, n) array of queries")
+        # Pin a snapshot so concurrent inserts/deletes never shift the
+        # entry list or tree under a batch mid-flight; plain databases
+        # (no lifecycle mixin) run unpinned as before.
+        snapshot_fn = getattr(self.database, "snapshot", None)
+        db = snapshot_fn() if callable(snapshot_fn) else self.database
+        pinned = db is not self.database
         start = time.perf_counter()
-        with obs.span("engine.knn_batch"):
-            results, timed_out, rounds, used_workers = self._dispatch(queries, options)
-            for result in results:
-                record_search(result, db.suite.mode)
-            if obs.is_enabled():
-                obs.count("engine.batches")
-                obs.count("engine.rounds", rounds)
-                obs.count("engine.pairs_verified", sum(r.n_verified for r in results))
-                obs.observe("engine.batch_size", len(queries))
-                obs.gauge_set("engine.parallelism", used_workers)
-                if timed_out:
-                    obs.count("engine.timeouts", len(timed_out))
-        return BatchResult(
-            results=results,
-            timed_out=sorted(timed_out),
-            elapsed_s=time.perf_counter() - start,
-            rounds=rounds,
-            parallelism=used_workers,
-        )
+        try:
+            with obs.span("engine.knn_batch"):
+                results, timed_out, rounds, used_workers = self._dispatch(
+                    db, queries, options
+                )
+                for result in results:
+                    record_search(result, db.suite.mode)
+                if obs.is_enabled():
+                    obs.count("engine.batches")
+                    obs.count("engine.rounds", rounds)
+                    obs.count("engine.pairs_verified", sum(r.n_verified for r in results))
+                    obs.observe("engine.batch_size", len(queries))
+                    obs.gauge_set("engine.parallelism", used_workers)
+                    if timed_out:
+                        obs.count("engine.timeouts", len(timed_out))
+            return BatchResult(
+                results=results,
+                timed_out=sorted(timed_out),
+                elapsed_s=time.perf_counter() - start,
+                rounds=rounds,
+                parallelism=used_workers,
+                generation=getattr(db, "generation", None),
+            )
+        finally:
+            if pinned:
+                db.release()
 
     # ------------------------------------------------------------------
-    def _dispatch(self, queries: np.ndarray, options: QueryOptions):
-        """Choose and run an execution strategy; returns
-        ``(results, timed_out, rounds, workers_used)``."""
+    def _dispatch(self, db, queries: np.ndarray, options: QueryOptions):
+        """Choose and run an execution strategy over the pinned view ``db``;
+        returns ``(results, timed_out, rounds, workers_used)``."""
         if options.parallelism > 1 and options.mode is not ExecutionMode.SEQUENTIAL:
-            fanned = run_parallel(self.database, queries, options)
+            fanned = run_parallel(db, queries, options)
             if fanned is not None:
                 results, timed_out, rounds, workers = fanned
                 return results, timed_out, rounds, workers
         if options.mode is ExecutionMode.SEQUENTIAL:
-            return self._run_sequential(queries, options) + (1,)
-        return self._run_vectorized(queries, options) + (1,)
+            return self._run_sequential(db, queries, options) + (1,)
+        return self._run_vectorized(db, queries, options) + (1,)
 
-    def _run_vectorized(self, queries: np.ndarray, options: QueryOptions):
+    def _run_vectorized(self, db, queries: np.ndarray, options: QueryOptions):
         """All queries advance in lockstep; one distance call per round."""
-        db = self.database
         deadline = _absolute_deadline(options)
         states = [
             make_state(db, query, options.k, options.lookahead, use_batch_bounds=True)
             for query in queries
         ]
-        rounds, timed_out = self._execute(states, queries, deadline)
+        rounds, timed_out = self._execute(db, states, queries, deadline)
         return [state.finalize() for state in states], timed_out, rounds
 
-    def _run_sequential(self, queries: np.ndarray, options: QueryOptions):
+    def _run_sequential(self, db, queries: np.ndarray, options: QueryOptions):
         """Classic baseline: each query runs to completion with scalar bounds."""
-        db = self.database
         deadline = _absolute_deadline(options)
         results, timed_out, rounds = [], [], 0
         for index in range(len(queries)):
             state = make_state(
                 db, queries[index], options.k, options.lookahead, use_batch_bounds=False
             )
-            done_rounds, late = self._execute([state], queries[index][None, :], deadline)
+            done_rounds, late = self._execute(
+                db, [state], queries[index][None, :], deadline
+            )
             rounds += done_rounds
             if late:
                 timed_out.append(index)
             results.append(state.finalize())
         return results, timed_out, rounds
 
-    def _execute(self, states: list, queries: np.ndarray, deadline: "Optional[float]"):
+    def _execute(self, db, states: list, queries: np.ndarray, deadline: "Optional[float]"):
         """Drive ``states`` to completion; returns ``(rounds, timed_out)``.
 
         ``timed_out`` holds the indices (into ``states``) still unfinished
         when the deadline fired; their partial heaps remain valid.
         """
-        data = self.database.data
+        data = db.data
         active = list(range(len(states)))
         rounds = 0
         timed_out: "List[int]" = []

@@ -87,6 +87,10 @@ class BatchResult:
     elapsed_s: float = 0.0
     rounds: int = 0
     parallelism: int = 1
+    #: database generation the batch was served at (``None`` when the
+    #: database has no lifecycle tracking) — the whole batch saw exactly
+    #: this version, regardless of concurrent inserts/deletes.
+    generation: "Optional[int]" = None
 
     @property
     def n_queries(self) -> int:

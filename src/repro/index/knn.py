@@ -28,6 +28,7 @@ from .. import obs
 from ..distance.euclidean import euclidean
 from ..distance.suite import QueryContext, make_suite
 from ..kinds import DistanceMode, IndexKind, coerce_index_kind
+from ..lifecycle.snapshot import MutableDatabase
 from ..reduction.base import Reducer
 from .bulk import bulk_load_dbch, bulk_load_rtree
 from .dbch import DBCHTree
@@ -193,7 +194,7 @@ def record_search(result: KNNResult, mode: str) -> None:
     obs.observe("knn.verified_per_query", result.n_verified)
 
 
-class SeriesDatabase:
+class SeriesDatabase(MutableDatabase):
     """A collection of raw series, their representations, and an index.
 
     Args:
@@ -207,6 +208,11 @@ class SeriesDatabase:
             :class:`repro.DistanceMode` (see :func:`repro.distance.make_suite`);
             legacy strings are coerced with a ``DeprecationWarning``.
         max_entries / min_entries: node fill factors (paper uses 5 / 2).
+
+    The database is mutable and snapshot-consistent: ``insert``/``delete``
+    may interleave with serving, ``snapshot()``/``freeze()`` pin a stable
+    read view (see :class:`repro.lifecycle.MutableDatabase`), and attaching
+    a :class:`repro.lifecycle.WriteAheadLog` makes mutations durable.
     """
 
     def __init__(
@@ -228,6 +234,12 @@ class SeriesDatabase:
         self._weights: Optional[np.ndarray] = None
         self._rep_cache = None
         self._engine = None
+        #: amortised-doubling row buffer; ``data`` is always ``_buf[:_count]``
+        #: when the raw rows live in memory (disk-backed views set it None).
+        self._buf: Optional[np.ndarray] = None
+        self._count = 0
+        self._live_ids: "set[int]" = set()
+        self._init_lifecycle()
 
     # ------------------------------------------------------------------
     def ingest(
@@ -235,6 +247,7 @@ class SeriesDatabase:
         data: np.ndarray,
         representations: "Optional[list]" = None,
         bulk: bool = False,
+        live_ids: "Optional[List[int]]" = None,
     ) -> None:
         """Reduce and index every row of ``data`` (shape ``(count, n)``).
 
@@ -242,52 +255,89 @@ class SeriesDatabase:
         several index structures can be built from one reduction pass.
         ``bulk=True`` packs the tree bottom-up (STR for the R-tree,
         distance-ordered packing for the DBCH-tree) instead of inserting
-        incrementally.
+        incrementally.  ``live_ids`` restricts indexing to those row ids —
+        the persistence layer uses it to reopen a database whose other rows
+        are tombstoned.
         """
         data = np.asarray(data, dtype=float)
         if data.ndim != 2:
             raise ValueError("ingest expects a (count, n) array of series")
-        if representations is not None and len(representations) != len(data):
-            raise ValueError("one representation per data row is required")
+        if live_ids is None:
+            ids = list(range(len(data)))
+        else:
+            ids = [int(i) for i in live_ids]
+            if any(b <= a for a, b in zip(ids, ids[1:])):
+                raise ValueError("live_ids must be strictly increasing")
+            if ids and (ids[0] < 0 or ids[-1] >= len(data)):
+                raise ValueError("live_ids out of range for the data rows")
+        if representations is not None and len(representations) != len(ids):
+            raise ValueError(
+                "one representation per data row is required"
+                if live_ids is None
+                else "one representation per live series is required"
+            )
         with obs.span("db.ingest"):
-            self.data = data
-            self.entries = []
-            self._rep_cache = None
             budget = getattr(self.reducer, "n_segments", None)
-            for series_id, series in enumerate(data):
+            entries = []
+            for position, series_id in enumerate(ids):
                 representation = (
-                    representations[series_id]
+                    representations[position]
                     if representations is not None
-                    else self.reducer.transform(series)
+                    else self.reducer.transform(data[series_id])
                 )
                 feature = feature_vector(representation, budget)
-                self.entries.append(
+                entries.append(
                     Entry(series_id=series_id, representation=representation, feature=feature)
                 )
-            if self.index_kind == IndexKind.RTREE:
-                self._weights = feature_weights(self.entries[0].representation, budget)
-                if bulk:
-                    self.tree = bulk_load_rtree(self.entries, self.max_entries, self.min_entries)
-                else:
-                    self.tree = RTree(self.max_entries, self.min_entries)
-                    for entry in self.entries:
-                        self.tree.insert(entry)
-            elif self.index_kind == IndexKind.DBCH:
-                if bulk:
-                    self.tree = bulk_load_dbch(
-                        self.entries, self.suite.pairwise, self.max_entries, self.min_entries
-                    )
-                else:
-                    self.tree = DBCHTree(self.suite.pairwise, self.max_entries, self.min_entries)
-                    for entry in self.entries:
-                        self.tree.insert(entry)
-            if self.tree is not None and obs.is_enabled():
-                from .stats import leaf_fill
+            self._install(data, entries, bulk)
 
-                gauge = (
-                    "dbch.leaf_fill" if self.index_kind == IndexKind.DBCH else "rtree.leaf_fill"
+    def _install(self, data, entries: "List[Entry]", bulk: bool = False) -> None:
+        """Adopt ``data`` + ``entries`` wholesale and (re)build the index.
+
+        ``data`` is either an in-memory ``(count, n)`` array or an
+        array-like row view over a paged store.  Shared by ``ingest``, the
+        disk-backed reopen path and compaction.
+        """
+        self.data = data
+        if isinstance(data, np.ndarray):
+            self._buf = data
+            self._count = int(data.shape[0])
+        else:
+            self._buf = None
+            self._count = len(data)
+        self.entries = entries
+        self._live_ids = {e.series_id for e in entries}
+        self._rep_cache = None
+        with self._mutate_lock:
+            self._pending = []
+            self._generation += 1
+        if not self.entries:
+            self.tree = None  # nothing to index; searches fall back to a scan
+        elif self.index_kind == IndexKind.RTREE:
+            budget = getattr(self.reducer, "n_segments", None)
+            self._weights = feature_weights(self.entries[0].representation, budget)
+            if bulk:
+                self.tree = bulk_load_rtree(self.entries, self.max_entries, self.min_entries)
+            else:
+                self.tree = RTree(self.max_entries, self.min_entries)
+                for entry in self.entries:
+                    self.tree.insert(entry)
+        elif self.index_kind == IndexKind.DBCH:
+            if bulk:
+                self.tree = bulk_load_dbch(
+                    self.entries, self.suite.pairwise, self.max_entries, self.min_entries
                 )
-                obs.gauge_set(gauge, leaf_fill(self.tree))
+            else:
+                self.tree = DBCHTree(self.suite.pairwise, self.max_entries, self.min_entries)
+                for entry in self.entries:
+                    self.tree.insert(entry)
+        if self.tree is not None and obs.is_enabled():
+            from .stats import leaf_fill
+
+            gauge = (
+                "dbch.leaf_fill" if self.index_kind == IndexKind.DBCH else "rtree.leaf_fill"
+            )
+            obs.gauge_set(gauge, leaf_fill(self.tree))
 
     # ------------------------------------------------------------------
     def knn(self, query: np.ndarray, k: int) -> KNNResult:
@@ -350,36 +400,87 @@ class SeriesDatabase:
 
     def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
         """Exact k-NN by linear scan over the ingested raw data."""
-        data = self.data
-        live = {e.series_id for e in self.entries}
+        if self.data is None:
+            raise RuntimeError("ingest data before searching")
+        return self._ground_truth_from(self.data, query, k)
+
+    def _ground_truth_from(self, data, query: np.ndarray, k: int) -> KNNResult:
+        """Tombstone-aware exact scan over ``data`` (rows indexed by id).
+
+        With no deletes the scan runs at exactly ``k`` (fast path); under
+        churn the over-fetch is capped at the tombstone count, so the scan
+        never requests more than ``min(k + tombstones, rows)`` neighbours.
+        """
+        tombstones = self._count - len(self._live_ids)
         with obs.span("knn.ground_truth"):
-            result = linear_scan(data, query, k + (len(data) - len(live)))
+            if tombstones == 0:
+                return linear_scan(np.asarray(data, dtype=float), query, k)
+            overfetch = min(k + tombstones, self._count)
+            result = linear_scan(np.asarray(data, dtype=float), query, overfetch)
         kept = [
-            (i, d) for i, d in zip(result.ids, result.distances) if i in live
+            (i, d) for i, d in zip(result.ids, result.distances) if i in self._live_ids
         ][:k]
         return KNNResult(
             ids=[i for i, _ in kept],
             distances=[d for _, d in kept],
-            n_verified=len(live),
-            n_total=len(live),
+            n_verified=len(self._live_ids),
+            n_total=len(self._live_ids),
         )
 
+    # ------------------------------------------------------------------
     def insert(self, series: np.ndarray) -> int:
         """Add one series to the database and its index; returns its id.
 
-        Ids are append-only: a new series always gets ``len(data)`` even
-        after deletions, so existing ids stay stable.
+        Ids are append-only: a new series always gets the next row id even
+        after deletions, so existing ids stay stable (until an explicit
+        :func:`repro.lifecycle.compact` re-packs them).  Appends land in an
+        amortised-doubling row buffer, so a stream of N inserts costs
+        O(N·n) instead of the O(N²·n) of re-stacking the matrix each call.
+        With a WAL attached the record is logged (and fsynced per policy)
+        before any state changes.
         """
-        if self.data is None:
-            self.ingest(np.asarray(series, dtype=float)[None, :])
-            return 0
         series = np.asarray(series, dtype=float)
+        if self.data is None:
+            if series.ndim != 1:
+                raise ValueError("insert expects a single series (1-D array)")
+            if self._wal is not None:
+                self._wal.append_insert(0, series)
+            self.ingest(series[None, :])
+            return 0
+        if not isinstance(self.data, np.ndarray):
+            raise RuntimeError(
+                "raw rows live behind a paged store; insert through the owning "
+                "DiskBackedDatabase"
+            )
         if series.ndim != 1 or series.shape[0] != self.data.shape[1]:
             raise ValueError(
                 f"series length {series.shape} does not match stored {self.data.shape[1]}"
             )
-        series_id = int(self.data.shape[0])
-        self.data = np.vstack([self.data, series[None, :]])
+        series_id = self._count
+        if self._wal is not None:
+            self._wal.append_insert(series_id, series)
+        self._append_row(series)
+        self._register(series_id, series)
+        return series_id
+
+    def _append_row(self, series: np.ndarray) -> None:
+        """Append one raw row to the capacity-doubling buffer.
+
+        Existing snapshots keep views into the old buffer, so growing never
+        moves rows out from under a pinned reader.
+        """
+        if self._buf is None or self._count == self._buf.shape[0]:
+            capacity = max(4, 2 * self._count)
+            grown = np.empty((capacity, series.shape[0]), dtype=float)
+            if self._count:
+                grown[: self._count] = np.asarray(self.data)
+            self._buf = grown
+        self._buf[self._count] = series
+        self._count += 1
+        self.data = self._buf[: self._count]
+
+    def _register(self, series_id: int, series: np.ndarray) -> None:
+        """Transform ``series`` and make its entry (eventually) visible."""
         representation = self.reducer.transform(series)
         budget = getattr(self.reducer, "n_segments", None)
         entry = Entry(
@@ -387,32 +488,80 @@ class SeriesDatabase:
             representation=representation,
             feature=feature_vector(representation, budget),
         )
-        self.entries.append(entry)
-        self._rep_cache = None
-        if self.tree is not None:
-            self.tree.insert(entry)
-        return series_id
+        self._count = max(self._count, series_id + 1)
+        self._live_ids.add(series_id)
+        obs.count("db.inserts")
+        self._stage("insert", entry)
 
     def delete(self, series_id: int) -> bool:
         """Remove one series from the database and its index.
 
-        The raw row stays in ``data`` (ids are stable); the entry leaves the
-        candidate set and the tree, so searches never return it again.
+        The raw row stays behind as a tombstone (ids are stable); the entry
+        leaves the candidate set and the tree, so searches never return it
+        again.  :func:`repro.lifecycle.compact` reclaims the row bytes.
         """
-        before = len(self.entries)
-        self.entries = [e for e in self.entries if e.series_id != series_id]
-        if len(self.entries) == before:
+        series_id = int(series_id)
+        if series_id not in self._live_ids:
             return False
-        self._rep_cache = None
-        if self.tree is not None:
-            self.tree.delete(series_id)
+        if self._wal is not None:
+            self._wal.append_delete(series_id)
+        return self._delete_unlogged(series_id)
+
+    def _delete_unlogged(self, series_id: int) -> bool:
+        if series_id not in self._live_ids:
+            return False
+        self._live_ids.discard(series_id)
+        obs.count("db.deletes")
+        self._stage("delete", series_id)
         return True
 
+    # -- lifecycle hooks ------------------------------------------------
+    def _apply_op(self, op: str, payload) -> None:
+        """Make one staged mutation visible in the entry list and tree."""
+        if op == "insert":
+            self.entries.append(payload)
+            if self.tree is not None:
+                self.tree.insert(payload)
+        else:
+            self.entries = [e for e in self.entries if e.series_id != payload]
+            if self.tree is not None:
+                self.tree.delete(payload)
+        self._rep_cache = None
+        self._generation += 1
+
+    def _replay_insert(self, series_id: int, series: np.ndarray) -> None:
+        """Recovery hook: re-apply one WAL insert without re-logging it."""
+        from ..lifecycle.recovery import RecoveryError
+
+        series = np.asarray(series, dtype=float)
+        if self.data is None:
+            if series_id != 0:
+                raise RecoveryError(
+                    f"WAL insert for id {series_id} into an empty database"
+                )
+            self.ingest(series[None, :])
+            return
+        if series_id != self._count:
+            raise RecoveryError(
+                f"WAL insert for id {series_id} but the next row id is {self._count}"
+            )
+        self._append_row(series)
+        self._register(series_id, series)
+
+    def _replay_delete(self, series_id: int) -> bool:
+        """Recovery hook: re-apply one WAL delete (idempotent)."""
+        return self._delete_unlogged(series_id)
+
+    # ------------------------------------------------------------------
     def range_query(self, query: np.ndarray, radius: float) -> KNNResult:
         """All series within Euclidean ``radius`` of ``query`` (filter-and-refine).
 
         Candidates whose representation bound exceeds ``radius`` are pruned;
-        survivors are verified on raw data.  With a guaranteed lower bound
+        survivors are verified on raw data.  With a tree index the search
+        runs through the same best-first frontier as :meth:`knn` — whole
+        subtrees whose node distance exceeds ``radius`` are never expanded,
+        and the accounting (nodes visited, heap pushes, candidates) feeds
+        the same pruning statistics.  With a guaranteed lower bound
         (``DistanceMode.LB`` for adaptive methods, or any equal-length
         method) the result is exact.
         """
@@ -421,22 +570,55 @@ class SeriesDatabase:
         if radius < 0:
             raise ValueError("radius must be non-negative")
         query = np.asarray(query, dtype=float)
-        ctx = QueryContext(series=query, representation=self.reducer.transform(query))
+        ctx = self.query_context(query)
         hits: "List[tuple[float, int]]" = []
         verified = 0
-        for entry in self.entries:
-            if self.suite.query_bound(ctx, entry.representation) > radius:
-                continue
-            true = euclidean(query, self.data[entry.series_id])
-            verified += 1
-            if true <= radius:
-                hits.append((true, entry.series_id))
+        nodes_visited = 0
+        if self.tree is None:
+            node_pushes = heap_pushes = 0
+            n_candidates = len(self.entries)
+            for entry in self.entries:
+                if self.suite.query_bound(ctx, entry.representation) > radius:
+                    continue
+                true = euclidean(query, self.data[entry.series_id])
+                verified += 1
+                if true <= radius:
+                    hits.append((true, entry.series_id))
+        else:
+            frontier = _Frontier()
+            frontier.push_node(self.node_distance(ctx, self.tree.root), self.tree.root)
+            while frontier:
+                key, kind, payload = frontier.pop()
+                if key > radius:
+                    break  # best-first: everything still queued is further out
+                if kind == "entry":
+                    true = euclidean(query, self.data[payload.series_id])
+                    verified += 1
+                    if true <= radius:
+                        hits.append((true, payload.series_id))
+                    continue
+                nodes_visited += 1
+                if payload.is_leaf:
+                    for entry in payload.entries:
+                        frontier.push_entry(
+                            self.suite.query_bound(ctx, entry.representation), entry
+                        )
+                else:
+                    for child in payload.children:
+                        frontier.push_node(self.node_distance(ctx, child), child)
+            n_candidates = frontier.entry_pushes
+            node_pushes = frontier.node_pushes
+            heap_pushes = frontier.pushes
         hits.sort()
         return KNNResult(
             ids=[sid for _, sid in hits],
             distances=[d for d, _ in hits],
             n_verified=verified,
             n_total=len(self.entries),
+            nodes_visited=nodes_visited,
+            n_candidates=n_candidates,
+            node_pushes=node_pushes,
+            heap_pushes=heap_pushes,
         )
 
     # ------------------------------------------------------------------

@@ -39,11 +39,17 @@ STORE_FILENAME = "series.bin"
 
 
 def _write_common(database, directory: pathlib.Path, config: dict) -> None:
-    """Write the representations and config shared by both flavours."""
-    payload = {
-        "representations": [to_jsonable(e.representation) for e in database.entries]
-    }
+    """Write the representations and config shared by both flavours.
+
+    Entries are sorted by id and only *live* series are saved; the config
+    records the total row count (tombstones included) and, when the two
+    disagree, the surviving ids — so a save after deletes reopens with the
+    same logical contents.
+    """
+    entries = sorted(database.entries, key=lambda e: e.series_id)
+    payload = {"representations": [to_jsonable(e.representation) for e in entries]}
     (directory / "representations.json").write_text(json.dumps(payload))
+    row_count = database._count
     config.update(
         {
             "reducer": database.reducer.name,
@@ -52,8 +58,11 @@ def _write_common(database, directory: pathlib.Path, config: dict) -> None:
             "distance_mode": database.suite.mode,
             "max_entries": database.max_entries,
             "min_entries": database.min_entries,
+            "row_count": row_count,
         }
     )
+    if len(entries) != row_count:
+        config["live_ids"] = [e.series_id for e in entries]
     (directory / "config.json").write_text(json.dumps(config, indent=2))
 
 
@@ -68,6 +77,7 @@ def save_series_database(database: SeriesDatabase, directory: PathLike) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(directory / "data.npz", data=np.asarray(database.data))
     _write_common(database, directory, {"kind": "memory"})
+    database._home = directory
 
 
 def save_disk_database(database, directory: PathLike) -> None:
@@ -92,15 +102,24 @@ def save_disk_database(database, directory: PathLike) -> None:
             "cache_pages": database.store.cache_pages,
         },
     )
+    database._home = directory
 
 
-def open_database(directory: PathLike):
+def open_database(directory: PathLike, durability=None):
     """Reopen a database directory saved by ``database.save(directory)``.
 
     Returns a :class:`repro.index.SeriesDatabase` or a
     :class:`repro.storage.DiskBackedDatabase` according to the directory's
     recorded ``kind`` (directories written before the kind field default to
     the in-memory flavour).
+
+    If the directory contains a write-ahead log, its committed records past
+    the last checkpoint are replayed before the database is returned —
+    inserts are re-transformed through the reducer and re-indexed, deletes
+    re-applied — so a crash mid-ingest reopens to exactly the acknowledged
+    state.  Passing a :class:`repro.lifecycle.DurabilityOptions` (or
+    ``DurabilityOptions()`` by leaving a WAL in place) keeps the database
+    durable: subsequent ``insert``/``delete`` calls append to the log.
     """
     directory = pathlib.Path(directory)
     config = json.loads((directory / "config.json").read_text())
@@ -114,6 +133,8 @@ def open_database(directory: PathLike):
         mode = DistanceMode.PAR  # non-adaptive suites store 'aligned' etc.
     payload = json.loads((directory / "representations.json").read_text())
     representations = [from_jsonable(item) for item in payload["representations"]]
+    live_ids = config.get("live_ids")
+    row_count = config.get("row_count")
     if config.get("kind", "memory") == "disk":
         from ..storage.database import DiskBackedDatabase
 
@@ -125,18 +146,33 @@ def open_database(directory: PathLike):
             page_size=config["page_size"],
             cache_pages=config["cache_pages"],
         )
-        database.reopen(representations)
-        return database
-    database = SeriesDatabase(
-        reducer,
-        index=index,
-        distance_mode=mode,
-        max_entries=config["max_entries"],
-        min_entries=config["min_entries"],
-    )
-    with np.load(directory / "data.npz", allow_pickle=False) as archive:
-        data = archive["data"]
-    database.ingest(data, representations=representations)
+        database.reopen(representations, live_ids=live_ids, row_count=row_count)
+        base_count = row_count if row_count is not None else len(representations)
+    else:
+        database = SeriesDatabase(
+            reducer,
+            index=index,
+            distance_mode=mode,
+            max_entries=config["max_entries"],
+            min_entries=config["min_entries"],
+        )
+        with np.load(directory / "data.npz", allow_pickle=False) as archive:
+            data = archive["data"]
+        database.ingest(data, representations=representations, live_ids=live_ids)
+        base_count = len(data)
+    database._home = directory
+    from ..lifecycle.wal import WAL_FILENAME, DurabilityOptions, WriteAheadLog
+    wal_path = directory / WAL_FILENAME
+    had_wal = wal_path.exists()
+    if had_wal:
+        from ..lifecycle.recovery import recover_database
+
+        recover_database(database, wal_path, base_count)
+    wants_wal = durability.wal if durability is not None else had_wal
+    if wants_wal:
+        database.attach_wal(
+            WriteAheadLog.open(wal_path, durability or DurabilityOptions())
+        )
     return database
 
 

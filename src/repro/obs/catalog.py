@@ -81,9 +81,32 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "storage.page_reads": (COUNTER, "physical page reads from the backing file"),
     "storage.page_writes": (COUNTER, "physical page writes to the backing file"),
     "storage.cache_hits": (COUNTER, "page reads served by the LRU cache"),
+    # ----------------------------------------------------------- lifecycle
+    "db.inserts": (COUNTER, "series inserted into a mutable database"),
+    "db.deletes": (COUNTER, "series tombstoned in a mutable database"),
+    "wal.appends": (COUNTER, "records appended to a write-ahead log"),
+    "wal.bytes_written": (COUNTER, "bytes appended to a write-ahead log"),
+    "wal.fsyncs": (COUNTER, "fsync calls issued by the write-ahead log"),
+    "wal.checkpoints": (COUNTER, "checkpoint markers appended to a WAL"),
+    "wal.records_replayed": (COUNTER, "committed WAL records decoded during replay"),
+    "wal.torn_bytes": (COUNTER, "bytes dropped from torn WAL tails"),
+    "recovery.runs": (COUNTER, "crash-recovery passes executed on open"),
+    "recovery.replayed_inserts": (COUNTER, "insert records re-applied by recovery"),
+    "recovery.replayed_deletes": (COUNTER, "delete records re-applied by recovery"),
+    "recovery.skipped_records": (COUNTER, "WAL records recovery skipped as already folded"),
+    "compaction.runs": (COUNTER, "compaction passes executed"),
+    "compaction.rows_dropped": (COUNTER, "tombstoned rows dropped by compaction"),
+    "compaction.reclaimed_bytes": (COUNTER, "raw data bytes reclaimed by compaction"),
     # --------------------------------------------------------------- spans
     "cli.knn": (SPAN, "whole `repro knn` command"),
     "cli.experiment": (SPAN, "whole `repro experiment` command"),
+    "cli.ingest": (SPAN, "whole `repro ingest` command"),
+    "cli.checkpoint": (SPAN, "whole `repro checkpoint` command"),
+    "cli.compact": (SPAN, "whole `repro compact` command"),
+    "wal.replay": (SPAN, "decode every committed record of a WAL file"),
+    "lifecycle.recover": (SPAN, "replay committed WAL records into a reopened database"),
+    "lifecycle.checkpoint": (SPAN, "persist state and truncate the WAL"),
+    "lifecycle.compact": (SPAN, "rewrite rows dropping tombstones and rebuild the index"),
     "bench.run": (SPAN, "whole instrumented benchmark pass"),
     "db.ingest": (SPAN, "reduce + index every row of a collection"),
     "knn.search": (SPAN, "one filter-and-refine k-NN query"),

@@ -13,7 +13,9 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..index.entries import Entry
 from ..index.knn import KNNResult, SeriesDatabase
+from ..index.mbr import feature_vector
 from ..kinds import DistanceMode, IndexKind
 from ..reduction.base import Reducer
 from .pages import PagedSeriesStore
@@ -49,6 +51,8 @@ class DiskBackedDatabase:
         self._page_size = page_size
         self._cache_pages = cache_pages
         self.store: Optional[PagedSeriesStore] = None
+        self._wal = None
+        self._home = None
 
     # ------------------------------------------------------------------
     def ingest(self, data: np.ndarray) -> None:
@@ -61,18 +65,49 @@ class DiskBackedDatabase:
         # raw data now lives on disk; reads go through the store
         self._inner.data = _StoreView(self.store)
 
-    def reopen(self, representations: list) -> None:
+    def _reindex(self, rows: np.ndarray, representations: list) -> None:
+        """Rebuild the inner index over ``rows`` already written to pages.
+
+        Compaction helper: the rows were just rewritten to the store, so
+        the index is rebuilt from the surviving representations and raw
+        reads are routed back through the (fresh) page file.
+        """
+        self._inner.ingest(rows, representations=representations)
+        self._inner.data = _StoreView(self.store)
+        self._inner._buf = None
+
+    def reopen(
+        self,
+        representations: list,
+        live_ids: "Optional[list]" = None,
+        row_count: "Optional[int]" = None,
+    ) -> None:
         """Attach an existing store file using persisted representations.
 
-        Used by :func:`repro.io.open_database`: the index rebuilds from the
-        stored representations (one sequential read of the pages, no
-        re-reduction) and subsequent verifications read pages as usual.
+        Used by :func:`repro.io.open_database`: the index rebuilds purely
+        from the stored representations — no page is read and nothing is
+        re-reduced — and subsequent verifications read pages as usual.
+        ``live_ids`` restricts the index to the series that survived
+        deletion; ``row_count`` is accepted for interface symmetry with the
+        saved config (the store header is authoritative for the row total,
+        which may exceed it when a WAL tail is about to be replayed).
         """
         self.store = PagedSeriesStore.open(
             self._store_path, page_size=self._page_size, cache_pages=self._cache_pages
         )
-        self._inner.ingest(self.store.read_all(), representations=representations)
-        self._inner.data = _StoreView(self.store)
+        ids = list(range(len(representations))) if live_ids is None else [int(i) for i in live_ids]
+        if len(ids) != len(representations):
+            raise ValueError("one representation per live series is required")
+        budget = getattr(self._inner.reducer, "n_segments", None)
+        entries = [
+            Entry(
+                series_id=sid,
+                representation=rep,
+                feature=feature_vector(rep, budget),
+            )
+            for sid, rep in zip(ids, representations)
+        ]
+        self._inner._install(_StoreView(self.store), entries)
 
     def knn(self, query: np.ndarray, k: int) -> KNNResult:
         """k-NN where every candidate verification reads pages from disk."""
@@ -93,12 +128,90 @@ class DiskBackedDatabase:
         return self._inner.knn_batch(queries, options)
 
     def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
-        """Exact answer via a full sequential scan (reads every page)."""
+        """Exact answer via a full sequential scan (reads every page).
+
+        Tombstoned rows are still read (they share pages with live ones)
+        but never returned; the over-fetch is capped at the tombstone
+        count, with a no-deletes fast path.
+        """
         if self.store is None:
             raise RuntimeError("ingest data before searching")
-        from ..index.knn import linear_scan
+        return self._inner._ground_truth_from(self.store.read_all(), query, k)
 
-        return linear_scan(self.store.read_all(), query, k)
+    # ------------------------------------------------------------------
+    def insert(self, series: np.ndarray) -> int:
+        """Append one series: WAL first, then its page, then the index."""
+        if self.store is None:
+            raise RuntimeError("ingest data before inserting")
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 1 or series.shape[0] != self.store.length:
+            raise ValueError(
+                f"series length {series.shape} does not match stored {self.store.length}"
+            )
+        series_id = self._inner._count
+        if self._wal is not None:
+            self._wal.append_insert(series_id, series)
+        self.store.put_row(series_id, series)
+        self._inner._register(series_id, series)
+        return series_id
+
+    def delete(self, series_id: int) -> bool:
+        """Tombstone one series; its page bytes are reclaimed by compaction."""
+        series_id = int(series_id)
+        if series_id not in self._inner._live_ids:
+            return False
+        if self._wal is not None:
+            self._wal.append_delete(series_id)
+        return self._inner._delete_unlogged(series_id)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def entries(self):
+        """Live index entries (delegates to the in-memory index)."""
+        return self._inner.entries
+
+    @property
+    def generation(self) -> int:
+        """Monotonic version counter — see :class:`repro.lifecycle.MutableDatabase`."""
+        return self._inner.generation
+
+    @property
+    def wal(self):
+        """The attached :class:`repro.lifecycle.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Route subsequent mutations through ``wal`` (durability on)."""
+        self._wal = wal
+
+    def snapshot(self):
+        """Pin the current index state — see :meth:`repro.index.SeriesDatabase.snapshot`."""
+        return self._inner.snapshot()
+
+    def freeze(self):
+        """Alias for :meth:`snapshot`."""
+        return self._inner.snapshot()
+
+    def _replay_insert(self, series_id: int, series: np.ndarray) -> None:
+        """Recovery hook: rewrite the row's page bytes (healing torn writes)
+        and re-register the series, without re-logging."""
+        from ..lifecycle.recovery import RecoveryError
+
+        if self.store is None:
+            raise RecoveryError("cannot replay inserts into an unopened store")
+        if series_id > len(self.store):
+            raise RecoveryError(
+                f"WAL insert for id {series_id} but the store holds {len(self.store)} rows"
+            )
+        self.store.put_row(series_id, np.asarray(series, dtype=float))
+        self._inner._register(series_id, series)
+
+    def _replay_delete(self, series_id: int) -> bool:
+        """Recovery hook: re-apply one WAL delete (idempotent)."""
+        return self._inner._delete_unlogged(series_id)
+
+    def _flush_pending(self) -> None:
+        self._inner._flush_pending()
 
     def save(self, directory: PathLike) -> None:
         """Persist this database as a directory (see :mod:`repro.io`)."""

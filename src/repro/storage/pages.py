@@ -9,6 +9,7 @@ experiments can report true I/O instead of the in-memory proxy.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -143,3 +144,42 @@ class PagedSeriesStore:
     def read_all(self) -> np.ndarray:
         """Read the whole collection (sequential scan)."""
         return np.stack([self.read(i) for i in range(self._count)])
+
+    # ------------------------------------------------------------------
+    def put_row(self, series_id: int, values: np.ndarray, sync: bool = False) -> None:
+        """Write one series in place, or append it at ``series_id == count``.
+
+        Appends grow the file and bump the header's row count; overwrites
+        (used by crash recovery to heal torn page writes) leave the count
+        alone.  Cached pages overlapping the row are invalidated so the
+        next read sees the new bytes.
+        """
+        values = np.ascontiguousarray(np.asarray(values, dtype="<f8")).ravel()
+        if not self._length:
+            raise ValueError("store has no rows yet; materialise it with write() first")
+        if len(values) != self._length:
+            raise ValueError(
+                f"row length {len(values)} does not match stored {self._length}"
+            )
+        if not 0 <= series_id <= self._count:
+            raise IndexError(
+                f"series {series_id} out of range for put_row ({self._count} stored)"
+            )
+        start_byte = self.page_size + series_id * self._row_bytes
+        with open(self.path, "r+b") as handle:
+            handle.seek(start_byte)
+            handle.write(values.tobytes())
+            if series_id == self._count:
+                self._count += 1
+                header = np.array([self._count, self._length], dtype="<i8").tobytes()
+                handle.seek(0)
+                handle.write(header)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+        first_page = start_byte // self.page_size
+        last_page = (start_byte + self._row_bytes - 1) // self.page_size
+        for page_id in range(first_page, last_page + 1):
+            self._cache.pop(page_id, None)
+        self._cache.pop(0, None)  # header page
+        obs.count("storage.page_writes", last_page - first_page + 1)

@@ -1,0 +1,1 @@
+"""Tests for the durability & maintenance subsystem (repro.lifecycle)."""

@@ -1,0 +1,156 @@
+"""Checkpointing and compaction over both database kinds."""
+
+import numpy as np
+import pytest
+
+from repro.index import SeriesDatabase
+from repro.io import open_database
+from repro.kinds import IndexKind
+from repro.lifecycle import (
+    DurabilityOptions,
+    WAL_FILENAME,
+    checkpoint,
+    compact,
+)
+from repro.lifecycle.wal import MAGIC
+from repro.reduction import PAA
+from repro.storage import DiskBackedDatabase
+
+LENGTH = 48
+
+
+def memory_db(directory, rows=40, seed=0):
+    rng = np.random.default_rng(seed)
+    db = SeriesDatabase(PAA(n_coefficients=8), index=IndexKind.DBCH)
+    db.ingest(rng.normal(size=(rows, LENGTH)))
+    db.save(directory)
+    return open_database(directory, durability=DurabilityOptions()), rng
+
+
+def disk_db(directory, rows=40, seed=0):
+    rng = np.random.default_rng(seed)
+    db = DiskBackedDatabase(
+        PAA(n_coefficients=8), directory / "series.bin", index=IndexKind.RTREE
+    )
+    db.ingest(rng.normal(size=(rows, LENGTH)))
+    db.save(directory)
+    return open_database(directory, durability=DurabilityOptions()), rng
+
+
+@pytest.fixture(params=["memory", "disk"])
+def opened(request, tmp_path):
+    maker = memory_db if request.param == "memory" else disk_db
+    db, rng = maker(tmp_path)
+    return db, rng, tmp_path
+
+
+class TestCheckpoint:
+    def test_folds_wal_and_truncates(self, opened):
+        db, rng, home = opened
+        for _ in range(5):
+            db.insert(rng.normal(size=LENGTH))
+        db.delete(0)
+        assert (home / WAL_FILENAME).stat().st_size > len(MAGIC)
+        report = checkpoint(db)
+        assert report.row_count == 45
+        assert report.live_count == 44
+        assert report.wal_bytes_folded > 0
+        assert (home / WAL_FILENAME).read_bytes() == MAGIC
+
+    def test_reopen_after_checkpoint_matches(self, opened):
+        db, rng, home = opened
+        for _ in range(5):
+            db.insert(rng.normal(size=LENGTH))
+        db.delete(3)
+        checkpoint(db)
+        fresh = open_database(home)
+        assert sorted(e.series_id for e in fresh.entries) == sorted(
+            e.series_id for e in db.entries
+        )
+        q = rng.normal(size=LENGTH)
+        a, b = db.knn(q, 5), fresh.knn(q, 5)
+        assert a.ids == b.ids
+        assert a.distances == b.distances
+
+    def test_unsaved_database_needs_directory(self):
+        db = SeriesDatabase(PAA(n_coefficients=8), index=None)
+        db.ingest(np.random.default_rng(0).normal(size=(5, LENGTH)))
+        with pytest.raises(ValueError):
+            checkpoint(db)
+
+
+class TestCompaction:
+    def test_reclaims_at_least_forty_percent_when_half_deleted(self, opened):
+        db, rng, home = opened
+        live = sorted(e.series_id for e in db.entries)
+        for sid in live[: len(live) // 2]:
+            db.delete(sid)
+        report = compact(db)
+        assert report.rows_before == 40
+        assert report.rows_live == 20
+        assert report.rows_dropped == 20
+        assert report.reclaimed_fraction >= 0.40
+        assert report.reclaimed_bytes == 20 * LENGTH * 8
+
+    def test_renumbers_contiguously_and_preserves_answers(self, opened):
+        db, rng, home = opened
+        q = rng.normal(size=LENGTH)
+        for sid in (1, 5, 7, 20):
+            db.delete(sid)
+        before = db.knn(q, 5)
+        survivors = sorted(e.series_id for e in db.entries)
+        id_map = {old: new for new, old in enumerate(survivors)}
+        compact(db)
+        assert sorted(e.series_id for e in db.entries) == list(range(36))
+        after = db.knn(q, 5)
+        assert after.ids == [id_map[i] for i in before.ids]
+        assert after.distances == before.distances
+
+    def test_persists_and_reopens(self, opened):
+        db, rng, home = opened
+        for sid in range(0, 40, 2):
+            db.delete(sid)
+        compact(db)
+        fresh = open_database(home)
+        assert len(fresh.entries) == 20
+        q = rng.normal(size=LENGTH)
+        assert fresh.knn(q, 4).ids == db.knn(q, 4).ids
+
+    def test_ground_truth_fast_path_after_compaction(self, opened):
+        db, rng, home = opened
+        db.delete(2)
+        compact(db)
+        q = rng.normal(size=LENGTH)
+        gt = db.ground_truth(q, 3)
+        # no tombstones left: the scan covers exactly the live rows
+        assert gt.n_total == 39
+
+    def test_refuses_empty_database(self, opened):
+        db, _, _ = opened
+        for e in list(db.entries):
+            db.delete(e.series_id)
+        with pytest.raises(ValueError):
+            compact(db)
+
+
+class TestGroundTruthOverfetch:
+    def test_overfetch_capped_by_tombstones(self, tmp_path):
+        db, rng = memory_db(tmp_path, rows=30)
+        q = rng.normal(size=LENGTH)
+        db.delete(0)
+        db.delete(1)
+        gt = db.ground_truth(q, 40)  # k beyond the live count
+        assert len(gt.ids) == 28
+        assert set(gt.ids).isdisjoint({0, 1})
+
+    def test_matches_brute_force_under_churn(self, tmp_path):
+        db, rng = memory_db(tmp_path, rows=25)
+        for sid in (3, 9, 12):
+            db.delete(sid)
+        q = rng.normal(size=LENGTH)
+        gt = db.ground_truth(q, 5)
+        data = np.asarray(db.data)
+        dists = np.linalg.norm(data - q[None, :], axis=1)
+        want = sorted((d, i) for i, d in enumerate(dists) if i not in {3, 9, 12})[:5]
+        assert gt.ids == [i for _, i in want]
+        assert gt.distances == pytest.approx([d for d, _ in want])
