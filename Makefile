@@ -1,7 +1,7 @@
 # Convenience targets for the SAPLA reproduction.
 
 .PHONY: install test bench bench-full examples results clean verify-obs verify-engine \
-	verify-lifecycle crash-matrix
+	verify-lifecycle verify-experiments crash-matrix baseline
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,28 @@ verify-lifecycle:
 # SIGKILL an ingesting subprocess at random points; recovery must lose nothing
 crash-matrix:
 	python scripts/crash_matrix.py
+
+# experiment service: lint + its tests + a tiny end-to-end matrix — run the
+# smoke spec, render its report, then diff it against the BENCH it just
+# wrote (must pass its own gates and exit 0)
+verify-experiments:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/experiments -q
+	rm -f /tmp/repro-verify-experiments.sqlite /tmp/BENCH_smoke.json
+	PYTHONPATH=src python -m repro experiment run benchmarks/specs/smoke.toml \
+		--store /tmp/repro-verify-experiments.sqlite --bench-dir /tmp
+	PYTHONPATH=src python -m repro experiment report \
+		--store /tmp/repro-verify-experiments.sqlite
+	PYTHONPATH=src python -m repro experiment diff benchmarks/specs/smoke.toml \
+		--store /tmp/repro-verify-experiments.sqlite --baseline /tmp/BENCH_smoke.json
+
+# regenerate the committed perf baseline: BENCH_medium.json at the repo
+# root plus a JSON export of the results store
+baseline:
+	PYTHONPATH=src python -m repro experiment run benchmarks/specs/medium.toml \
+		--store benchmarks/results/experiments.sqlite --bench-dir .
+	PYTHONPATH=src python scripts/export_experiments.py \
+		benchmarks/results/experiments.sqlite benchmarks/results/experiments_store.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

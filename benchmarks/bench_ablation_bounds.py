@@ -26,9 +26,10 @@ def small_config(config):
     )
 
 
-def test_ablation_bound_modes(benchmark, config):
+def test_ablation_bound_modes(benchmark, config, bench_report):
     cfg = small_config(config)
-    rows = run_bound_ablation(cfg)
+    with bench_report("ablation_bounds"):
+        rows = run_bound_ablation(cfg)
     publish_table("ablation_bounds", "Ablation — SAPLA bound modes & stages", rows)
     by = {r["variant"]: r for r in rows}
 
@@ -44,11 +45,7 @@ def test_ablation_bound_modes(benchmark, config):
     benchmark(SAPLA(n_segments=4, bound_mode="exact").transform, series)
 
 
-def test_ablation_initialization_vs_uniform(benchmark, config):
-    """Increment-area initialization vs a uniform seeding of the same size."""
-    cfg = small_config(config)
-    n_segments = 4
-    rows = []
+def _measure_initializations(cfg, n_segments, rows):
     for label in ("increment-area", "uniform-seed"):
         devs = []
         for dataset in cfg.datasets():
@@ -67,6 +64,15 @@ def test_ablation_initialization_vs_uniform(benchmark, config):
                     rep = LinearSegmentation(segments)
                 devs.append(max_deviation(series, rep.reconstruct()))
         rows.append({"initialization": label, "max_deviation": float(np.mean(devs))})
+
+
+def test_ablation_initialization_vs_uniform(benchmark, config, bench_report):
+    """Increment-area initialization vs a uniform seeding of the same size."""
+    cfg = small_config(config)
+    n_segments = 4
+    rows = []
+    with bench_report("ablation_init", rows=rows):
+        _measure_initializations(cfg, n_segments, rows)
     publish_table("ablation_init", "Ablation — initialization strategy", rows)
     by = {r["initialization"]: r["max_deviation"] for r in rows}
     # increment-area seeding should not be materially worse than uniform

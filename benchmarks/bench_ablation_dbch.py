@@ -15,7 +15,7 @@ from repro.reduction import SAPLAReducer
 from conftest import publish_table
 
 
-def test_ablation_dbch_query_bound(benchmark, config):
+def test_ablation_dbch_query_bound(benchmark, config, bench_report):
     cfg = ExperimentConfig(
         dataset_names=tuple(config.dataset_names[:4]),
         length=min(config.length, 256),
@@ -23,7 +23,8 @@ def test_ablation_dbch_query_bound(benchmark, config):
         n_queries=2,
         ks=(4,),
     )
-    rows = run_dbch_ablation(cfg)
+    with bench_report("ablation_dbch"):
+        rows = run_dbch_ablation(cfg)
     publish_table("ablation_dbch", "Ablation — DBCH query bound", rows)
     by = {r["query_bound"]: r for r in rows}
 

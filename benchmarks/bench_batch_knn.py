@@ -3,11 +3,13 @@
 The engine answers a batch of queries with vectorised candidate
 verification (one NumPy matrix operation per round) and, for aligned
 methods, one stacked bound evaluation per query instead of a Python loop
-over every entry.  This bench times the same query set through the classic
-sequential loop (``ExecutionMode.SEQUENTIAL``) and through the batched path,
-checks the answers are byte-identical, and records the throughput ratio —
-the acceptance gate is >= 3x at batch >= 64 on the filtered-scan
-configuration.
+over every entry.  The measurement core lives in
+:func:`repro.experiments.workloads.run_batch_knn` — the same code the
+experiment runner executes — so this bench is one hand-built trial per
+configuration: it checks the batched answers are identical to the
+sequential loop's, records the throughput ratio (acceptance gate >= 3x at
+batch >= 64 on the filtered-scan configuration), and publishes each trial
+through the experiment service.
 
 Scale knobs: ``REPRO_LENGTH`` / ``REPRO_SERIES`` / ``REPRO_QUERIES``
 (defaults 128 / 512 / 64; the Makefile's ``verify-engine`` smoke run
@@ -15,93 +17,90 @@ shrinks them).
 """
 
 import os
-import time
 
-import numpy as np
-
-from repro import obs
-from repro.engine import ExecutionMode, QueryOptions
+from repro.engine import QueryOptions
+from repro.experiments import (
+    EngineSpec,
+    ReducerSpec,
+    ScaleSpec,
+    TrialSpec,
+    make_trial_data,
+    run_trial,
+)
 from repro.index import SeriesDatabase
 from repro.kinds import IndexKind
-from repro.reduction import PAA, SAPLAReducer
+from repro.reduction import PAA
 
-from conftest import publish_report, publish_table
+from conftest import publish_table
 
 
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
 
 
-def _time_mode(db, queries, options):
-    started = time.perf_counter()
-    batch = db.knn_batch(queries, options)
-    return batch, time.perf_counter() - started
-
-
-def test_batched_vs_sequential_throughput(benchmark):
+def test_batched_vs_sequential_throughput(benchmark, publish_trial):
     length = _env_int("REPRO_LENGTH", 128)
     n_series = _env_int("REPRO_SERIES", 512)
     n_queries = _env_int("REPRO_QUERIES", 64)
     k = 8
-    rng = np.random.default_rng(7)
-    data = rng.normal(size=(n_series, length)).cumsum(axis=1)
-    picks = rng.integers(0, n_series, size=n_queries)
-    queries = data[picks] + rng.normal(scale=0.05, size=(n_queries, length))
+    engine = EngineSpec(k=k)
 
     # the headline configuration (aligned bounds + filtered scan) plus a
     # tree configuration, smaller because SAPLA reduction dominates ingest
-    tree_count = min(n_series, 128)
-    tree_queries = queries[: min(n_queries, 32)]
     configs = (
-        ("PAA", "scan", PAA(12), None, data, queries),
-        ("SAPLA", "dbch", SAPLAReducer(12), IndexKind.DBCH, data[:tree_count], tree_queries),
+        (
+            "batch_knn",
+            ReducerSpec("PAA", 12),
+            IndexKind.NONE,
+            ScaleSpec("scan", length, n_series, n_queries),
+        ),
+        (
+            "batch_knn_tree",
+            ReducerSpec("SAPLA", 12),
+            IndexKind.DBCH,
+            ScaleSpec("tree", length, min(n_series, 128), min(n_queries, 32)),
+        ),
     )
     rows = []
-    with obs.capture() as session:
-        with obs.span("bench.run"):
-            for method, index_label, reducer, index, rows_data, rows_queries in configs:
-                db = SeriesDatabase(reducer, index=index)
-                db.ingest(rows_data, bulk=index is not None)
-                sequential, t_seq = _time_mode(
-                    db, rows_queries, QueryOptions(k=k, mode=ExecutionMode.SEQUENTIAL)
-                )
-                batched, t_bat = _time_mode(db, rows_queries, QueryOptions(k=k))
-                for a, b in zip(sequential.results, batched.results):
-                    assert a.ids == b.ids
-                    assert a.distances == b.distances
-                rows.append(
-                    {
-                        "method": method,
-                        "index": index_label,
-                        "batch": len(rows_queries),
-                        "sequential_qps": len(rows_queries) / t_seq,
-                        "batched_qps": len(rows_queries) / t_bat,
-                        "speedup": t_seq / t_bat,
-                    }
-                )
+    scan_trial = None
+    for position, (name, reducer, index_kind, scale) in enumerate(configs):
+        trial = TrialSpec(
+            index=position,
+            workload="batch_knn",
+            scale=scale,
+            reducer=reducer,
+            index_kind=index_kind,
+            engine=engine,
+            repeat=0,
+            seed=7,
+        )
+        scan_trial = scan_trial or trial
+        derived, report, elapsed = run_trial(trial)
+        # batched answers must match the sequential loop byte-for-byte
+        assert derived["results_identical"] == 1.0, trial.cell_key
+        rows.append(
+            {
+                "method": reducer.method,
+                "index": str(index_kind),
+                "batch": scale.n_queries,
+                "sequential_qps": derived["sequential_qps"],
+                "batched_qps": derived["batched_qps"],
+                "speedup": derived["speedup"],
+                "latency_p99_ms": derived["latency_p99_ms"],
+            }
+        )
+        publish_trial(name, trial, report, derived, elapsed)
     publish_table(
         "batch_knn",
         f"Extension — batched vs sequential k-NN (k={k}, {n_series}x{length})",
         rows,
-    )
-    publish_report(
-        "batch_knn",
-        session.report(
-            meta={
-                "bench": "batch_knn",
-                "length": length,
-                "n_series": n_series,
-                "n_queries": n_queries,
-                "k": k,
-                "rows": rows,
-            }
-        ),
     )
 
     scan_row = rows[0]
     if scan_row["batch"] >= 64 and n_series >= 256:
         assert scan_row["speedup"] >= 3.0, scan_row
 
+    data, queries = make_trial_data(scan_trial)
     db = SeriesDatabase(PAA(12), index=None)
     db.ingest(data)
     benchmark(db.knn_batch, queries, QueryOptions(k=k))

@@ -16,34 +16,35 @@ from conftest import publish_table
 DATASETS = ("SwedishLeaf", "GunPoint")
 
 
-def test_classification_across_methods(benchmark, config):
+def test_classification_across_methods(benchmark, config, bench_report):
     rows = []
-    for name in DATASETS:
-        dataset = load_labeled(
-            name, n_classes=3, n_per_class=10, n_queries_per_class=3,
-            length=min(config.length, 256),
-        )
-        for reducer_cls in (SAPLAReducer, APCA, PAA):
-            report = KNNClassifier(reducer_cls(12), k=1, index="dbch").evaluate(dataset)
+    with bench_report("classification", rows=rows):
+        for name in DATASETS:
+            dataset = load_labeled(
+                name, n_classes=3, n_per_class=10, n_queries_per_class=3,
+                length=min(config.length, 256),
+            )
+            for reducer_cls in (SAPLAReducer, APCA, PAA):
+                report = KNNClassifier(reducer_cls(12), k=1, index="dbch").evaluate(dataset)
+                rows.append(
+                    {
+                        "dataset": name,
+                        "method": reducer_cls.name,
+                        "metric": "euclidean",
+                        "accuracy": report.accuracy,
+                        "pruning_power": report.mean_pruning_power,
+                    }
+                )
+            dtw_report = KNNClassifier(PAA(12), k=1, metric="dtw", band=8).evaluate(dataset)
             rows.append(
                 {
                     "dataset": name,
-                    "method": reducer_cls.name,
-                    "metric": "euclidean",
-                    "accuracy": report.accuracy,
-                    "pruning_power": report.mean_pruning_power,
+                    "method": "raw",
+                    "metric": "dtw+lb_keogh",
+                    "accuracy": dtw_report.accuracy,
+                    "pruning_power": dtw_report.mean_pruning_power,
                 }
             )
-        dtw_report = KNNClassifier(PAA(12), k=1, metric="dtw", band=8).evaluate(dataset)
-        rows.append(
-            {
-                "dataset": name,
-                "method": "raw",
-                "metric": "dtw+lb_keogh",
-                "accuracy": dtw_report.accuracy,
-                "pruning_power": dtw_report.mean_pruning_power,
-            }
-        )
     publish_table("classification", "Extension — 1-NN classification", rows)
 
     for row in rows:

@@ -9,15 +9,14 @@ fraction of the pages a full scan touches.
 
 import numpy as np
 
-from repro import obs
 from repro.bench.harness import ExperimentConfig
 from repro.reduction import PAA, SAPLAReducer
 from repro.storage import DiskBackedDatabase
 
-from conftest import publish_report, publish_table
+from conftest import publish_table
 
 
-def test_pruning_is_disk_io(benchmark, config, tmp_path_factory):
+def test_pruning_is_disk_io(benchmark, config, tmp_path_factory, bench_report):
     cfg = ExperimentConfig(
         dataset_names=("Adiac",),
         length=min(config.length, 256),
@@ -29,44 +28,37 @@ def test_pruning_is_disk_io(benchmark, config, tmp_path_factory):
     rows = []
     # capture the run so the .txt table gains a .report.json sibling with
     # the physical-I/O counters (the table itself stays byte-identical)
-    with obs.capture() as session:
-        with obs.span("bench.run"):
-            for reducer_cls in (SAPLAReducer, PAA):
-                db = DiskBackedDatabase(
-                    reducer_cls(12), tmp / f"{reducer_cls.name}.bin", index="dbch",
-                    page_size=1024, cache_pages=4,
-                )
-                db.ingest(dataset.data)
-                pages_per_series = db.store.pages_per_series()
-                full_scan_pages = len(dataset.data) * pages_per_series
-
-                prunes, page_fracs = [], []
-                for query in dataset.queries:
-                    db.reset_io()
-                    result = db.knn(query, 4)
-                    prunes.append(result.pruning_power)
-                    page_fracs.append(db.io_stats.total_accesses / full_scan_pages)
-                rows.append(
-                    {
-                        "method": reducer_cls.name,
-                        "pruning_power": float(np.mean(prunes)),
-                        "page_fraction": float(np.mean(page_fracs)),
-                    }
-                )
-    publish_table("disk_io", "Extension — pruning power vs physical page I/O", rows)
-    publish_report(
+    with bench_report(
         "disk_io",
-        session.report(
-            meta={
-                "bench": "disk_io",
-                "dataset": dataset.name,
-                "methods": ["SAPLA", "PAA"],
-                "index": "dbch",
-                "page_size": 1024,
-                "cache_pages": 4,
-            }
-        ),
-    )
+        dataset=dataset.name,
+        methods=["SAPLA", "PAA"],
+        index="dbch",
+        page_size=1024,
+        cache_pages=4,
+    ):
+        for reducer_cls in (SAPLAReducer, PAA):
+            db = DiskBackedDatabase(
+                reducer_cls(12), tmp / f"{reducer_cls.name}.bin", index="dbch",
+                page_size=1024, cache_pages=4,
+            )
+            db.ingest(dataset.data)
+            pages_per_series = db.store.pages_per_series()
+            full_scan_pages = len(dataset.data) * pages_per_series
+
+            prunes, page_fracs = [], []
+            for query in dataset.queries:
+                db.reset_io()
+                result = db.knn(query, 4)
+                prunes.append(result.pruning_power)
+                page_fracs.append(db.io_stats.total_accesses / full_scan_pages)
+            rows.append(
+                {
+                    "method": reducer_cls.name,
+                    "pruning_power": float(np.mean(prunes)),
+                    "page_fraction": float(np.mean(page_fracs)),
+                }
+            )
+    publish_table("disk_io", "Extension — pruning power vs physical page I/O", rows)
 
     for row in rows:
         # pages read track verifications: same order of magnitude, and a

@@ -17,7 +17,7 @@ from conftest import publish_table
 BOUNDS = (0.5, 1.0, 2.0)
 
 
-def test_error_bounded_duality(benchmark, config):
+def test_error_bounded_duality(benchmark, config, bench_report):
     cfg = ExperimentConfig(
         dataset_names=("Adiac", "EOGHorizontalSignal"),
         length=min(config.length, 256),
@@ -25,24 +25,25 @@ def test_error_bounded_duality(benchmark, config):
         n_queries=1,
     )
     rows = []
-    for bound in BOUNDS:
-        ratios, sapla_devs, segment_counts = [], [], []
-        for dataset in cfg.datasets():
-            for series in dataset.data:
-                greedy = ErrorBoundedPLA(bound)
-                rep = greedy.transform(series)
-                ratios.append(rep.n_coefficients / len(series))
-                segment_counts.append(rep.n_segments)
-                sapla = SAPLAReducer(max(3 * rep.n_segments, 3)).transform(series)
-                sapla_devs.append(float(np.abs(series - sapla.reconstruct()).max()))
-        rows.append(
-            {
-                "bound": bound,
-                "mean_segments": float(np.mean(segment_counts)),
-                "compression_ratio": float(np.mean(ratios)),
-                "sapla_dev_at_same_budget": float(np.mean(sapla_devs)),
-            }
-        )
+    with bench_report("error_bounded", rows=rows):
+        for bound in BOUNDS:
+            ratios, sapla_devs, segment_counts = [], [], []
+            for dataset in cfg.datasets():
+                for series in dataset.data:
+                    greedy = ErrorBoundedPLA(bound)
+                    rep = greedy.transform(series)
+                    ratios.append(rep.n_coefficients / len(series))
+                    segment_counts.append(rep.n_segments)
+                    sapla = SAPLAReducer(max(3 * rep.n_segments, 3)).transform(series)
+                    sapla_devs.append(float(np.abs(series - sapla.reconstruct()).max()))
+            rows.append(
+                {
+                    "bound": bound,
+                    "mean_segments": float(np.mean(segment_counts)),
+                    "compression_ratio": float(np.mean(ratios)),
+                    "sapla_dev_at_same_budget": float(np.mean(sapla_devs)),
+                }
+            )
     publish_table("error_bounded", "Extension — error-bounded compression duality", rows)
 
     by = {r["bound"]: r for r in rows}

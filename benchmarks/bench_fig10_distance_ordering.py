@@ -15,26 +15,27 @@ from repro.reduction import SAPLAReducer
 from conftest import publish_table
 
 
-def test_fig10_distance_ordering(benchmark):
+def test_fig10_distance_ordering(benchmark, bench_report):
     reducer = SAPLAReducer(12)
     ratios = {"Dist_LB": [], "Dist_PAR": [], "Dist_AE": []}
     par_ge_lb = 0
     lb_violations = 0
     trials = 40
-    for seed in range(trials):
-        rng = np.random.default_rng(seed)
-        q = rng.normal(size=128).cumsum()
-        c = rng.normal(size=128).cumsum()
-        rep_q, rep_c = reducer.transform(q), reducer.transform(c)
-        true = euclidean(q, c)
-        lb = dist_lb(q, rep_c)
-        par = dist_par(rep_q, rep_c)
-        ae = dist_ae(q, rep_c)
-        ratios["Dist_LB"].append(lb / true)
-        ratios["Dist_PAR"].append(par / true)
-        ratios["Dist_AE"].append(ae / true)
-        par_ge_lb += par >= lb
-        lb_violations += lb > true + 1e-9
+    with bench_report("fig10_distance_ordering", trials=trials):
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            q = rng.normal(size=128).cumsum()
+            c = rng.normal(size=128).cumsum()
+            rep_q, rep_c = reducer.transform(q), reducer.transform(c)
+            true = euclidean(q, c)
+            lb = dist_lb(q, rep_c)
+            par = dist_par(rep_q, rep_c)
+            ae = dist_ae(q, rep_c)
+            ratios["Dist_LB"].append(lb / true)
+            ratios["Dist_PAR"].append(par / true)
+            ratios["Dist_AE"].append(ae / true)
+            par_ge_lb += par >= lb
+            lb_violations += lb > true + 1e-9
 
     rows = [
         {"measure": name, "mean_ratio_to_dist": float(np.mean(vals))}

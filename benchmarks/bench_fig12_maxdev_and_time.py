@@ -14,8 +14,9 @@ from repro.bench.experiments import make_reducer
 from conftest import publish_table
 
 
-def test_fig12_maxdev_and_reduction_time(benchmark, config):
-    rows = run_maxdev_and_time(config)
+def test_fig12_maxdev_and_reduction_time(benchmark, config, bench_report):
+    with bench_report("fig12_maxdev_and_time"):
+        rows = run_maxdev_and_time(config)
     publish_table(
         "fig12_maxdev_and_time", "Fig 12 — max deviation & reduction time", rows
     )

@@ -6,15 +6,14 @@ SAPLA/APLA spend a little more k-NN time in the DBCH-tree because their
 tight Dist_PAR bounds are costlier per candidate.
 """
 
-from repro import obs
 from repro.bench import summarise_ingest_knn
 from repro.index import SeriesDatabase
 from repro.reduction import SAPLAReducer
 
-from conftest import publish_report, publish_table
+from conftest import publish_table
 
 
-def test_fig14_ingest_and_knn_time(benchmark, config, index_grid):
+def test_fig14_ingest_and_knn_time(benchmark, config, index_grid, bench_report):
     rows = summarise_ingest_knn(index_grid)
     publish_table("fig14_ingest_knn", "Fig 14 — ingest & k-NN CPU time", rows)
     by = {(r["method"], r["index"]): r for r in rows}
@@ -37,27 +36,20 @@ def test_fig14_ingest_and_knn_time(benchmark, config, index_grid):
     # machine-readable sibling of the table: one instrumented ingest+query
     # pass (the .txt above stays byte-identical; this adds a .report.json)
     dataset = next(config.datasets())
-    with obs.capture() as session:
-        with obs.span("bench.run"):
-            instrumented = SeriesDatabase(
-                SAPLAReducer(config.coefficients[0]), index="dbch"
-            )
-            instrumented.ingest(dataset.data)
-            for query in dataset.queries:
-                instrumented.knn(query, config.ks[0])
-    publish_report(
+    with bench_report(
         "fig14_ingest_knn",
-        session.report(
-            meta={
-                "bench": "fig14_ingest_knn",
-                "dataset": dataset.name,
-                "method": "SAPLA",
-                "index": "dbch",
-                "k": config.ks[0],
-                "coefficients": config.coefficients[0],
-            }
-        ),
-    )
+        dataset=dataset.name,
+        method="SAPLA",
+        index="dbch",
+        k=config.ks[0],
+        coefficients=config.coefficients[0],
+    ):
+        instrumented = SeriesDatabase(
+            SAPLAReducer(config.coefficients[0]), index="dbch"
+        )
+        instrumented.ingest(dataset.data)
+        for query in dataset.queries:
+            instrumented.knn(query, config.ks[0])
 
     db = SeriesDatabase(SAPLAReducer(config.coefficients[0]), index="dbch")
     benchmark(db.ingest, dataset.data)

@@ -17,8 +17,9 @@ from conftest import publish_table
 ADAPTIVE = ("SAPLA", "APLA", "APCA")
 
 
-def test_fig15_16_tree_shape(benchmark, config, index_grid):
-    rows = summarise_tree_shape(index_grid)
+def test_fig15_16_tree_shape(benchmark, config, index_grid, bench_report):
+    with bench_report("fig15_16_tree_shape"):
+        rows = summarise_tree_shape(index_grid)
     publish_table("fig15_16_tree_shape", "Figs 15/16 — node counts & height", rows)
     by = {(r["method"], r["index"]): r for r in rows}
 

@@ -13,8 +13,9 @@ from repro.bench.experiments import WORKED_SERIES, make_reducer
 from conftest import publish_table
 
 
-def test_fig1_worked_example(benchmark):
-    rows = run_worked_example()
+def test_fig1_worked_example(benchmark, bench_report):
+    with bench_report("fig1_worked_example"):
+        rows = run_worked_example()
     publish_table("fig1_worked_example", "Fig 1 — worked example (M=12)", rows)
     by_method = {row["method"]: row for row in rows}
 

@@ -2,9 +2,12 @@
 
 Measures what the lifecycle subsystem costs and what it guarantees:
 
-* inserts/sec into a saved database under ``FsyncPolicy.BATCH`` vs
-  ``ALWAYS`` vs no WAL at all — the durability/throughput trade the
-  :class:`repro.lifecycle.DurabilityOptions` knob buys;
+* inserts/sec into a saved database under every fsync policy (plus no WAL
+  at all) — the durability/throughput trade the
+  :class:`repro.lifecycle.DurabilityOptions` knob buys.  The measurement
+  core is :func:`repro.experiments.workloads.run_ingest`, the same code
+  the experiment runner executes; each policy is one hand-built trial
+  published through the experiment service.
 * ``knn_batch`` latency while an ingest stream is interleaved between
   batches, asserting snapshot isolation: every batch reports the single
   generation it was served at, and generations advance exactly with the
@@ -14,19 +17,18 @@ Scale knobs: ``REPRO_LENGTH`` / ``REPRO_SERIES`` (defaults 128 / 512).
 """
 
 import os
-import time
 
 import numpy as np
 
-from repro import obs
 from repro.engine import QueryOptions
+from repro.experiments import EngineSpec, ReducerSpec, ScaleSpec, TrialSpec, run_trial
 from repro.index import SeriesDatabase
 from repro.io import open_database
 from repro.kinds import IndexKind
-from repro.lifecycle import DurabilityOptions, FsyncPolicy
+from repro.lifecycle import DurabilityOptions
 from repro.reduction import PAA
 
-from conftest import publish_report, publish_table
+from conftest import publish_table
 
 
 def _env_int(name: str, default: int) -> int:
@@ -39,100 +41,85 @@ def _saved_database(directory, data):
     db.save(directory)
 
 
-def _time_inserts(db, rows):
-    started = time.perf_counter()
-    for row in rows:
-        db.insert(row)
-    return time.perf_counter() - started
-
-
-def test_ingest_fsync_policies_and_snapshot_isolation(benchmark, tmp_path):
+def test_ingest_fsync_policies_and_snapshot_isolation(
+    benchmark, tmp_path, bench_report, publish_trial
+):
     length = _env_int("REPRO_LENGTH", 128)
     n_series = _env_int("REPRO_SERIES", 512)
     n_inserts = max(n_series // 2, 64)
+
+    # ---- fsync policy sweep through the experiment-service workload ----
+    policies = ("off", "never", "batch", "always")
+    rows = []
+    for position, fsync in enumerate(policies):
+        trial = TrialSpec(
+            index=position,
+            workload="ingest",
+            scale=ScaleSpec("ingest", length, n_series, 1, n_inserts=n_inserts),
+            reducer=ReducerSpec("PAA", 12),
+            index_kind=IndexKind.DBCH,
+            engine=EngineSpec(k=8, fsync=fsync, fsync_batch=64),
+            repeat=0,
+            seed=11,
+        )
+        derived, report, elapsed = run_trial(trial)
+        rows.append(
+            {
+                "policy": "wal-off" if fsync == "off" else f"fsync-{fsync}",
+                "inserts": n_inserts,
+                "inserts_per_s": derived["inserts_per_s"],
+                "wal_bytes": derived["wal_bytes"],
+                "insert_p99_ms": derived["insert_p99_ms"],
+            }
+        )
+        publish_trial(f"ingest_fsync_{fsync}", trial, report, derived, elapsed)
+
+    by_policy = {r["policy"]: r for r in rows}
+    assert by_policy["wal-off"]["wal_bytes"] == 0
+    assert by_policy["fsync-always"]["wal_bytes"] > 0
+
+    # ---- knn_batch latency under a concurrent ingest stream ----
     rng = np.random.default_rng(11)
     data = rng.normal(size=(n_series, length)).cumsum(axis=1)
     stream = rng.normal(size=(n_inserts, length)).cumsum(axis=1)
-
-    policies = (
-        ("wal-off", DurabilityOptions(wal=False)),
-        ("fsync-never", DurabilityOptions(fsync=FsyncPolicy.NEVER)),
-        ("fsync-batch", DurabilityOptions(fsync=FsyncPolicy.BATCH, batch_records=64)),
-        ("fsync-always", DurabilityOptions(fsync=FsyncPolicy.ALWAYS)),
-    )
-    rows = []
-    with obs.capture() as session:
-        with obs.span("bench.run"):
-            for label, durability in policies:
-                home = tmp_path / label
-                _saved_database(home, data)
-                db = open_database(home, durability=durability)
-                elapsed = _time_inserts(db, stream)
-                if db.wal is not None:
-                    db.wal.sync()
-                rows.append(
-                    {
-                        "policy": label,
-                        "inserts": n_inserts,
-                        "inserts_per_s": n_inserts / elapsed,
-                        "wal_bytes": 0 if db.wal is None else db.wal.size_bytes(),
-                    }
-                )
-
-            # ---- knn_batch latency under a concurrent ingest stream ----
-            home = tmp_path / "serving"
-            _saved_database(home, data)
-            db = open_database(home, durability=DurabilityOptions())
-            queries = data[rng.integers(0, n_series, size=16)] + rng.normal(
-                scale=0.05, size=(16, length)
-            )
-            latencies = []
-            generations = []
-            inserted = 0
-            for step, row in enumerate(stream):
-                db.insert(row)
-                inserted += 1
-                if step % 8 == 7:
-                    batch = db.knn_batch(queries, QueryOptions(k=8))
-                    latencies.append(batch.elapsed_s)
-                    generations.append(batch.generation)
-                    # snapshot isolation: the whole batch was served at one
-                    # generation, and generations advance 1:1 with inserts
-                    assert batch.generation == db.generation
-                    assert all(r.n_total == n_series + inserted for r in batch.results)
-            assert generations == sorted(generations)
-            deltas = [b - a for a, b in zip(generations, generations[1:])]
-            assert all(d == 8 for d in deltas), deltas  # 8 inserts between batches
-            rows.append(
-                {
-                    "policy": "serving-under-ingest",
-                    "inserts": inserted,
-                    "inserts_per_s": float("nan"),
-                    "knn_batch_p50_ms": sorted(latencies)[len(latencies) // 2] * 1e3,
-                }
-            )
+    with bench_report("ingest", length=length, n_series=n_series,
+                      n_inserts=n_inserts, rows=rows):
+        home = tmp_path / "serving"
+        _saved_database(home, data)
+        db = open_database(home, durability=DurabilityOptions())
+        queries = data[rng.integers(0, n_series, size=16)] + rng.normal(
+            scale=0.05, size=(16, length)
+        )
+        latencies = []
+        generations = []
+        inserted = 0
+        for step, row in enumerate(stream):
+            db.insert(row)
+            inserted += 1
+            if step % 8 == 7:
+                batch = db.knn_batch(queries, QueryOptions(k=8))
+                latencies.append(batch.elapsed_s)
+                generations.append(batch.generation)
+                # snapshot isolation: the whole batch was served at one
+                # generation, and generations advance 1:1 with inserts
+                assert batch.generation == db.generation
+                assert all(r.n_total == n_series + inserted for r in batch.results)
+        assert generations == sorted(generations)
+        deltas = [b - a for a, b in zip(generations, generations[1:])]
+        assert all(d == 8 for d in deltas), deltas  # 8 inserts between batches
+        rows.append(
+            {
+                "policy": "serving-under-ingest",
+                "inserts": inserted,
+                "inserts_per_s": float("nan"),
+                "knn_batch_p50_ms": sorted(latencies)[len(latencies) // 2] * 1e3,
+            }
+        )
     publish_table(
         "ingest",
         f"Extension — durable ingest ({n_inserts} inserts, {n_series}x{length} base)",
         rows,
     )
-    publish_report(
-        "ingest",
-        session.report(
-            meta={
-                "bench": "ingest",
-                "length": length,
-                "n_series": n_series,
-                "n_inserts": n_inserts,
-                "rows": rows,
-            }
-        ),
-    )
-
-    # WAL-off must not be slower than fsync-always by construction
-    by_policy = {r["policy"]: r for r in rows}
-    assert by_policy["wal-off"]["wal_bytes"] == 0
-    assert by_policy["fsync-always"]["wal_bytes"] > 0
 
     home = tmp_path / "timed"
     _saved_database(home, data)

@@ -17,14 +17,7 @@ from repro.reduction import SAX
 from conftest import publish_table
 
 
-def test_isax_vs_tree_indexes(benchmark, config):
-    cfg = ExperimentConfig(
-        dataset_names=("Adiac", "ECG200"),
-        length=min(config.length, 256),
-        n_series=min(config.n_series, 24),
-        n_queries=3,
-    )
-    rows = []
+def _run_isax_comparison(cfg, rows):
     for dataset in cfg.datasets():
         data = np.stack([z_normalize(row) for row in dataset.data])
         queries = np.stack([z_normalize(row) for row in dataset.queries])
@@ -59,6 +52,18 @@ def test_isax_vs_tree_indexes(benchmark, config):
                     "pruning_power": float(np.mean(prunes)),
                 }
             )
+
+
+def test_isax_vs_tree_indexes(benchmark, config, bench_report):
+    cfg = ExperimentConfig(
+        dataset_names=("Adiac", "ECG200"),
+        length=min(config.length, 256),
+        n_series=min(config.n_series, 24),
+        n_queries=3,
+    )
+    rows = []
+    with bench_report("isax_comparison", rows=rows):
+        _run_isax_comparison(cfg, rows)
     publish_table("isax_comparison", "Extension — iSAX vs R-tree/DBCH over SAX", rows)
 
     # iSAX k-NN is exact by construction

@@ -18,30 +18,31 @@ def collection(count, channels, n, seed=0):
     return rng.normal(size=(count, channels, n)).cumsum(axis=2)
 
 
-def test_multivariate_search(benchmark, config):
+def test_multivariate_search(benchmark, config, bench_report):
     n = min(config.length, 128)
     rows = []
-    for channels in (1, 3, 6):
-        data = collection(24, channels, n, seed=channels)
-        db = MultivariateDatabase(MultivariateReducer(lambda: SAPLAReducer(12)))
-        db.ingest(data)
-        rng = np.random.default_rng(99)
-        accs, prunes = [], []
-        for _ in range(3):
-            query = data[rng.integers(len(data))] + rng.normal(
-                scale=0.1, size=data.shape[1:]
+    with bench_report("multivariate", rows=rows):
+        for channels in (1, 3, 6):
+            data = collection(24, channels, n, seed=channels)
+            db = MultivariateDatabase(MultivariateReducer(lambda: SAPLAReducer(12)))
+            db.ingest(data)
+            rng = np.random.default_rng(99)
+            accs, prunes = [], []
+            for _ in range(3):
+                query = data[rng.integers(len(data))] + rng.normal(
+                    scale=0.1, size=data.shape[1:]
+                )
+                truth = db.ground_truth(query, 4)
+                result = db.knn(query, 4)
+                accs.append(result.accuracy_against(truth))
+                prunes.append(result.pruning_power)
+            rows.append(
+                {
+                    "channels": channels,
+                    "accuracy": float(np.mean(accs)),
+                    "pruning_power": float(np.mean(prunes)),
+                }
             )
-            truth = db.ground_truth(query, 4)
-            result = db.knn(query, 4)
-            accs.append(result.accuracy_against(truth))
-            prunes.append(result.pruning_power)
-        rows.append(
-            {
-                "channels": channels,
-                "accuracy": float(np.mean(accs)),
-                "pruning_power": float(np.mean(prunes)),
-            }
-        )
     publish_table("multivariate", "Extension — multivariate k-NN", rows)
 
     # combined lower bounds keep the search exact at every channel count

@@ -19,7 +19,7 @@ from conftest import publish_table
 METHODS = ("SAPLA", "APLA", "APCA", "PLA", "PAA")
 
 
-def test_overlap_diagnosis(benchmark, config):
+def test_overlap_diagnosis(benchmark, config, bench_report):
     cfg = ExperimentConfig(
         dataset_names=("ECG200",),
         length=min(config.length, 256),
@@ -28,22 +28,23 @@ def test_overlap_diagnosis(benchmark, config):
     )
     dataset = next(cfg.datasets())
     rows = []
-    for method in METHODS:
-        reducer = REDUCERS[method](12)
-        reps = [reducer.transform(s) for s in dataset.data]
-        db_r = SeriesDatabase(reducer, index="rtree")
-        db_r.ingest(dataset.data, representations=reps)
-        db_d = SeriesDatabase(reducer, index="dbch")
-        db_d.ingest(dataset.data, representations=reps)
-        rows.append(
-            {
-                "method": method,
-                "rtree_overlap": rtree_overlap(db_r.tree),
-                "dbch_overlap": dbch_overlap(db_d.tree),
-                "rtree_leaf_fill": leaf_fill(db_r.tree),
-                "dbch_leaf_fill": leaf_fill(db_d.tree),
-            }
-        )
+    with bench_report("overlap_diagnosis", dataset=dataset.name, rows=rows):
+        for method in METHODS:
+            reducer = REDUCERS[method](12)
+            reps = [reducer.transform(s) for s in dataset.data]
+            db_r = SeriesDatabase(reducer, index="rtree")
+            db_r.ingest(dataset.data, representations=reps)
+            db_d = SeriesDatabase(reducer, index="dbch")
+            db_d.ingest(dataset.data, representations=reps)
+            rows.append(
+                {
+                    "method": method,
+                    "rtree_overlap": rtree_overlap(db_r.tree),
+                    "dbch_overlap": dbch_overlap(db_d.tree),
+                    "rtree_leaf_fill": leaf_fill(db_r.tree),
+                    "dbch_leaf_fill": leaf_fill(db_d.tree),
+                }
+            )
     publish_table("overlap_diagnosis", "Extension — sibling overlap per method", rows)
 
     by = {r["method"]: r for r in rows}

@@ -19,7 +19,7 @@ KINDS = ("noise", "dropout", "warp")
 SEVERITIES = (0.0, 0.2, 0.5)
 
 
-def test_robustness_under_perturbations(benchmark, config):
+def test_robustness_under_perturbations(benchmark, config, bench_report):
     cfg = ExperimentConfig(
         dataset_names=("Adiac",),
         length=min(config.length, 256),
@@ -31,23 +31,24 @@ def test_robustness_under_perturbations(benchmark, config):
     db.ingest(dataset.data)
 
     rows = []
-    for kind in KINDS:
-        for severity in SEVERITIES:
-            queries = query_workload(dataset.queries, kind, severity, seed=3)
-            accs, prunes = [], []
-            for query in queries:
-                truth = db.ground_truth(query, 4)
-                result = db.knn(query, 4)
-                accs.append(result.accuracy_against(truth))
-                prunes.append(result.pruning_power)
-            rows.append(
-                {
-                    "perturbation": kind,
-                    "severity": severity,
-                    "accuracy": float(np.mean(accs)),
-                    "pruning_power": float(np.mean(prunes)),
-                }
-            )
+    with bench_report("robustness", dataset=dataset.name, rows=rows):
+        for kind in KINDS:
+            for severity in SEVERITIES:
+                queries = query_workload(dataset.queries, kind, severity, seed=3)
+                accs, prunes = [], []
+                for query in queries:
+                    truth = db.ground_truth(query, 4)
+                    result = db.knn(query, 4)
+                    accs.append(result.accuracy_against(truth))
+                    prunes.append(result.pruning_power)
+                rows.append(
+                    {
+                        "perturbation": kind,
+                        "severity": severity,
+                        "accuracy": float(np.mean(accs)),
+                        "pruning_power": float(np.mean(prunes)),
+                    }
+                )
     publish_table("robustness", "Extension — retrieval under perturbed queries", rows)
 
     by = {(r["perturbation"], r["severity"]): r for r in rows}

@@ -16,9 +16,7 @@ from repro.metrics import max_deviation
 from conftest import publish_table
 
 
-def test_streaming_quality_and_throughput(benchmark, config):
-    rng = np.random.default_rng(5)
-    rows = []
+def _measure_streaming(rng, rows):
     for n in (1000, 4000):
         series = rng.normal(size=n).cumsum()
         budget = 10
@@ -41,6 +39,13 @@ def test_streaming_quality_and_throughput(benchmark, config):
                 "premium": online_dev / max(offline_dev, 1e-9),
             }
         )
+
+
+def test_streaming_quality_and_throughput(benchmark, config, bench_report):
+    rng = np.random.default_rng(5)
+    rows = []
+    with bench_report("streaming", rows=rows):
+        _measure_streaming(rng, rows)
     publish_table("streaming", "Extension — streaming vs offline SAPLA", rows)
 
     for row in rows:

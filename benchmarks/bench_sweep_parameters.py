@@ -27,7 +27,7 @@ def _mean(records, key, **match):
     return float(np.mean(values))
 
 
-def test_sweep_m_and_k(benchmark, config):
+def test_sweep_m_and_k(benchmark, config, bench_report):
     cfg = ExperimentConfig(
         dataset_names=("Adiac", "Car"),
         length=min(config.length, 256),
@@ -37,7 +37,8 @@ def test_sweep_m_and_k(benchmark, config):
         ks=(4, 16),
         methods=("SAPLA", "APCA", "PAA"),
     )
-    records = run_index_grid(cfg)
+    with bench_report("sweep_m_k"):
+        records = run_index_grid(cfg)
 
     rows = []
     for m in cfg.coefficients:
@@ -69,7 +70,7 @@ def test_sweep_m_and_k(benchmark, config):
     benchmark(dist_par, rep_a, rep_b)
 
 
-def test_sweep_bulk_vs_incremental(benchmark, config):
+def test_sweep_bulk_vs_incremental(benchmark, config, bench_report):
     """Extension bench: packed bulk loading vs incremental insertion."""
     import time
 
@@ -83,25 +84,26 @@ def test_sweep_bulk_vs_incremental(benchmark, config):
     )
     dataset = next(archive_cfg.datasets())
     rows = []
-    for index_kind in ("rtree", "dbch"):
-        for bulk in (False, True):
-            db = SeriesDatabase(SAPLAReducer(12), index=index_kind)
-            reps = [db.reducer.transform(s) for s in dataset.data]
-            started = time.process_time()
-            db.ingest(dataset.data, representations=reps, bulk=bulk)
-            build = time.process_time() - started
-            counts = db.tree.node_counts()
-            truth = db.ground_truth(dataset.queries[0], 4)
-            result = db.knn(dataset.queries[0], 4)
-            rows.append(
-                {
-                    "index": index_kind,
-                    "mode": "bulk" if bulk else "incremental",
-                    "build_time_s": build,
-                    "total_nodes": counts["total"],
-                    "accuracy": result.accuracy_against(truth),
-                }
-            )
+    with bench_report("sweep_bulk", rows=rows):
+        for index_kind in ("rtree", "dbch"):
+            for bulk in (False, True):
+                db = SeriesDatabase(SAPLAReducer(12), index=index_kind)
+                reps = [db.reducer.transform(s) for s in dataset.data]
+                started = time.process_time()
+                db.ingest(dataset.data, representations=reps, bulk=bulk)
+                build = time.process_time() - started
+                counts = db.tree.node_counts()
+                truth = db.ground_truth(dataset.queries[0], 4)
+                result = db.knn(dataset.queries[0], 4)
+                rows.append(
+                    {
+                        "index": index_kind,
+                        "mode": "bulk" if bulk else "incremental",
+                        "build_time_s": build,
+                        "total_nodes": counts["total"],
+                        "accuracy": result.accuracy_against(truth),
+                    }
+                )
     publish_table("sweep_bulk", "Extension — bulk vs incremental loading", rows)
 
     by = {(r["index"], r["mode"]): r for r in rows}

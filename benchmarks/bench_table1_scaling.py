@@ -16,8 +16,9 @@ from conftest import publish_table
 LENGTHS = (64, 128, 256)
 
 
-def test_table1_scaling(benchmark):
-    rows = run_scaling(lengths=LENGTHS, repeats=3)
+def test_table1_scaling(benchmark, bench_report):
+    with bench_report("table1_scaling"):
+        rows = run_scaling(lengths=LENGTHS, repeats=3)
     publish_table("table1_scaling", "Table 1 — reduction time vs series length", rows)
 
     at_longest = {
@@ -40,9 +41,10 @@ def test_table1_scaling(benchmark):
     benchmark(make_reducer("SAPLA", 12).transform, series)
 
 
-def test_table1_apla_vs_sapla_gap_grows(benchmark):
+def test_table1_apla_vs_sapla_gap_grows(benchmark, bench_report):
     """The SAPLA speedup over APLA grows with n (paper: about n times)."""
-    rows = run_scaling(lengths=(64, 256), methods=("SAPLA", "APLA"), repeats=3)
+    with bench_report("table1_scaling_gap"):
+        rows = run_scaling(lengths=(64, 256), methods=("SAPLA", "APLA"), repeats=3)
     by = {(r["method"], r["n"]): r["reduction_time_s"] for r in rows}
     small_ratio = by[("APLA", 64)] / max(by[("SAPLA", 64)], 1e-9)
     large_ratio = by[("APLA", 256)] / max(by[("SAPLA", 256)], 1e-9)

@@ -6,22 +6,50 @@ Scale knobs (defaults are CI-sized; see DESIGN.md for the full-grid knobs):
     REPRO_COEFFICIENTS, REPRO_KS, REPRO_APLA_MAX_LENGTH
 
 Each bench renders its figure's rows as a table; tables are written to
-``benchmarks/results/`` and echoed in the terminal summary.  Benches that
-capture the observability layer also drop a machine-readable
-``<name>.report.json`` (:class:`repro.obs.RunReport`) next to the table.
+``benchmarks/results/`` and echoed in the terminal summary.  Every bench
+also captures the observability layer through the :func:`bench_report`
+fixture and drops a machine-readable ``<name>.report.json``
+(:class:`repro.obs.RunReport`) next to its table — pass ``--no-report``
+to skip the JSON artifacts.
+
+Benches migrated onto the experiment service run their measurement core
+through :mod:`repro.experiments.workloads` and publish each trial with the
+:func:`publish_trial` fixture; setting ``REPRO_EXPERIMENT_STORE=<path>``
+additionally records those trials into that sqlite results store.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pathlib
 
 import pytest
 
+from repro import obs
 from repro.bench import config_from_env, render_table, run_index_grid
+from repro.experiments import record_bench_trial
 from repro.obs import RunReport
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: "list[str]" = []
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "repro benchmark artifacts")
+    group.addoption(
+        "--report",
+        dest="emit_reports",
+        action="store_true",
+        default=True,
+        help="write <bench>.report.json observability artifacts (default)",
+    )
+    group.addoption(
+        "--no-report",
+        dest="emit_reports",
+        action="store_false",
+        help="skip the <bench>.report.json observability artifacts",
+    )
 
 
 def publish_table(name: str, title: str, rows) -> None:
@@ -41,6 +69,52 @@ def publish_report(name: str, report: RunReport) -> pathlib.Path:
 def pytest_terminal_summary(terminalreporter):
     for text in _TABLES:
         terminalreporter.write_line(text)
+
+
+@pytest.fixture
+def bench_report(request):
+    """Capture obs around a bench body and publish its ``.report.json``.
+
+    Usage::
+
+        with bench_report("fig10_distance_ordering", rows=rows) as session:
+            ...  # measured work; obs enabled, under span "bench.run"
+
+    Extra keyword arguments land in the report's ``meta``; mutable values
+    (e.g. the ``rows`` list the bench appends to) are read at exit, so they
+    may be filled inside the block.  ``--no-report`` keeps the capture (the
+    bench still runs identically) but skips writing the artifact.
+    """
+
+    @contextlib.contextmanager
+    def _capture(name: str, **meta):
+        with obs.capture() as session:
+            with obs.span("bench.run"):
+                yield session
+        if request.config.getoption("emit_reports"):
+            publish_report(name, session.report(meta={"bench": name, **meta}))
+
+    return _capture
+
+
+@pytest.fixture
+def publish_trial(request):
+    """Publish one experiment-service trial from a bench.
+
+    Writes the trial's RunReport as ``<name>.report.json`` (unless
+    ``--no-report``) and, when ``REPRO_EXPERIMENT_STORE`` names a sqlite
+    path, records the trial there via
+    :func:`repro.experiments.record_bench_trial`.
+    """
+
+    def _publish(name, trial, report, derived, elapsed_s: float = 0.0):
+        if request.config.getoption("emit_reports"):
+            publish_report(name, report)
+        store_path = os.environ.get("REPRO_EXPERIMENT_STORE")
+        if store_path:
+            record_bench_trial(store_path, name, trial, report, derived, elapsed_s)
+
+    return _publish
 
 
 @pytest.fixture(scope="session")

@@ -11,6 +11,11 @@ name passed to ``count`` is as wrong as a typo).  Non-literal names are
 reported only with ``--strict`` (dynamic selection is expected to go
 through catalogued tables like ``PRUNED_METRICS``).
 
+The reverse direction is linted for the experiment service's namespace:
+every ``experiments.*`` name declared in the catalogue must be *used* by at
+least one literal call site, so the catalogue cannot accumulate dead
+experiment metrics.
+
 Exit status 0 = clean, 1 = violations found.  Run from the repo root:
 
     python scripts/check_metric_names.py
@@ -53,7 +58,7 @@ def helper_name(call: ast.Call) -> "str | None":
     return None
 
 
-def check_file(path: pathlib.Path) -> "list[str]":
+def check_file(path: pathlib.Path, used: "set[str]") -> "list[str]":
     violations: "list[str]" = []
     tree = ast.parse(path.read_text(), filename=str(path))
     for node in ast.walk(tree):
@@ -71,6 +76,7 @@ def check_file(path: pathlib.Path) -> "list[str]":
                 )
             continue
         name = first.value
+        used.add(name)
         declared = CATALOG.get(name)
         if declared is None:
             violations.append(
@@ -92,13 +98,21 @@ WALKED = (ROOT / "src" / "repro", ROOT / "benchmarks", ROOT / "scripts")
 
 def main() -> int:
     violations: "list[str]" = []
+    used: "set[str]" = set()
     for base in WALKED:
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*.py")):
             if any(skip in path.parents for skip in SKIP):
                 continue
-            violations.extend(check_file(path))
+            violations.extend(check_file(path, used))
+    # reverse check: every catalogued experiments.* name must have a caller
+    for name in sorted(CATALOG):
+        if name.startswith("experiments.") and name not in used:
+            violations.append(
+                f"repro.obs.catalog declares {name!r} but no literal call "
+                "site under the walked trees records it"
+            )
     if violations:
         print(f"{len(violations)} metric-name violation(s):")
         for line in violations:

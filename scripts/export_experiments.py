@@ -1,0 +1,36 @@
+"""Export an experiment results store to a committable JSON snapshot.
+
+Usage:
+
+    PYTHONPATH=src python scripts/export_experiments.py <store.sqlite> <out.json>
+
+The sqlite store itself is a binary artifact; committing its
+:meth:`repro.experiments.ResultsStore.export_json` snapshot instead keeps
+the perf trajectory reviewable in diffs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import ResultsStore  # noqa: E402
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    store_path, out_path = argv
+    with ResultsStore(store_path) as store:
+        written = store.export_json(out_path)
+        n = len(store.experiments())
+    print(f"exported {n} experiment(s) from {store_path} to {written}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

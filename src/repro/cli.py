@@ -10,7 +10,13 @@ Commands
 ``ingest``       insert series into a saved database through its WAL
 ``checkpoint``   fold a database's WAL into its saved state
 ``compact``      drop tombstoned rows and reclaim space
-``experiment``   regenerate one of the paper's tables/figures
+``experiment``   regenerate one of the paper's tables/figures, or drive the
+                 experiment service: ``experiment run <spec.toml>`` executes
+                 a declarative benchmark matrix into an sqlite results store
+                 and writes ``BENCH_<spec>.json``; ``experiment report``
+                 renders trend tables from the store; ``experiment diff``
+                 judges the latest run against a committed baseline with the
+                 spec's regression gates (non-zero exit on violation)
 ``stats``        list the metric catalogue or summarise a saved run report
 
 ``knn`` and ``experiment`` accept ``--report out.json`` to capture the
@@ -292,10 +298,110 @@ _EXPERIMENTS = (
     "fig15",
     "ablation-bounds",
     "ablation-dbch",
+    # experiment service (declarative spec matrix -> sqlite store -> gates)
+    "run",
+    "report",
+    "diff",
 )
 
 
+def _print_cells(cells) -> None:
+    """One table per workload family; cells carry heterogeneous metrics."""
+    by_workload: dict = {}
+    for cell in cells:
+        by_workload.setdefault(cell["workload"], []).append(cell)
+    for workload, rows in sorted(by_workload.items()):
+        table_rows = [
+            {
+                "scale": c["scale"],
+                "method": c["method"],
+                "M": c["coefficients"],
+                "index": c["index_kind"],
+                "engine": c["engine"],
+                "repeats": c["repeats"],
+                **c["metrics"],
+            }
+            for c in rows
+        ]
+        print_table(f"{workload} cells (median over repeats)", table_rows)
+
+
+def _cmd_experiment_run(args) -> int:
+    from . import experiments as exp
+
+    if not args.spec:
+        raise SystemExit("repro experiment run needs a spec file (.toml or .json)")
+    spec = exp.load_spec(args.spec)
+    summary = exp.run_experiment(
+        spec, args.store, bench_dir=args.bench_dir, progress=print
+    )
+    _print_cells(summary.cells)
+    print(
+        f"\nrecorded experiment {summary.experiment_id} "
+        f"({summary.n_trials} trials, {summary.n_skipped} skipped, "
+        f"{summary.n_failed} failed) into {summary.store_path}"
+    )
+    return 1 if summary.n_failed else 0
+
+
+def _cmd_experiment_report(args) -> int:
+    from . import experiments as exp
+
+    with exp.ResultsStore(args.store) as store:
+        overview = exp.experiment_rows(store)
+        if not overview:
+            raise SystemExit(f"no experiments recorded in {args.store}")
+        print_table(f"experiments in {args.store}", overview)
+        trend = exp.trend_rows(store, metric=args.metric, workload=args.workload)
+        print_table("per-cell metric trend (median over repeats)", trend)
+    return 0
+
+
+def _cmd_experiment_diff(args) -> int:
+    from . import experiments as exp
+
+    if not args.spec:
+        raise SystemExit("repro experiment diff needs the spec file (for its gates)")
+    if not args.baseline:
+        raise SystemExit("repro experiment diff needs --baseline BENCH_<spec>.json")
+    spec = exp.load_spec(args.spec)
+    baseline = exp.load_bench(args.baseline)
+    if args.current:
+        current_cells = exp.load_bench(args.current)["cells"]
+        current_label = args.current
+    else:
+        with exp.ResultsStore(args.store) as store:
+            experiment = store.latest_experiment(spec.name)
+            if experiment is None:
+                raise SystemExit(
+                    f"no {spec.name!r} experiment in {args.store}; run the spec first"
+                )
+            current_cells = exp.summarise_cells(
+                spec, store.cell_metrics(experiment["id"])
+            )
+            current_label = f"{args.store} (experiment {experiment['id']})"
+    rows = exp.diff_cells(spec, baseline["cells"], current_cells)
+    print_table(
+        f"gates: {current_label} vs baseline {args.baseline}",
+        rows or [{"cell": "-", "metric": "-", "verdict": "no gated metrics"}],
+    )
+    violations = exp.evaluate_gates(spec, baseline["cells"], current_cells)
+    if violations:
+        print(f"\n{len(violations)} gate violation(s):")
+        for violation in violations:
+            print(f"  {violation.describe()}")
+        return 1
+    print("\nall gates pass")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
+    if args.which == "run":
+        return _cmd_experiment_run(args)
+    if args.which == "report":
+        return _cmd_experiment_report(args)
+    if args.which == "diff":
+        return _cmd_experiment_diff(args)
     config_kwargs = dict(
         dataset_names=tuple(args.datasets) if args.datasets else (),
         length=args.length,
@@ -470,8 +576,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, help="write the report here")
     p.set_defaults(func=_cmd_report)
 
-    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p = sub.add_parser(
+        "experiment",
+        help="regenerate a paper table/figure, or drive the experiment service "
+        "(run <spec> / report / diff)",
+    )
     p.add_argument("which", choices=_EXPERIMENTS)
+    p.add_argument(
+        "spec", nargs="?", default=None,
+        help="experiment spec file (.toml/.json) for the run/diff subcommands",
+    )
+    p.add_argument(
+        "--store", default="experiments.sqlite", metavar="DB",
+        help="sqlite results store for run/report/diff",
+    )
+    p.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="where 'run' writes its BENCH_<spec>.json trajectory summary",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="BENCH.json",
+        help="baseline trajectory file 'diff' compares against",
+    )
+    p.add_argument(
+        "--current", default=None, metavar="BENCH.json",
+        help="trajectory file to judge; defaults to the store's latest run of the spec",
+    )
+    p.add_argument(
+        "--metric", default=None,
+        help="substring filter on metric names in 'report' trend tables",
+    )
+    p.add_argument(
+        "--workload", default=None,
+        help="workload-family filter in 'report' trend tables",
+    )
     p.add_argument("--datasets", nargs="*", default=None)
     p.add_argument("--length", type=int, default=256)
     p.add_argument("--series", type=int, default=24)

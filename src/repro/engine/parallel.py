@@ -7,12 +7,19 @@ mapping, so no per-task pickling or per-worker copy of the collection ever
 happens — each worker swaps the shared view in as its database's ``data``
 and runs the ordinary vectorised engine on its slice of the queries.
 
-Workers return plain :class:`repro.index.KNNResult` lists; the parent
-re-records their accounting into the metrics registry (child registries are
-disabled — they would die with the process).  Fan-out degrades gracefully:
-on platforms without ``fork``, or when the raw data lives behind a paged
-store rather than an in-memory array, ``run_parallel`` returns ``None`` and
-the caller stays sequential.
+Workers return plain :class:`repro.index.KNNResult` lists plus a metrics
+snapshot.  Each worker records into a fresh enabled registry (when the
+parent was collecting) and the parent folds the snapshots back in with
+:meth:`repro.obs.MetricsRegistry.merge_snapshot`, *excluding* the names the
+engine re-records itself from the returned results (``knn.*`` search
+accounting, ``dist.euclidean.exact``, ``engine.*``) so nothing is counted
+twice.  Merged metrics therefore match an in-process run exactly; the one
+documented loss is the workers' *span trees* — wall/CPU tracing is
+per-process, and the parent's enclosing ``engine.knn_batch`` span already
+covers the fan-out wall time.  Fan-out degrades gracefully: on platforms
+without ``fork``, or when the raw data lives behind a paged store rather
+than an in-memory array, ``run_parallel`` returns ``None`` and the caller
+stays sequential.
 """
 
 from __future__ import annotations
@@ -24,7 +31,22 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["run_parallel"]
+__all__ = ["run_parallel", "RERECORDED_METRICS"]
+
+#: metric names (or dotted prefixes ending in ``.``) the parent re-records
+#: from worker results via ``record_search`` and the engine's own batch
+#: accounting — excluded from worker-snapshot merging to avoid double counts.
+RERECORDED_METRICS = (
+    "knn.queries",
+    "knn.nodes_visited",
+    "knn.nodes_pruned",
+    "knn.entries_refined",
+    "knn.heap_pushes",
+    "knn.verified_per_query",
+    "knn.pruned.",
+    "dist.euclidean.exact",
+    "engine.",
+)
 
 #: set by the parent just before the pool forks; inherited by workers.
 _WORKER_DB = None
@@ -67,13 +89,19 @@ def run_parallel(db, queries: np.ndarray, options):
         del shared
         block.close()
         block.unlink()
+    from .. import obs
+
     results: "List" = []
     timed_out: "List[int]" = []
     rounds = 0
-    for chunk, (chunk_results, chunk_timed_out, chunk_rounds) in zip(chunks, outputs):
+    for chunk, (chunk_results, chunk_timed_out, chunk_rounds, snap) in zip(
+        chunks, outputs
+    ):
         results.extend(chunk_results)
         timed_out.extend(int(chunk[i]) for i in chunk_timed_out)
         rounds = max(rounds, chunk_rounds)
+        if snap is not None and obs.is_enabled():
+            obs.registry().merge_snapshot(snap, exclude=RERECORDED_METRICS)
     return results, timed_out, rounds, len(chunks)
 
 
@@ -87,6 +115,14 @@ def _run_chunk(payload):
     db = _WORKER_DB
     db.data = _WORKER_DATA
     db._engine = None
-    obs.disable()  # the parent re-records accounting from the returned results
+    # With the parent collecting, record into a fresh registry and ship its
+    # snapshot back; spans stay off (per-process trees cannot merge).  The
+    # parent still re-records the knn.*/engine.* accounting itself, so those
+    # names are excluded from the merge (RERECORDED_METRICS).
+    collecting = obs.is_enabled()
+    obs.disable()
+    if collecting:
+        obs.set_registry(obs.MetricsRegistry(enabled=True))
     batch = QueryEngine(db).knn_batch(chunk_queries, options)
-    return batch.results, batch.timed_out, batch.rounds
+    snap = obs.registry().snapshot() if collecting else None
+    return batch.results, batch.timed_out, batch.rounds, snap

@@ -1,0 +1,137 @@
+"""Regression gates: judge a run's cells against a committed baseline.
+
+:func:`evaluate_gates` applies a spec's :class:`repro.experiments.GateRule`
+thresholds to two cell summaries (baseline vs current, both in the
+``BENCH_<spec>.json`` ``cells`` shape) and returns every violation — which
+rule, which cell, baseline and current values, and the percent change that
+crossed the threshold.  :func:`diff_cells` renders the full comparison as
+table rows with a pass/fail verdict per gated metric, the output of
+``repro experiment diff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .. import obs
+from .spec import ExperimentSpec, GateRule
+
+__all__ = ["GateViolation", "evaluate_gates", "diff_cells"]
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    """One threshold crossing: the rule, the cell, and the numbers."""
+
+    rule: GateRule
+    cell: str
+    baseline: float
+    current: float
+    change_pct: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner naming the violated threshold."""
+        sign = "+" if self.change_pct >= 0 else ""
+        return (
+            f"{self.cell}: {self.rule.metric} {self.baseline:.6g} -> "
+            f"{self.current:.6g} ({sign}{self.change_pct:.1f}%) violates "
+            f"max {self.rule.direction} of {self.rule.limit_pct:g}%"
+        )
+
+
+def _cells_by_key(cells: "Sequence[Dict]") -> "Dict[str, Dict]":
+    return {cell["cell"]: cell for cell in cells}
+
+
+def _change_pct(baseline: float, current: float) -> float:
+    if baseline == 0.0:
+        return 0.0 if current == 0.0 else float("inf")
+    return (current - baseline) / abs(baseline) * 100.0
+
+
+def _violates(rule: GateRule, change_pct: float) -> bool:
+    if rule.direction == "increase":
+        return change_pct > rule.limit_pct
+    return change_pct < -rule.limit_pct
+
+
+def evaluate_gates(
+    spec: ExperimentSpec,
+    baseline_cells: "Sequence[Dict]",
+    current_cells: "Sequence[Dict]",
+) -> "List[GateViolation]":
+    """Every gate violation of ``current`` against ``baseline``.
+
+    A rule applies to each current cell whose workload matches (or to all of
+    them when the rule names none) and whose metric exists on both sides;
+    cells or metrics missing from the baseline cannot regress and are
+    skipped.  The count of violations is recorded on the
+    ``experiments.gate_violations`` counter.
+    """
+    baseline = _cells_by_key(baseline_cells)
+    violations: "List[GateViolation]" = []
+    for cell in current_cells:
+        base = baseline.get(cell["cell"])
+        if base is None:
+            continue
+        for rule in spec.gates:
+            if rule.workload is not None and cell["workload"] != rule.workload:
+                continue
+            current_value = cell["metrics"].get(rule.metric)
+            baseline_value = base["metrics"].get(rule.metric)
+            if current_value is None or baseline_value is None:
+                continue
+            change = _change_pct(baseline_value, current_value)
+            if _violates(rule, change):
+                violations.append(
+                    GateViolation(rule, cell["cell"], baseline_value, current_value, change)
+                )
+    if violations:
+        obs.count("experiments.gate_violations", len(violations))
+    return violations
+
+
+def diff_cells(
+    spec: ExperimentSpec,
+    baseline_cells: "Sequence[Dict]",
+    current_cells: "Sequence[Dict]",
+) -> "List[Dict]":
+    """Gated-metric comparison rows (one per cell x applicable rule)."""
+    baseline = _cells_by_key(baseline_cells)
+    rows: "List[Dict]" = []
+    for cell in current_cells:
+        base = baseline.get(cell["cell"])
+        for rule in spec.gates:
+            if rule.workload is not None and cell["workload"] != rule.workload:
+                continue
+            current_value = cell["metrics"].get(rule.metric)
+            if current_value is None:
+                continue
+            baseline_value = None if base is None else base["metrics"].get(rule.metric)
+            if baseline_value is None:
+                rows.append(
+                    {
+                        "cell": cell["cell"],
+                        "metric": rule.metric,
+                        "baseline": "-",
+                        "current": current_value,
+                        "change_pct": "-",
+                        "limit": f"{rule.direction} {rule.limit_pct:g}%",
+                        "verdict": "new",
+                    }
+                )
+                continue
+            change = _change_pct(baseline_value, current_value)
+            rows.append(
+                {
+                    "cell": cell["cell"],
+                    "metric": rule.metric,
+                    "baseline": baseline_value,
+                    "current": current_value,
+                    "change_pct": round(change, 2),
+                    "limit": f"{rule.direction} {rule.limit_pct:g}%",
+                    "verdict": "FAIL" if _violates(rule, change) else "ok",
+                }
+            )
+    return rows

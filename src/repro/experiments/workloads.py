@@ -1,0 +1,218 @@
+"""Workload-family implementations shared by the runner and the benchmarks.
+
+Each family is one function from a :class:`repro.experiments.TrialSpec` to a
+flat ``{metric_name: float}`` dict of derived measurements.  The functions
+are deliberately observation-free of side effects: the *caller* (the
+experiment runner, or a benchmark) owns the obs capture around the call, so
+the same measurement code produces both the derived metrics and the
+RunReport counters/spans a trial row stores.
+
+Inputs are synthetic random walks generated from the trial seed, matching
+the committed benchmark scripts — same seed, same data, bit-identical
+workload from one run to the next.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..engine import ExecutionMode, QueryOptions
+from ..index import SeriesDatabase
+from ..kinds import IndexKind
+from ..reduction import REDUCERS
+from .spec import WORKLOAD_FAMILIES, TrialSpec
+
+__all__ = ["WORKLOADS", "supports", "run_workload", "make_trial_data"]
+
+
+def make_trial_data(trial: TrialSpec) -> "tuple[np.ndarray, np.ndarray]":
+    """The trial's (data, queries): seeded random walks plus noisy picks."""
+    scale = trial.scale
+    rng = np.random.default_rng(trial.seed)
+    data = rng.normal(size=(scale.n_series, scale.length)).cumsum(axis=1)
+    picks = rng.integers(0, scale.n_series, size=scale.n_queries)
+    queries = data[picks] + rng.normal(scale=0.05, size=(scale.n_queries, scale.length))
+    return data, queries
+
+
+def _database(trial: TrialSpec) -> SeriesDatabase:
+    reducer = REDUCERS[trial.reducer.method](n_coefficients=trial.reducer.coefficients)
+    index = None if trial.index_kind is IndexKind.NONE else trial.index_kind
+    return SeriesDatabase(reducer, index=index)
+
+
+def _percentiles(values: "List[float]") -> "Dict[str, float]":
+    ordered = sorted(values)
+    out = {}
+    for q, label in ((50, "p50"), (90, "p90"), (99, "p99")):
+        rank = max(-(-q * len(ordered) // 100), 1)
+        out[label] = ordered[min(rank, len(ordered)) - 1]
+    return out
+
+
+# ----------------------------------------------------------------------
+# batch_knn: batched vs sequential engine throughput + serving latency
+# ----------------------------------------------------------------------
+def run_batch_knn(trial: TrialSpec) -> "Dict[str, float]":
+    """Batched-engine throughput against the sequential baseline.
+
+    Metrics: ``ingest_s``, ``sequential_qps``, ``batched_qps``, ``speedup``
+    (whole-batch comparison, answers asserted identical via
+    ``results_identical``), and ``latency_p50/p90/p99_ms`` — per-query
+    serving latency measured as batch-of-1 calls, the number a latency gate
+    should watch.
+    """
+    engine = trial.engine
+    data, queries = make_trial_data(trial)
+    db = _database(trial)
+    started = time.perf_counter()
+    db.ingest(data, bulk=db.tree is not None)
+    ingest_s = time.perf_counter() - started
+
+    options = QueryOptions(
+        k=engine.k,
+        mode=engine.mode,
+        parallelism=engine.parallelism,
+        lookahead=engine.lookahead,
+    )
+    started = time.perf_counter()
+    sequential = db.knn_batch(
+        queries, QueryOptions(k=engine.k, mode=ExecutionMode.SEQUENTIAL)
+    )
+    t_seq = time.perf_counter() - started
+    started = time.perf_counter()
+    batched = db.knn_batch(queries, options)
+    t_bat = time.perf_counter() - started
+    identical = all(
+        a.ids == b.ids and a.distances == b.distances
+        for a, b in zip(sequential.results, batched.results)
+    )
+
+    latencies_ms = []
+    for query in queries:
+        started = time.perf_counter()
+        db.knn_batch(query[None, :], QueryOptions(k=engine.k, mode=engine.mode))
+        latencies_ms.append((time.perf_counter() - started) * 1e3)
+
+    metrics = {
+        "ingest_s": ingest_s,
+        "sequential_qps": len(queries) / t_seq,
+        "batched_qps": len(queries) / t_bat,
+        "speedup": t_seq / t_bat,
+        "results_identical": float(identical),
+    }
+    metrics.update(
+        {f"latency_{k}_ms": v for k, v in _percentiles(latencies_ms).items()}
+    )
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# ingest: durable insert throughput under the spec'd fsync policy
+# ----------------------------------------------------------------------
+def run_ingest(trial: TrialSpec) -> "Dict[str, float]":
+    """WAL-durable insert throughput into a saved database.
+
+    Metrics: ``inserts_per_s``, ``wal_bytes`` and ``insert_p50/p99_ms``
+    under the trial's fsync policy (``engine.fsync``; ``"off"`` disables
+    the WAL entirely).
+    """
+    from ..io import open_database
+    from ..lifecycle import DurabilityOptions
+
+    scale = trial.scale
+    n_inserts = scale.n_inserts or max(scale.n_series // 2, 32)
+    data, _ = make_trial_data(trial)
+    rng = np.random.default_rng(trial.seed + 1)
+    stream = rng.normal(size=(n_inserts, scale.length)).cumsum(axis=1)
+    if trial.engine.fsync == "off":
+        durability = DurabilityOptions(wal=False)
+    else:
+        durability = DurabilityOptions(
+            fsync=trial.engine.fsync, batch_records=trial.engine.fsync_batch
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-exp-ingest-") as home:
+        db = _database(trial)
+        db.ingest(data)
+        db.save(home)
+        db = open_database(home, durability=durability)
+        per_insert_ms: "List[float]" = []
+        started = time.perf_counter()
+        for row in stream:
+            t0 = time.perf_counter()
+            db.insert(row)
+            per_insert_ms.append((time.perf_counter() - t0) * 1e3)
+        if db.wal is not None:
+            db.wal.sync()
+        elapsed = time.perf_counter() - started
+        wal_bytes = 0.0 if db.wal is None else float(db.wal.size_bytes())
+
+    metrics = {
+        "inserts_per_s": n_inserts / elapsed,
+        "wal_bytes": wal_bytes,
+        "insert_p50_ms": _percentiles(per_insert_ms)["p50"],
+        "insert_p99_ms": _percentiles(per_insert_ms)["p99"],
+    }
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# pruning: filter-and-refine quality (paper Fig. 13's axes)
+# ----------------------------------------------------------------------
+def run_pruning(trial: TrialSpec) -> "Dict[str, float]":
+    """Pruning power and accuracy of filter-and-refine k-NN.
+
+    Metrics: mean ``pruning_power`` (verified/total, paper Eq. 14), mean
+    ``accuracy`` against exact ground truth, and per-query ``knn_*_ms``
+    latency percentiles.  The per-bound pruning breakdown comes from the
+    captured obs counters, not from here.
+    """
+    data, queries = make_trial_data(trial)
+    db = _database(trial)
+    db.ingest(data, bulk=db.tree is not None)
+    k = trial.engine.k
+    powers, accuracies, times_ms = [], [], []
+    for query in queries:
+        truth = db.ground_truth(query, k)
+        started = time.perf_counter()
+        result = db.knn(query, k)
+        times_ms.append((time.perf_counter() - started) * 1e3)
+        powers.append(result.pruning_power)
+        accuracies.append(result.accuracy_against(truth))
+    metrics = {
+        "pruning_power": float(np.mean(powers)),
+        "accuracy": float(np.mean(accuracies)),
+    }
+    metrics.update({f"knn_{k}_ms": v for k, v in _percentiles(times_ms).items()})
+    return metrics
+
+
+#: family name -> implementation; keys mirror spec.WORKLOAD_FAMILIES
+WORKLOADS: "Dict[str, Callable[[TrialSpec], Dict[str, float]]]" = {
+    "batch_knn": run_batch_knn,
+    "ingest": run_ingest,
+    "pruning": run_pruning,
+}
+assert tuple(WORKLOADS) == WORKLOAD_FAMILIES
+
+#: index kinds each family can execute (others are skipped, not failed)
+_SUPPORTED_INDEXES = {
+    "batch_knn": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
+    "ingest": (IndexKind.DBCH, IndexKind.RTREE),
+    "pruning": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
+}
+
+
+def supports(trial: TrialSpec) -> bool:
+    """Whether the trial's workload can execute this matrix cell."""
+    return trial.index_kind in _SUPPORTED_INDEXES[trial.workload]
+
+
+def run_workload(trial: TrialSpec) -> "Dict[str, float]":
+    """Execute one trial's workload and return its derived metrics."""
+    return WORKLOADS[trial.workload](trial)

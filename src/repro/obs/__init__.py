@@ -35,11 +35,12 @@ from .registry import (
     registry,
     set_registry,
 )
-from .report import SCHEMA_VERSION, RunReport
+from .report import COMPATIBLE_SCHEMAS, SCHEMA_VERSION, RunReport
 from .spans import Span, SpanRecorder, recorder, set_recorder, span
 
 __all__ = [
     "CATALOG",
+    "COMPATIBLE_SCHEMAS",
     "PRUNED_METRICS",
     "SCHEMA_VERSION",
     "Counter",

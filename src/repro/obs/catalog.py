@@ -97,6 +97,12 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "compaction.runs": (COUNTER, "compaction passes executed"),
     "compaction.rows_dropped": (COUNTER, "tombstoned rows dropped by compaction"),
     "compaction.reclaimed_bytes": (COUNTER, "raw data bytes reclaimed by compaction"),
+    # --------------------------------------------------------- experiments
+    "experiments.trials": (COUNTER, "experiment trials executed by the runner"),
+    "experiments.trials_skipped": (COUNTER, "matrix cells skipped as unsupported by their workload"),
+    "experiments.trial_failures": (COUNTER, "experiment trials that raised and were recorded failed"),
+    "experiments.gate_violations": (COUNTER, "threshold rules violated by the last experiment diff"),
+    "experiments.trial_wall_s": (HISTOGRAM, "wall seconds per recorded experiment trial"),
     # --------------------------------------------------------------- spans
     "cli.knn": (SPAN, "whole `repro knn` command"),
     "cli.experiment": (SPAN, "whole `repro experiment` command"),
@@ -108,6 +114,8 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "lifecycle.checkpoint": (SPAN, "persist state and truncate the WAL"),
     "lifecycle.compact": (SPAN, "rewrite rows dropping tombstones and rebuild the index"),
     "bench.run": (SPAN, "whole instrumented benchmark pass"),
+    "experiments.run": (SPAN, "whole experiment-matrix execution"),
+    "experiments.trial": (SPAN, "one recorded trial of an experiment matrix"),
     "db.ingest": (SPAN, "reduce + index every row of a collection"),
     "knn.search": (SPAN, "one filter-and-refine k-NN query"),
     "engine.knn_batch": (SPAN, "one batched k-NN execution"),

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from .catalog import CATALOG, COUNTER, GAUGE, HISTOGRAM, kind_of
 
 __all__ = [
+    "SAMPLE_CAP",
     "Counter",
     "Gauge",
     "Histogram",
@@ -62,14 +63,21 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Count / sum / min / max over observed values.
+#: retained observations per histogram before deterministic decimation
+SAMPLE_CAP = 4096
 
-    Deliberately bucketless: the reproduction's reports want per-run
-    aggregates, not latency percentiles, and four numbers serialise cleanly.
+
+class Histogram:
+    """Count / sum / min / max plus percentile summaries over observed values.
+
+    Deliberately bucketless: count/sum/min/max stay exact, and percentiles
+    come from a bounded sample of the raw observations.  Up to
+    :data:`SAMPLE_CAP` observations are kept verbatim; past the cap every
+    other retained sample is dropped and the keep-stride doubles, so the
+    reduction is deterministic (no RNG) and evenly spread over the run.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "samples", "_stride")
 
     def __init__(self, name: str):
         self.name = name
@@ -77,6 +85,8 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: "list[float]" = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -87,10 +97,23 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= SAMPLE_CAP:
+                del self.samples[1::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` (0..100) over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(int(-(-q * len(ordered) // 100)), 1)  # ceil(q/100 * n), >= 1
+        return ordered[min(rank, len(ordered)) - 1]
 
 
 _KIND_CLASSES = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}
@@ -148,8 +171,50 @@ class MetricsRegistry:
                     "min": instrument.min if instrument.count else 0.0,
                     "max": instrument.max if instrument.count else 0.0,
                     "mean": instrument.mean,
+                    "p50": instrument.percentile(50.0),
+                    "p90": instrument.percentile(90.0),
+                    "p99": instrument.percentile(99.0),
                 }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_snapshot(self, snap: "Dict[str, Dict]", exclude=()) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, gauges take the incoming value (last-writer-wins, the
+        same rule a single registry applies), histograms merge their exact
+        aggregates; incoming percentiles cannot be merged exactly, so the
+        incoming mean stands in for the missing raw samples, weighted by the
+        incoming count.  ``exclude`` names (or dotted prefixes ending in
+        ``.``) are skipped — the engine uses this to avoid double-counting
+        metrics it re-records itself from worker results.
+        """
+
+        def skipped(name: str) -> bool:
+            return any(
+                name == entry or (entry.endswith(".") and name.startswith(entry))
+                for entry in exclude
+            )
+
+        for name, value in snap.get("counters", {}).items():
+            if not skipped(name):
+                self.counter(name).inc(int(value))
+        for name, value in snap.get("gauges", {}).items():
+            if not skipped(name):
+                self.gauge(name).set(value)
+        for name, incoming in snap.get("histograms", {}).items():
+            if skipped(name) or not incoming.get("count"):
+                continue
+            h = self.histogram(name)
+            n = int(incoming["count"])
+            h.count += n
+            h.total += float(incoming["sum"])
+            h.min = min(h.min, float(incoming["min"]))
+            h.max = max(h.max, float(incoming["max"]))
+            mean = float(incoming["sum"]) / n
+            h.samples.extend([mean] * min(n, SAMPLE_CAP - 1))
+            while len(h.samples) >= SAMPLE_CAP:
+                del h.samples[1::2]
+                h._stride *= 2
 
 
 #: the process-local default registry all instrumentation writes to

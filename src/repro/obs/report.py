@@ -17,9 +17,14 @@ from typing import Dict, List, Optional, Union
 from .registry import MetricsRegistry, registry
 from .spans import SpanRecorder, recorder
 
-__all__ = ["SCHEMA_VERSION", "RunReport"]
+__all__ = ["SCHEMA_VERSION", "COMPATIBLE_SCHEMAS", "RunReport"]
 
-SCHEMA_VERSION = "repro.obs/1"
+#: current schema: ``/2`` added p50/p90/p99 keys to every histogram summary.
+SCHEMA_VERSION = "repro.obs/2"
+
+#: schemas :meth:`RunReport.from_dict` still accepts.  ``/1`` reports lack
+#: the percentile keys; readers must treat them as optional (``.get``).
+COMPATIBLE_SCHEMAS = frozenset({"repro.obs/1", SCHEMA_VERSION})
 
 PathLike = Union[str, pathlib.Path]
 
@@ -72,9 +77,10 @@ class RunReport:
     def from_dict(cls, payload: dict) -> "RunReport":
         """Rebuild a report from :meth:`to_dict` output; checks the schema."""
         schema = payload.get("schema")
-        if schema != SCHEMA_VERSION:
+        if schema not in COMPATIBLE_SCHEMAS:
             raise ValueError(
-                f"unsupported report schema {schema!r} (expected {SCHEMA_VERSION!r})"
+                f"unsupported report schema {schema!r} "
+                f"(expected one of {sorted(COMPATIBLE_SCHEMAS)})"
             )
         return cls(
             schema=schema,
@@ -108,19 +114,64 @@ class RunReport:
 
     # ------------------------------------------------------------------
     def summary_rows(self) -> "List[Dict[str, object]]":
-        """Flat name/kind/value rows (the `repro stats` table)."""
+        """Flat name/kind/value rows (the `repro stats` table), name-sorted."""
+        rows: "List[Dict[str, object]]" = []
+        for name, value in sorted(self.counters.items()):
+            rows.append({"metric": name, "kind": "counter", "value": value})
+        for name, value in sorted(self.gauges.items()):
+            rows.append({"metric": name, "kind": "gauge", "value": round(value, 6)})
+        for name, h in sorted(self.histograms.items()):
+            text = (
+                f"n={h['count']} mean={h['mean']:.4g} "
+                f"min={h['min']:.4g} max={h['max']:.4g}"
+            )
+            if "p50" in h:  # schema /1 reports predate the percentile keys
+                text += f" p50={h['p50']:.4g} p90={h['p90']:.4g} p99={h['p99']:.4g}"
+            rows.append({"metric": name, "kind": "histogram", "value": text})
+        return rows
+
+    # ------------------------------------------------------------------
+    # trial-ingest API (stable contract for repro.experiments.store)
+    # ------------------------------------------------------------------
+    #: histogram summary fields flattened by :meth:`trial_metrics`, in order
+    HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+    def trial_metrics(self) -> "List[Dict[str, object]]":
+        """Every metric of this report as flat scalar rows, deterministically
+        ordered — the stable ingest contract for the experiment results store.
+
+        Each row is ``{"name", "kind", "value"}``:
+
+        * counters/gauges keep their catalogued name and kind;
+        * histograms flatten to ``<name>/<field>`` rows (``kind="histogram"``)
+          for every :data:`HISTOGRAM_FIELDS` entry present in the report;
+        * spans flatten the tree to ``<path>/wall_s|cpu_s|calls`` rows
+          (``kind="span"``) where ``path`` joins nested span names with ``.``.
+
+        Rows are sorted by kind then name, so identical reports always ingest
+        into identical table contents regardless of collection order.
+        """
         rows: "List[Dict[str, object]]" = []
         for name, value in self.counters.items():
-            rows.append({"metric": name, "kind": "counter", "value": value})
+            rows.append({"name": name, "kind": "counter", "value": float(value)})
         for name, value in self.gauges.items():
-            rows.append({"metric": name, "kind": "gauge", "value": round(value, 6)})
+            rows.append({"name": name, "kind": "gauge", "value": float(value)})
         for name, h in self.histograms.items():
-            rows.append(
-                {
-                    "metric": name,
-                    "kind": "histogram",
-                    "value": f"n={h['count']} mean={h['mean']:.4g} "
-                    f"min={h['min']:.4g} max={h['max']:.4g}",
-                }
-            )
+            for fld in self.HISTOGRAM_FIELDS:
+                if fld in h:
+                    rows.append(
+                        {"name": f"{name}/{fld}", "kind": "histogram", "value": float(h[fld])}
+                    )
+
+        def walk(nodes, prefix: str) -> None:
+            for node in nodes:
+                path = f"{prefix}{node['name']}"
+                for fld in ("wall_s", "cpu_s", "calls"):
+                    rows.append(
+                        {"name": f"{path}/{fld}", "kind": "span", "value": float(node[fld])}
+                    )
+                walk(node.get("children", ()), f"{path}.")
+
+        walk(self.spans, "")
+        rows.sort(key=lambda r: (r["kind"], r["name"]))
         return rows

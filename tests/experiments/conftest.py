@@ -1,0 +1,33 @@
+"""Shared fixtures for the experiment-service tests: a tiny gated matrix."""
+
+import pytest
+
+from repro.experiments import (
+    EngineSpec,
+    ExperimentSpec,
+    GateRule,
+    ReducerSpec,
+    ScaleSpec,
+)
+from repro.kinds import IndexKind
+
+TINY_SCALE = ScaleSpec("tiny", length=32, n_series=16, n_queries=3, n_inserts=8)
+
+
+@pytest.fixture
+def tiny_spec():
+    """Two workload families on one tiny cell, with regression gates."""
+    return ExperimentSpec(
+        name="tinyspec",
+        seed=3,
+        repeats=2,
+        workloads=("batch_knn", "pruning"),
+        scales=(TINY_SCALE,),
+        reducers=(ReducerSpec("PAA", 4),),
+        indexes=(IndexKind.NONE,),
+        engines=(EngineSpec(k=2),),
+        gates=(
+            GateRule("latency_p50_ms", 50.0, "increase", "batch_knn"),
+            GateRule("verified_ratio", 20.0, "increase", "pruning"),
+        ),
+    )

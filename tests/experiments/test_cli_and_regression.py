@@ -1,0 +1,125 @@
+"""CLI surface plus the acceptance path: an injected slowdown must land in
+the sqlite store and make ``repro experiment diff`` exit non-zero naming the
+violated threshold, while an unmodified run passes the same gates."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ResultsStore, load_bench, spec_to_dict
+from repro.experiments.workloads import WORKLOADS
+
+pytestmark = pytest.mark.experiments
+
+
+@pytest.fixture
+def spec_file(tiny_spec, tmp_path):
+    path = tmp_path / "tinyspec.json"
+    path.write_text(json.dumps(spec_to_dict(tiny_spec)))
+    return path
+
+
+def run_spec(spec_file, tmp_path, bench_subdir):
+    bench_dir = tmp_path / bench_subdir
+    bench_dir.mkdir(exist_ok=True)
+    code = main(
+        [
+            "experiment", "run", str(spec_file),
+            "--store", str(tmp_path / "store.sqlite"),
+            "--bench-dir", str(bench_dir),
+        ]
+    )
+    assert code == 0
+    return bench_dir / "BENCH_tinyspec.json"
+
+
+class TestCLI:
+    def test_run_writes_bench_and_prints_cells(self, spec_file, tmp_path, capsys):
+        bench_path = run_spec(spec_file, tmp_path, "base")
+        out = capsys.readouterr().out
+        assert "batch_knn cells" in out and "pruning cells" in out
+        assert "recorded experiment" in out
+        payload = load_bench(bench_path)
+        assert payload["n_trials"] == 4
+
+    def test_report_renders_trend(self, spec_file, tmp_path, capsys):
+        run_spec(spec_file, tmp_path, "base")
+        code = main(
+            ["experiment", "report", "--store", str(tmp_path / "store.sqlite"),
+             "--metric", "latency"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiments in" in out
+        assert "latency_p50_ms" in out
+        assert "run1" in out
+
+    def test_run_without_spec_exits(self):
+        with pytest.raises(SystemExit, match="needs a spec file"):
+            main(["experiment", "run"])
+
+    def test_diff_without_baseline_exits(self, spec_file):
+        with pytest.raises(SystemExit, match="--baseline"):
+            main(["experiment", "diff", str(spec_file)])
+
+
+class TestRegressionGate:
+    def test_unmodified_run_passes_gates(self, spec_file, tmp_path, capsys):
+        baseline = run_spec(spec_file, tmp_path, "base")
+        run_spec(spec_file, tmp_path, "current")  # identical second run
+        code = main(
+            ["experiment", "diff", str(spec_file),
+             "--store", str(tmp_path / "store.sqlite"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "all gates pass" in capsys.readouterr().out
+
+    def test_injected_slowdown_trips_the_gate(
+        self, spec_file, tmp_path, capsys, monkeypatch
+    ):
+        baseline = run_spec(spec_file, tmp_path, "base")
+
+        original = WORKLOADS["batch_knn"]
+
+        def degraded(trial):
+            metrics = dict(original(trial))
+            for key in ("latency_p50_ms", "latency_p90_ms", "latency_p99_ms"):
+                metrics[key] *= 10.0  # a 10x latency regression
+            return metrics
+
+        monkeypatch.setitem(WORKLOADS, "batch_knn", degraded)
+        run_spec(spec_file, tmp_path, "current")
+
+        # the degraded trials are real rows in the sqlite store
+        with ResultsStore(tmp_path / "store.sqlite") as store:
+            experiment = store.latest_experiment("tinyspec")
+            trials = store.trials(experiment["id"])
+            assert len(trials) == 4
+            degraded_metrics = store.trial_metrics(trials[0]["id"])
+            assert degraded_metrics["latency_p50_ms"] > 0.0
+
+        code = main(
+            ["experiment", "diff", str(spec_file),
+             "--store", str(tmp_path / "store.sqlite"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        # the violation names the metric, the cell, and the threshold rule
+        assert "gate violation" in out
+        assert "latency_p50_ms" in out
+        assert "violates max increase of 50%" in out
+        assert "batch_knn|tiny|PAA-4|none|k2-auto" in out
+
+    def test_diff_against_current_bench_file(self, spec_file, tmp_path, capsys):
+        baseline = run_spec(spec_file, tmp_path, "base")
+        code = main(
+            ["experiment", "diff", str(spec_file),
+             "--store", str(tmp_path / "store.sqlite"),
+             "--baseline", str(baseline),
+             "--current", str(baseline)]  # a run never regresses against itself
+        )
+        assert code == 0
+        assert "all gates pass" in capsys.readouterr().out

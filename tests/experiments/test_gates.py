@@ -1,0 +1,94 @@
+"""Gate rules: threshold arithmetic, filtering, and diff rendering."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    GateRule,
+    ReducerSpec,
+    diff_cells,
+    evaluate_gates,
+)
+
+from .conftest import TINY_SCALE
+
+pytestmark = pytest.mark.experiments
+
+
+def cell(key="batch_knn|tiny|PAA-4|none|k2-auto", workload="batch_knn", **metrics):
+    return {"cell": key, "workload": workload, "metrics": metrics}
+
+
+def spec_with(*gates):
+    return ExperimentSpec(
+        name="gated",
+        scales=(TINY_SCALE,),
+        reducers=(ReducerSpec("PAA", 4),),
+        gates=tuple(gates),
+    )
+
+
+class TestEvaluateGates:
+    def test_increase_violation(self):
+        spec = spec_with(GateRule("latency_p50_ms", 10.0, "increase"))
+        violations = evaluate_gates(
+            spec, [cell(latency_p50_ms=1.0)], [cell(latency_p50_ms=1.2)]
+        )
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.change_pct == pytest.approx(20.0)
+        assert "latency_p50_ms" in v.describe()
+        assert "violates max increase of 10%" in v.describe()
+
+    def test_within_threshold_passes(self):
+        spec = spec_with(GateRule("latency_p50_ms", 25.0, "increase"))
+        assert not evaluate_gates(
+            spec, [cell(latency_p50_ms=1.0)], [cell(latency_p50_ms=1.2)]
+        )
+
+    def test_decrease_violation(self):
+        spec = spec_with(GateRule("batched_qps", 10.0, "decrease"))
+        violations = evaluate_gates(
+            spec, [cell(batched_qps=100.0)], [cell(batched_qps=80.0)]
+        )
+        assert len(violations) == 1
+        assert violations[0].change_pct == pytest.approx(-20.0)
+        # improvement in the watched direction never violates
+        assert not evaluate_gates(
+            spec, [cell(batched_qps=100.0)], [cell(batched_qps=150.0)]
+        )
+
+    def test_workload_filter(self):
+        spec = spec_with(GateRule("accuracy", 5.0, "decrease", workload="pruning"))
+        batch = cell(accuracy=1.0)  # workload batch_knn: rule must not apply
+        assert not evaluate_gates(spec, [batch], [cell(accuracy=0.5)])
+
+    def test_missing_baseline_cell_or_metric_skipped(self):
+        spec = spec_with(GateRule("speedup", 5.0, "decrease"))
+        # new cell: no baseline to regress against
+        assert not evaluate_gates(spec, [], [cell(speedup=1.0)])
+        # metric absent from the baseline cell
+        assert not evaluate_gates(spec, [cell(other=1.0)], [cell(speedup=1.0)])
+
+    def test_zero_baseline(self):
+        spec = spec_with(GateRule("speedup", 5.0, "increase"))
+        assert evaluate_gates(spec, [cell(speedup=0.0)], [cell(speedup=1.0)])
+        assert not evaluate_gates(spec, [cell(speedup=0.0)], [cell(speedup=0.0)])
+
+
+class TestDiffCells:
+    def test_verdicts(self):
+        spec = spec_with(
+            GateRule("latency_p50_ms", 10.0, "increase"),
+            GateRule("speedup", 10.0, "decrease"),
+        )
+        baseline = [cell(latency_p50_ms=1.0, speedup=4.0)]
+        current = [
+            cell(latency_p50_ms=2.0, speedup=4.0),
+            cell(key="new|cell", latency_p50_ms=1.0, speedup=1.0),
+        ]
+        rows = diff_cells(spec, baseline, current)
+        by = {(r["cell"], r["metric"]): r for r in rows}
+        assert by[("batch_knn|tiny|PAA-4|none|k2-auto", "latency_p50_ms")]["verdict"] == "FAIL"
+        assert by[("batch_knn|tiny|PAA-4|none|k2-auto", "speedup")]["verdict"] == "ok"
+        assert by[("new|cell", "latency_p50_ms")]["verdict"] == "new"

@@ -1,0 +1,94 @@
+"""Satellite regression: metrics survive the engine's fork fan-out.
+
+A ``knn_batch`` answered by worker processes must report the same counters
+as an in-process run — worker-only metrics (``sapla.*`` recorded during
+query reduction, ``dist.par.calls``) merge back via worker snapshots, while
+the names the parent re-records itself (``knn.*``, ``engine.*``) are
+excluded from the merge (:data:`repro.engine.parallel.RERECORDED_METRICS`)
+so nothing is counted twice.  Worker *span trees* are the one documented
+loss: per-process traces cannot merge, and the parent's enclosing
+``engine.knn_batch`` span already covers the fan-out wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import QueryOptions
+from repro.engine.parallel import RERECORDED_METRICS
+from repro.index import SeriesDatabase
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import RunReport
+from repro.obs.spans import SpanRecorder
+from repro.reduction import SAPLAReducer
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    prev_reg = obs.set_registry(MetricsRegistry(enabled=False))
+    prev_rec = obs.set_recorder(SpanRecorder(enabled=False))
+    yield
+    obs.set_registry(prev_reg)
+    obs.set_recorder(prev_rec)
+
+
+def captured_counters(parallelism: int):
+    rng = np.random.default_rng(42)
+    data = rng.normal(size=(40, 48)).cumsum(axis=1)
+    db = SeriesDatabase(SAPLAReducer(6), index=None)
+    db.ingest(data)
+    queries = data[:8] + 0.05
+    with obs.capture():
+        batch = db.knn_batch(queries, QueryOptions(k=4, parallelism=parallelism))
+        report = RunReport.collect()
+    return batch, report
+
+
+def test_fanned_out_counters_match_in_process():
+    local_batch, local = captured_counters(parallelism=1)
+    fanned_batch, fanned = captured_counters(parallelism=2)
+    assert fanned_batch.parallelism == 2  # the pool really forked
+    for a, b in zip(local_batch.results, fanned_batch.results):
+        assert a.ids == b.ids
+
+    # identical counters, including worker-only names recorded while each
+    # worker reduced its queries (sapla.*) and evaluated bounds (dist.*)
+    assert fanned.counters == local.counters
+    assert any(name.startswith("sapla.") for name in fanned.counters)
+    assert fanned.counters["knn.queries"] == 8
+
+
+def test_rerecorded_names_are_not_double_counted():
+    _, fanned = captured_counters(parallelism=2)
+    _, local = captured_counters(parallelism=1)
+    # every exclusion-listed counter matches exactly — merging them from the
+    # worker snapshots on top of the parent's own accounting would double it
+    for name, value in local.counters.items():
+        if any(
+            name == e or (e.endswith(".") and name.startswith(e))
+            for e in RERECORDED_METRICS
+        ):
+            assert fanned.counters[name] == value, name
+
+
+def test_worker_span_trees_are_dropped_by_design():
+    _, local = captured_counters(parallelism=1)
+    _, fanned = captured_counters(parallelism=2)
+
+    def span_names(nodes, prefix=""):
+        out = set()
+        for node in nodes:
+            path = prefix + node["name"]
+            out.add(path)
+            out |= span_names(node.get("children", ()), path + ".")
+        return out
+
+    local_spans = span_names(local.spans)
+    fanned_spans = span_names(fanned.spans)
+    # the parent's own batch span is present either way...
+    assert any("engine.knn_batch" in s for s in fanned_spans)
+    # ...but per-query worker spans exist only in the in-process run
+    assert any("sapla.transform" in s for s in local_spans)
+    assert not any("sapla.transform" in s for s in fanned_spans)
