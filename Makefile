@@ -1,7 +1,7 @@
 # Convenience targets for the SAPLA reproduction.
 
 .PHONY: install test bench bench-full examples results clean verify-obs verify-engine \
-	verify-lifecycle verify-experiments crash-matrix baseline
+	verify-lifecycle verify-experiments verify-cascade crash-matrix baseline
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +45,19 @@ verify-experiments:
 		--store /tmp/repro-verify-experiments.sqlite
 	PYTHONPATH=src python -m repro experiment diff benchmarks/specs/smoke.toml \
 		--store /tmp/repro-verify-experiments.sqlite --baseline /tmp/BENCH_smoke.json
+
+# bound cascade + packed columns + early abandoning: lint + the dominance,
+# column-block and bit-identity equivalence tests, then the medium spec
+# against the committed baseline (the >= 25% batch-knn gate lives there)
+verify-cascade:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/distance/test_cascade.py tests/storage/test_columns.py \
+		tests/engine/test_equivalence.py -q
+	rm -f /tmp/repro-verify-cascade.sqlite /tmp/BENCH_medium.json
+	PYTHONPATH=src python -m repro experiment run benchmarks/specs/medium.toml \
+		--store /tmp/repro-verify-cascade.sqlite --bench-dir /tmp
+	PYTHONPATH=src python -m repro experiment diff benchmarks/specs/medium.toml \
+		--store /tmp/repro-verify-cascade.sqlite --baseline BENCH_medium.json
 
 # regenerate the committed perf baseline: BENCH_medium.json at the repo
 # root plus a JSON export of the results store

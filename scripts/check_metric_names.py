@@ -11,10 +11,11 @@ name passed to ``count`` is as wrong as a typo).  Non-literal names are
 reported only with ``--strict`` (dynamic selection is expected to go
 through catalogued tables like ``PRUNED_METRICS``).
 
-The reverse direction is linted for the experiment service's namespace:
-every ``experiments.*`` name declared in the catalogue must be *used* by at
-least one literal call site, so the catalogue cannot accumulate dead
-experiment metrics.
+The reverse direction is linted for the experiment service's, bound
+cascade's, verification filter's and batched-storage namespaces: every
+``experiments.*`` / ``cascade.*`` / ``verify.*`` / ``pages.*`` /
+``columns.*`` name declared in the catalogue must be *used* by at least one
+literal call site, so the catalogue cannot accumulate dead metrics.
 
 Exit status 0 = clean, 1 = violations found.  Run from the repo root:
 
@@ -106,9 +107,11 @@ def main() -> int:
             if any(skip in path.parents for skip in SKIP):
                 continue
             violations.extend(check_file(path, used))
-    # reverse check: every catalogued experiments.* name must have a caller
+    # reverse check: every catalogued name in the fully-literal namespaces
+    # must have a caller
+    reverse_prefixes = ("experiments.", "cascade.", "verify.", "pages.", "columns.")
     for name in sorted(CATALOG):
-        if name.startswith("experiments.") and name not in used:
+        if name.startswith(reverse_prefixes) and name not in used:
             violations.append(
                 f"repro.obs.catalog declares {name!r} but no literal call "
                 "site under the walked trees records it"

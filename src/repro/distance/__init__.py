@@ -1,6 +1,7 @@
 """Distance measures: Euclidean ground truth, Dist_S/Dist_PAR/Dist_LB/Dist_AE
 for adaptive representations, and the equal-length / symbolic lower bounds."""
 
+from .cascade import BoundCascade, PairwiseAccel, QueryCascade, make_pairwise_accel
 from .dist_ae import dist_ae
 from .dtw import dtw, dtw_envelope, lb_keogh
 from .dist_lb import dist_lb, project_onto_layout
@@ -27,6 +28,10 @@ __all__ = [
     "QueryContext",
     "make_suite",
     "ADAPTIVE_METHODS",
+    "BoundCascade",
+    "QueryCascade",
+    "PairwiseAccel",
+    "make_pairwise_accel",
     "dtw",
     "dtw_envelope",
     "lb_keogh",

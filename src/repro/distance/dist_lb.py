@@ -26,20 +26,29 @@ from .segmentwise import dist_s
 __all__ = ["dist_lb", "project_onto_layout"]
 
 
-def project_onto_layout(series: np.ndarray, layout: LinearSegmentation) -> LinearSegmentation:
+def project_onto_layout(
+    series: np.ndarray,
+    layout: LinearSegmentation,
+    stats: "SeriesStats | None" = None,
+) -> LinearSegmentation:
     """Least-squares projection of a raw series onto another rep's windows.
 
     The projection must target the *same* model class per window as the
     representation, or the Pythagorean argument breaks: a constant-model
     representation (APCA/PAA/PAALM — every slope exactly zero) gets window
     means; a linear-model one gets window line fits.
+
+    ``stats`` may carry the series' precomputed :class:`SeriesStats` so a
+    query projected onto many candidate layouts builds its prefix sums
+    once; the fit arithmetic is unchanged, so results are identical.
     """
     series = np.asarray(series, dtype=float)
     if series.shape[0] != layout.length:
         raise ValueError(
             f"series length {series.shape[0]} does not match layout length {layout.length}"
         )
-    stats = SeriesStats(series)
+    if stats is None:
+        stats = SeriesStats(series)
     constant_model = all(seg.a == 0.0 for seg in layout)
     if constant_model:
         pieces = []
@@ -54,9 +63,17 @@ def project_onto_layout(series: np.ndarray, layout: LinearSegmentation) -> Linea
     )
 
 
-def dist_lb(query: np.ndarray, rep_c: LinearSegmentation) -> float:
-    """Guaranteed lower bound of ``Dist(Q, C)`` from C's representation only."""
+def dist_lb(
+    query: np.ndarray,
+    rep_c: LinearSegmentation,
+    stats: "SeriesStats | None" = None,
+) -> float:
+    """Guaranteed lower bound of ``Dist(Q, C)`` from C's representation only.
+
+    ``stats`` optionally carries the query's precomputed
+    :class:`SeriesStats` (see :func:`project_onto_layout`).
+    """
     obs.count("dist.lb.calls")
-    projected = project_onto_layout(query, rep_c)
+    projected = project_onto_layout(query, rep_c, stats=stats)
     total = sum(dist_s(sq, sc) for sq, sc in zip(projected, rep_c))
     return float(np.sqrt(max(total, 0.0)))

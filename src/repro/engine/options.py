@@ -54,6 +54,17 @@ class QueryOptions:
         lookahead: candidates verified per query per round after the initial
             ``k`` (1 reproduces the classic one-at-a-time refinement and is
             required for verification counts to match the sequential path).
+        cascade: evaluate representation bounds through the
+            :mod:`bound cascade <repro.distance.cascade>` — cheap dominated
+            tiers ahead of the exact bound.  Results, verification counts
+            and all search accounting are identical either way; ``False``
+            forces every bound to evaluate eagerly (the pre-cascade paths,
+            kept for benchmarking and equivalence testing).
+        early_abandon: allow large verification rounds to drop (query,
+            candidate) pairs whose accumulating squared distance certainly
+            exceeds the query's current k-th-best distance.  Survivors are
+            re-measured exactly, so results are identical; only engages for
+            rounds above ``EARLY_ABANDON_MIN_ELEMENTS`` pair-elements.
     """
 
     k: int = 1
@@ -61,6 +72,8 @@ class QueryOptions:
     deadline_s: Optional[float] = None
     parallelism: int = 1
     lookahead: int = 1
+    cascade: bool = True
+    early_abandon: bool = True
 
     def __post_init__(self):
         object.__setattr__(self, "mode", ExecutionMode(self.mode))

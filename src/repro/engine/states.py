@@ -19,11 +19,13 @@ its verification counts exactly.
 
 from __future__ import annotations
 
+import heapq
 from typing import List
 
 import numpy as np
 
 from ..index.knn import KNNResult, TopK, _Frontier
+from ..kinds import IndexKind
 
 __all__ = ["ScanState", "TreeState", "make_state", "gather_rows"]
 
@@ -31,13 +33,26 @@ __all__ = ["ScanState", "TreeState", "make_state", "gather_rows"]
 def gather_rows(data, series_ids: "List[int]") -> np.ndarray:
     """Stack the raw rows for ``series_ids`` into a ``(len, n)`` matrix.
 
-    In-memory arrays fancy-index in one shot; paged stores (anything
-    supporting only integer ``data[i]``) are read row by row, so each
-    verification still pays its page I/O.
+    In-memory arrays fancy-index in one shot.  Disk-backed views exposing
+    ``gather`` resolve the whole batch in one call (memory-mapped column
+    slice, or a page-sequential batched read) with the physical I/O still
+    charged per row; anything supporting only integer ``data[i]`` falls
+    back to row-by-row reads.
     """
     if isinstance(data, np.ndarray):
         return data[np.asarray(series_ids, dtype=np.intp)]
+    gather = getattr(data, "gather", None)
+    if gather is not None:
+        return gather(series_ids)
     return np.stack([np.asarray(data[int(sid)], dtype=float) for sid in series_ids])
+
+
+def _query_cascade(db, ctx):
+    """The database's per-query cascade, or ``None`` when unavailable."""
+    cascade_of = getattr(db, "cascade", None)
+    if not callable(cascade_of):
+        return None
+    return cascade_of().for_query(ctx)
 
 
 class _QueryState:
@@ -88,11 +103,46 @@ class ScanState(_QueryState):
     ``query_bound`` loop; candidates are ordered by ``(bound, series id)``
     and consumed until the next bound strictly exceeds the k-th best true
     distance.
+
+    Without a stacked layout (adaptive representations, or the sequential
+    baseline) the scalar loop is the dominant query cost, so that case runs
+    the :mod:`bound cascade <repro.distance.cascade>` lazily instead: a heap
+    of ``(cheap key, series id)`` pairs whose front is refined to the exact
+    bound on demand.  Dominated cheap keys make both the stop rule and the
+    ``(bound, id)`` emission order provably identical to the eager loop, so
+    candidates, verifications and results do not change — only how many
+    exact ``query_bound`` evaluations were needed to produce them.
     """
 
-    def __init__(self, db, query, k: int, lookahead: int, use_batch_bounds: bool):
+    def __init__(
+        self,
+        db,
+        query,
+        k: int,
+        lookahead: int,
+        use_batch_bounds: bool,
+        cascade: bool = True,
+    ):
         super().__init__(db, query, k, lookahead)
+        self._lazy = None
+        self._qc = None
         stacked = db.stacked_entries() if use_batch_bounds else None
+        if stacked is None and cascade:
+            qc = _query_cascade(db, self.ctx)
+            if qc is not None:
+                collection = qc.cascade.collection(db)
+                keys = qc.cheap_keys(collection)
+                heap = [
+                    (key, sid, False, entry.representation)
+                    for key, sid, entry in zip(
+                        keys.tolist(), collection.sids.tolist(), db.entries
+                    )
+                ]
+                heapq.heapify(heap)
+                self._lazy = heap
+                self._qc = qc
+                self.n_candidates = len(heap)
+                return
         if stacked is not None:
             sids, packed = stacked
             bounds = db.suite.query_bound_batch(self.ctx, packed)
@@ -111,6 +161,8 @@ class ScanState(_QueryState):
         self.n_candidates = len(sids)
 
     def _collect(self, budget: int) -> "List[int]":
+        if self._lazy is not None:
+            return self._collect_lazy(budget)
         pending: "List[int]" = []
         while len(pending) < budget and self._pos < len(self._sids):
             if self.topk.full and self._bounds[self._pos] > self.topk.threshold:
@@ -122,7 +174,29 @@ class ScanState(_QueryState):
             self.done = True
         return pending
 
+    def _collect_lazy(self, budget: int) -> "List[int]":
+        pending: "List[int]" = []
+        heap, qc = self._lazy, self._qc
+        while len(pending) < budget and heap:
+            key, sid, refined, rep = heap[0]
+            if self.topk.full and key > self.topk.threshold:
+                # Cheap keys are dominated: the heap minimum already above
+                # the threshold means every exact bound still queued is too
+                # — exactly when the eager loop's next bound would stop it.
+                self.done = True
+                return pending
+            if refined:
+                heapq.heappop(heap)
+                pending.append(sid)
+            else:
+                heapq.heapreplace(heap, (qc.refine(rep), sid, True, rep))
+        if not heap:
+            self.done = True
+        return pending
+
     def finalize(self) -> KNNResult:
+        if self._qc is not None:
+            self._qc.flush()
         ids, distances = self._ranked()
         return KNNResult(
             ids=ids,
@@ -145,31 +219,56 @@ class TreeState(_QueryState):
     bound does not strictly exceed the k-th best true distance.  Pruning
     power then reflects exactly the tightness of the method's bound plus
     the index's navigation quality.
+
+    With a :mod:`bound cascade <repro.distance.cascade>` available, leaf
+    entries (and, on the DBCH-tree, node children) enter the queue keyed by
+    their cheap dominated tier and are refined to the exact key only on
+    reaching the front; tick-preserving reinsertion keeps the pop sequence
+    of refined items — and hence results, verifications and all counters —
+    identical to the single-bound walk.
     """
 
-    def __init__(self, db, query, k: int, lookahead: int):
+    def __init__(self, db, query, k: int, lookahead: int, cascade: bool = True):
         super().__init__(db, query, k, lookahead)
         self.frontier = _Frontier()
         self.visited = 0
+        self._qc = _query_cascade(db, self.ctx) if cascade else None
+        self._node_tier = self._qc is not None and db.index_kind == IndexKind.DBCH
         self.frontier.push_node(db.node_distance(self.ctx, db.tree.root), db.tree.root)
 
     def _collect(self, budget: int) -> "List[int]":
         pending: "List[int]" = []
-        db, frontier = self.db, self.frontier
+        db, frontier, qc = self.db, self.frontier, self._qc
         while len(pending) < budget and frontier:
-            dist, kind, payload = frontier.pop()
+            dist, tick, kind, payload = frontier.pop()
             if self.topk.full and dist > self.topk.threshold:
                 self.done = True
                 return pending
+            if kind == "uentry":
+                frontier.reinsert(qc.refine(payload.representation), tick, "entry", payload)
+                continue
+            if kind == "unode":
+                qc.n_node_refine += 1
+                frontier.reinsert(db.node_distance(self.ctx, payload), tick, "node", payload)
+                continue
             if kind == "entry":
                 pending.append(payload.series_id)
                 continue
             self.visited += 1
             if payload.is_leaf:
-                for entry in payload.entries:
-                    frontier.push_entry(
-                        db.suite.query_bound(self.ctx, entry.representation), entry
-                    )
+                if qc is not None:
+                    for entry in payload.entries:
+                        frontier.push_entry(
+                            qc.cheap(entry.representation), entry, refined=False
+                        )
+                else:
+                    for entry in payload.entries:
+                        frontier.push_entry(
+                            db.suite.query_bound(self.ctx, entry.representation), entry
+                        )
+            elif self._node_tier:
+                for child in payload.children:
+                    frontier.push_node(qc.node_lower(child), child, refined=False)
             else:
                 for child in payload.children:
                     frontier.push_node(db.node_distance(self.ctx, child), child)
@@ -178,6 +277,8 @@ class TreeState(_QueryState):
         return pending
 
     def finalize(self) -> KNNResult:
+        if self._qc is not None:
+            self._qc.flush()
         ids, distances = self._ranked()
         return KNNResult(
             ids=ids,
@@ -191,8 +292,15 @@ class TreeState(_QueryState):
         )
 
 
-def make_state(db, query: np.ndarray, k: int, lookahead: int, use_batch_bounds: bool):
+def make_state(
+    db,
+    query: np.ndarray,
+    k: int,
+    lookahead: int,
+    use_batch_bounds: bool,
+    cascade: bool = True,
+):
     """The right state machine for ``db``'s index configuration."""
     if db.tree is None:
-        return ScanState(db, query, k, lookahead, use_batch_bounds)
-    return TreeState(db, query, k, lookahead)
+        return ScanState(db, query, k, lookahead, use_batch_bounds, cascade)
+    return TreeState(db, query, k, lookahead, cascade)

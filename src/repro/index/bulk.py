@@ -87,9 +87,15 @@ def bulk_load_dbch(
     distance: Callable,
     max_entries: int = 5,
     min_entries: int = 2,
+    accel=None,
 ) -> DBCHTree:
-    """Build a packed DBCH-tree over ``entries`` with distance ordering."""
-    tree = DBCHTree(distance, max_entries=max_entries, min_entries=min_entries)
+    """Build a packed DBCH-tree over ``entries`` with distance ordering.
+
+    ``accel`` is an optional :class:`repro.distance.PairwiseAccel`; it lets
+    the hull recomputations skip forced pairwise evaluations and does not
+    change the resulting tree.
+    """
+    tree = DBCHTree(distance, max_entries=max_entries, min_entries=min_entries, accel=accel)
     entries = list(entries)
     if not entries:
         return tree
@@ -104,7 +110,7 @@ def bulk_load_dbch(
     for group in _pack(keyed, max_entries):
         node = DBCHNode(is_leaf=True)
         node.entries = group
-        node.recompute_hull(distance)
+        node.recompute_hull(distance, accel)
         level.append(node)
     while len(level) > 1:
         level.sort(key=lambda n: distance(pivot.representation, n.hull[0]))
@@ -114,7 +120,7 @@ def bulk_load_dbch(
             parent.children = group
             for child in group:
                 child.parent = parent
-            parent.recompute_hull(distance)
+            parent.recompute_hull(distance, accel)
             parents.append(parent)
         level = parents
     tree.root = level[0]

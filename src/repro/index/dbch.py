@@ -56,8 +56,17 @@ class DBCHNode:
                 reps.extend(child.hull)
         return reps
 
-    def recompute_hull(self, distance: PairwiseDistance) -> None:
-        """Recompute the covering pair ``(u, l)`` and its volume."""
+    def recompute_hull(self, distance: PairwiseDistance, accel=None) -> None:
+        """Recompute the covering pair ``(u, l)`` and its volume.
+
+        With a metric :class:`repro.distance.PairwiseAccel` the max-scan
+        first measures the anchor row ``d(reps[0], reps[j])`` — exactly the
+        baseline scan's ``i == 0`` pairs — then skips any later pair whose
+        triangle upper bound ``d0[i] + d0[j]`` certainly cannot exceed the
+        running maximum.  The replace rule is strict ``>``, so skipping
+        certainly-not-above pairs leaves the winning pair (ties included)
+        identical to the full scan.
+        """
         obs.count("dbch.hull_recomputations")
         reps = self.member_representations()
         if len(reps) == 1:
@@ -65,11 +74,30 @@ class DBCHNode:
             self.volume = 0.0
             return
         best, pair = -1.0, (reps[0], reps[0])
-        for i in range(len(reps)):
-            for j in range(i + 1, len(reps)):
-                d = distance(reps[i], reps[j])
+        if accel is not None and accel.metric and len(reps) > 2:
+            d0 = [0.0] * len(reps)
+            for j in range(1, len(reps)):
+                d = distance(reps[0], reps[j])
+                d0[j] = d
                 if d > best:
-                    best, pair = d, (reps[i], reps[j])
+                    best, pair = d, (reps[0], reps[j])
+            skipped = 0
+            for i in range(1, len(reps)):
+                for j in range(i + 1, len(reps)):
+                    if accel.certainly_not_above(d0[i] + d0[j], best):
+                        skipped += 1
+                        continue
+                    d = distance(reps[i], reps[j])
+                    if d > best:
+                        best, pair = d, (reps[i], reps[j])
+            if skipped and obs.is_enabled():
+                obs.count("cascade.pairwise_skipped", skipped)
+        else:
+            for i in range(len(reps)):
+                for j in range(i + 1, len(reps)):
+                    d = distance(reps[i], reps[j])
+                    if d > best:
+                        best, pair = d, (reps[i], reps[j])
         self.hull = pair
         self.volume = max(best, 0.0)
 
@@ -82,12 +110,18 @@ class DBCHTree:
         distance: PairwiseDistance,
         max_entries: int = 5,
         min_entries: int = 2,
+        accel=None,
     ):
         if not 1 <= min_entries <= max_entries // 2 + 1:
             raise ValueError("min_entries must be at most about half of max_entries")
         self.distance = distance
         self.max_entries = max_entries
         self.min_entries = min_entries
+        #: optional :class:`repro.distance.PairwiseAccel` — norm lower bounds
+        #: (and, for metric modes, triangle upper bounds) that let the build
+        #: skip pairwise evaluations whose outcome is already forced; the
+        #: resulting tree is identical to the unaccelerated one.
+        self.accel = accel
         self.root = DBCHNode(is_leaf=True)
         self.size = 0
 
@@ -110,11 +144,33 @@ class DBCHTree:
         return max(0.0, reach - node.volume)
 
     def _choose_leaf(self, node: DBCHNode, representation) -> DBCHNode:
+        """Descend to the leaf with minimal ``(hull increase, volume)`` key.
+
+        The accelerated path skips a child when a certain lower bound on its
+        hull increase already exceeds the current best increase — such a
+        child cannot win regardless of its volume tie-break.  Replacement
+        stays strict ``<``, preserving ``min()``'s first-minimum tie rule.
+        """
+        accel = self.accel
         while not node.is_leaf:
-            node = min(
-                node.children,
-                key=lambda child: (self._hull_increase(child, representation), child.volume),
-            )
+            best_key = None
+            best_child = None
+            skipped = 0
+            for child in node.children:
+                if accel is not None and best_key is not None and child.hull is not None:
+                    u, l = child.hull
+                    reach_low = max(
+                        accel.lower(representation, u), accel.lower(representation, l)
+                    )
+                    if max(0.0, reach_low - child.volume) > best_key[0]:
+                        skipped += 2  # both hull-member distance calls avoided
+                        continue
+                key = (self._hull_increase(child, representation), child.volume)
+                if best_key is None or key < best_key:
+                    best_key, best_child = key, child
+            if skipped and obs.is_enabled():
+                obs.count("cascade.pairwise_skipped", skipped)
+            node = best_child
         return node
 
     def _adjust_upwards(self, node: DBCHNode) -> None:
@@ -122,7 +178,7 @@ class DBCHTree:
             if len(node.items()) > self.max_entries:
                 self._split(node)
                 return
-            node.recompute_hull(self.distance)
+            node.recompute_hull(self.distance, self.accel)
             node = node.parent
 
     # ------------------------------------------------------------------
@@ -160,10 +216,10 @@ class DBCHTree:
                 parent.children.remove(node)
                 orphans.extend(self._collect_entries(node))
             else:
-                node.recompute_hull(self.distance)
+                node.recompute_hull(self.distance, self.accel)
             node = parent
         if node.items():
-            node.recompute_hull(self.distance)
+            node.recompute_hull(self.distance, self.accel)
         if not node.is_leaf and len(node.children) == 1:
             self.root = node.children[0]
             self.root.parent = None
@@ -219,14 +275,14 @@ class DBCHTree:
                 child.parent = sibling
             for child in node.children:
                 child.parent = node
-        node.recompute_hull(self.distance)
-        sibling.recompute_hull(self.distance)
+        node.recompute_hull(self.distance, self.accel)
+        sibling.recompute_hull(self.distance, self.accel)
 
         if node.parent is None:
             new_root = DBCHNode(is_leaf=False)
             new_root.children = [node, sibling]
             node.parent = sibling.parent = new_root
-            new_root.recompute_hull(self.distance)
+            new_root.recompute_hull(self.distance, self.accel)
             self.root = new_root
         else:
             parent = node.parent
@@ -235,7 +291,28 @@ class DBCHTree:
             self._adjust_upwards(parent)
 
     def _pick_seeds(self, reps: list) -> "tuple[int, int]":
+        accel = self.accel
         worst, pair = -1.0, (0, 1)
+        if accel is not None and accel.metric and len(reps) > 2:
+            # same anchor-row + triangle-upper-bound scheme as recompute_hull
+            d0 = [0.0] * len(reps)
+            for j in range(1, len(reps)):
+                d = self.distance(reps[0], reps[j])
+                d0[j] = d
+                if d > worst:
+                    worst, pair = d, (0, j)
+            skipped = 0
+            for i in range(1, len(reps)):
+                for j in range(i + 1, len(reps)):
+                    if accel.certainly_not_above(d0[i] + d0[j], worst):
+                        skipped += 1
+                        continue
+                    d = self.distance(reps[i], reps[j])
+                    if d > worst:
+                        worst, pair = d, (i, j)
+            if skipped and obs.is_enabled():
+                obs.count("cascade.pairwise_skipped", skipped)
+            return pair
         for i in range(len(reps)):
             for j in range(i + 1, len(reps)):
                 d = self.distance(reps[i], reps[j])

@@ -43,6 +43,9 @@ _INF = float("inf")
 #: cache sentinel: stacking was attempted and is not applicable
 _STACK_UNAVAILABLE = object()
 
+#: rows per block when a ground-truth scan streams a disk-resident view
+_SCAN_BLOCK_ROWS = 512
+
 
 class _Frontier:
     """Best-first priority queue mixing index nodes and leaf entries.
@@ -51,6 +54,13 @@ class _Frontier:
     tie-break, so equal-distance items pop in insertion order and payloads
     never need to be comparable.  Push counts per kind feed the search
     accounting (heap pushes, nodes/candidates pruned).
+
+    Cascaded searches push items *unrefined* (kinds ``"uentry"`` /
+    ``"unode"``) keyed by a cheap dominated bound, then :meth:`reinsert`
+    them with the exact key **and the original tick** once they reach the
+    front.  Reinsertion advances neither the tick nor the push counters, so
+    the pop sequence of refined items — and every counter — is identical to
+    a search that pushed exact keys from the start.
     """
 
     __slots__ = ("_heap", "_tick", "node_pushes", "entry_pushes")
@@ -61,21 +71,24 @@ class _Frontier:
         self.node_pushes = 0
         self.entry_pushes = 0
 
-    def push_node(self, distance: float, node) -> None:
+    def push_node(self, distance: float, node, refined: bool = True) -> None:
         self.node_pushes += 1
-        self._push(distance, "node", node)
+        self._push(distance, "node" if refined else "unode", node)
 
-    def push_entry(self, bound: float, entry: Entry) -> None:
+    def push_entry(self, bound: float, entry: Entry, refined: bool = True) -> None:
         self.entry_pushes += 1
-        self._push(bound, "entry", entry)
+        self._push(bound, "entry" if refined else "uentry", entry)
 
     def _push(self, key: float, kind: str, payload) -> None:
         self._tick += 1
         heapq.heappush(self._heap, (key, self._tick, kind, payload))
 
-    def pop(self) -> "tuple[float, str, object]":
-        key, _, kind, payload = heapq.heappop(self._heap)
-        return key, kind, payload
+    def pop(self) -> "tuple[float, int, str, object]":
+        return heapq.heappop(self._heap)
+
+    def reinsert(self, key: float, tick: int, kind: str, payload) -> None:
+        """Re-queue a popped item at its exact key, keeping its tick."""
+        heapq.heappush(self._heap, (key, tick, kind, payload))
 
     @property
     def pushes(self) -> int:
@@ -152,24 +165,42 @@ class KNNResult:
         return len(set(self.ids) & set(truth.ids)) / len(truth.ids)
 
 
-def linear_scan(data: np.ndarray, query: np.ndarray, k: int) -> KNNResult:
+def linear_scan(data, query: np.ndarray, k: int) -> KNNResult:
     """Exact k-NN by scanning every raw series — the ground truth.
 
     Uses the same row-wise ``np.linalg.norm(..., axis=1)`` primitive as the
     engine's batched verification, so distances agree bit-for-bit, and a
     stable argsort so equal distances rank by ascending series id.
+
+    ``data`` may be an in-memory ``(count, n)`` array (scanned as one
+    matrix, no copy when it is already a float ndarray) or a disk-resident
+    row view exposing ``gather``: that case streams through the view in
+    blocks of :data:`_SCAN_BLOCK_ROWS` rows, charging the full collection
+    as physical I/O without ever materialising it whole.  Row distances are
+    independent, so blocking cannot change any reported value.
     """
-    data = np.asarray(data, dtype=float)
     query = np.asarray(query, dtype=float)
-    if data.ndim != 2 or data.shape[1] != query.shape[0]:
-        raise ValueError("linear_scan expects (count, n) data and a length-n query")
-    distances = np.linalg.norm(data - query[None, :], axis=1)
+    gather = getattr(data, "gather", None)
+    if isinstance(data, np.ndarray) or gather is None:
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[1] != query.shape[0]:
+            raise ValueError("linear_scan expects (count, n) data and a length-n query")
+        distances = np.linalg.norm(data - query[None, :], axis=1)
+    else:
+        count, length = data.shape
+        if length != query.shape[0]:
+            raise ValueError("linear_scan expects (count, n) data and a length-n query")
+        blocks = []
+        for start in range(0, count, _SCAN_BLOCK_ROWS):
+            rows = gather(range(start, min(start + _SCAN_BLOCK_ROWS, count)))
+            blocks.append(np.linalg.norm(rows - query[None, :], axis=1))
+        distances = np.concatenate(blocks) if blocks else np.empty(0, dtype=float)
     order = np.argsort(distances, kind="stable")[:k]
     return KNNResult(
         ids=[int(i) for i in order],
         distances=[float(distances[i]) for i in order],
-        n_verified=len(data),
-        n_total=len(data),
+        n_verified=len(distances),
+        n_total=len(distances),
     )
 
 
@@ -239,6 +270,12 @@ class SeriesDatabase(MutableDatabase):
         self._buf: Optional[np.ndarray] = None
         self._count = 0
         self._live_ids: "set[int]" = set()
+        #: lazily-built BoundCascade (suite/reducer are immutable, so it
+        #: lives for the database's lifetime; its per-collection cache keys
+        #: on the generation counter and self-invalidates on mutation).
+        self._cascade = None
+        #: ``(data_ref, ColumnBlockStore)`` packed-block cache; see columns()
+        self._columns = None
         self._init_lifecycle()
 
     # ------------------------------------------------------------------
@@ -308,6 +345,7 @@ class SeriesDatabase(MutableDatabase):
         self.entries = entries
         self._live_ids = {e.series_id for e in entries}
         self._rep_cache = None
+        self._columns = None
         with self._mutate_lock:
             self._pending = []
             self._generation += 1
@@ -323,12 +361,21 @@ class SeriesDatabase(MutableDatabase):
                 for entry in self.entries:
                     self.tree.insert(entry)
         elif self.index_kind == IndexKind.DBCH:
+            from ..distance.cascade import make_pairwise_accel
+
+            accel = make_pairwise_accel(self.suite, self.reducer)
             if bulk:
                 self.tree = bulk_load_dbch(
-                    self.entries, self.suite.pairwise, self.max_entries, self.min_entries
+                    self.entries,
+                    self.suite.pairwise,
+                    self.max_entries,
+                    self.min_entries,
+                    accel=accel,
                 )
             else:
-                self.tree = DBCHTree(self.suite.pairwise, self.max_entries, self.min_entries)
+                self.tree = DBCHTree(
+                    self.suite.pairwise, self.max_entries, self.min_entries, accel=accel
+                )
                 for entry in self.entries:
                     self.tree.insert(entry)
         if self.tree is not None and obs.is_enabled():
@@ -369,6 +416,41 @@ class SeriesDatabase(MutableDatabase):
 
             self._engine = QueryEngine(self)
         return self._engine
+
+    def cascade(self):
+        """The database's :class:`repro.distance.BoundCascade` (lazily built).
+
+        Shared across queries; per-collection norm caches inside it key on
+        the generation counter, so mutation invalidates them automatically.
+        """
+        if self._cascade is None:
+            from ..distance.cascade import BoundCascade
+
+            self._cascade = BoundCascade(self.suite, self.reducer)
+        return self._cascade
+
+    def columns(self):
+        """A packed :class:`~repro.storage.columns.ColumnBlockStore` over the
+        raw rows, or ``None`` when unavailable.
+
+        In-memory rows get a float32 filter cache (rebuilt whenever the row
+        view object changes, i.e. after appends or reinstall); disk-backed
+        views delegate to the store's float64 memmap block.
+        """
+        data = self.data
+        if data is None:
+            return None
+        if isinstance(data, np.ndarray):
+            cached = self._columns
+            if cached is not None and cached[0] is data:
+                return cached[1]
+            from ..storage.columns import ColumnBlockStore
+
+            block = ColumnBlockStore.from_array(data)
+            self._columns = (data, block)
+            return block
+        cols = getattr(data, "columns", None)
+        return cols() if cols is not None else None
 
     def save(self, directory) -> None:
         """Persist this fitted database as a directory (see :mod:`repro.io`)."""
@@ -414,9 +496,9 @@ class SeriesDatabase(MutableDatabase):
         tombstones = self._count - len(self._live_ids)
         with obs.span("knn.ground_truth"):
             if tombstones == 0:
-                return linear_scan(np.asarray(data, dtype=float), query, k)
+                return linear_scan(data, query, k)
             overfetch = min(k + tombstones, self._count)
-            result = linear_scan(np.asarray(data, dtype=float), query, overfetch)
+            result = linear_scan(data, query, overfetch)
         kept = [
             (i, d) for i, d in zip(result.ids, result.distances) if i in self._live_ids
         ][:k]
@@ -564,6 +646,12 @@ class SeriesDatabase(MutableDatabase):
         the same pruning statistics.  With a guaranteed lower bound
         (``DistanceMode.LB`` for adaptive methods, or any equal-length
         method) the result is exact.
+
+        When the method has a :class:`repro.distance.BoundCascade` tier the
+        search evaluates the cheap dominated bound first and only refines
+        to the exact bound on demand; dominated keys plus tick-preserving
+        reinsertion keep the hits, the verified set and every counter
+        identical to the single-bound search (see :mod:`repro.distance.cascade`).
         """
         if self.data is None:
             raise RuntimeError("ingest data before searching")
@@ -571,6 +659,7 @@ class SeriesDatabase(MutableDatabase):
             raise ValueError("radius must be non-negative")
         query = np.asarray(query, dtype=float)
         ctx = self.query_context(query)
+        qc = self.cascade().for_query(ctx)
         hits: "List[tuple[float, int]]" = []
         verified = 0
         nodes_visited = 0
@@ -578,19 +667,32 @@ class SeriesDatabase(MutableDatabase):
             node_pushes = heap_pushes = 0
             n_candidates = len(self.entries)
             for entry in self.entries:
-                if self.suite.query_bound(ctx, entry.representation) > radius:
+                if qc is not None:
+                    if qc.cheap(entry.representation) > radius:
+                        continue  # cheap key ≤ exact bound, so the exact bound prunes too
+                    if qc.refine(entry.representation) > radius:
+                        continue
+                elif self.suite.query_bound(ctx, entry.representation) > radius:
                     continue
                 true = euclidean(query, self.data[entry.series_id])
                 verified += 1
                 if true <= radius:
                     hits.append((true, entry.series_id))
         else:
+            use_node_tier = qc is not None and self.index_kind == IndexKind.DBCH
             frontier = _Frontier()
             frontier.push_node(self.node_distance(ctx, self.tree.root), self.tree.root)
             while frontier:
-                key, kind, payload = frontier.pop()
+                key, tick, kind, payload = frontier.pop()
                 if key > radius:
                     break  # best-first: everything still queued is further out
+                if kind == "uentry":
+                    frontier.reinsert(qc.refine(payload.representation), tick, "entry", payload)
+                    continue
+                if kind == "unode":
+                    qc.n_node_refine += 1
+                    frontier.reinsert(self.node_distance(ctx, payload), tick, "node", payload)
+                    continue
                 if kind == "entry":
                     true = euclidean(query, self.data[payload.series_id])
                     verified += 1
@@ -600,15 +702,25 @@ class SeriesDatabase(MutableDatabase):
                 nodes_visited += 1
                 if payload.is_leaf:
                     for entry in payload.entries:
-                        frontier.push_entry(
-                            self.suite.query_bound(ctx, entry.representation), entry
-                        )
+                        if qc is not None:
+                            frontier.push_entry(
+                                qc.cheap(entry.representation), entry, refined=False
+                            )
+                        else:
+                            frontier.push_entry(
+                                self.suite.query_bound(ctx, entry.representation), entry
+                            )
                 else:
                     for child in payload.children:
-                        frontier.push_node(self.node_distance(ctx, child), child)
+                        if use_node_tier:
+                            frontier.push_node(qc.node_lower(child), child, refined=False)
+                        else:
+                            frontier.push_node(self.node_distance(ctx, child), child)
             n_candidates = frontier.entry_pushes
             node_pushes = frontier.node_pushes
             heap_pushes = frontier.pushes
+        if qc is not None:
+            qc.flush()
         hits.sort()
         return KNNResult(
             ids=[sid for _, sid in hits],

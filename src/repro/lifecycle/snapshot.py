@@ -75,6 +75,19 @@ class Snapshot:
         """The stacked representation cache (stable while pinned)."""
         return self._db.stacked_entries()
 
+    def cascade(self):
+        """The owning database's bound cascade (suite-scoped; delegated)."""
+        return self._db.cascade()
+
+    def columns(self):
+        """The owning database's packed column block.
+
+        Row ids are append-only and existing rows never mutate in place, so
+        a block built over the live data answers the pinned view's ids with
+        identical bytes.
+        """
+        return self._db.columns()
+
     # -- lifetime --------------------------------------------------------
     def release(self) -> None:
         """Unpin; pending mutations flush once the last snapshot releases."""

@@ -77,10 +77,23 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "dist.par.calls": (COUNTER, "Dist_PAR invocations"),
     "dist.lb.calls": (COUNTER, "Dist_LB invocations"),
     "dist.euclidean.exact": (COUNTER, "exact raw-series Euclidean fallbacks"),
+    # -------------------------------------------------------- bound cascade
+    "cascade.queries": (COUNTER, "queries answered through the bound cascade"),
+    "cascade.cheap_bounds": (COUNTER, "cheap dominated-tier bound evaluations"),
+    "cascade.refines": (COUNTER, "cascade items refined to their exact bound"),
+    "cascade.entries_skipped": (COUNTER, "entry bounds never refined past the cheap tier"),
+    "cascade.nodes_skipped": (COUNTER, "node distances never refined past the cheap tier"),
+    "cascade.pairwise_skipped": (COUNTER, "DBCH build pairwise evaluations skipped by the accelerator"),
+    # --------------------------------------------------------- verification
+    "verify.filter_rounds": (COUNTER, "verification rounds run through the early-abandoning filter"),
+    "verify.abandoned": (COUNTER, "(query, candidate) pairs abandoned before full distance accumulation"),
     # ------------------------------------------------------------- storage
     "storage.page_reads": (COUNTER, "physical page reads from the backing file"),
     "storage.page_writes": (COUNTER, "physical page writes to the backing file"),
     "storage.cache_hits": (COUNTER, "page reads served by the LRU cache"),
+    "pages.batch_reads": (COUNTER, "batched multi-row reads through the page cache"),
+    "columns.builds": (COUNTER, "packed column blocks constructed (cache or memmap)"),
+    "columns.gathers": (COUNTER, "bulk row gathers served by a packed column block"),
     # ----------------------------------------------------------- lifecycle
     "db.inserts": (COUNTER, "series inserted into a mutable database"),
     "db.deletes": (COUNTER, "series tombstoned in a mutable database"),

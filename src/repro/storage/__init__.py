@@ -1,6 +1,8 @@
-"""Disk-backed storage substrate: paged raw series with I/O accounting."""
+"""Disk-backed storage substrate: paged raw series with I/O accounting,
+plus packed column blocks for bulk verification."""
 
+from .columns import ColumnBlockStore
 from .database import DiskBackedDatabase
 from .pages import PagedSeriesStore, PageStats
 
-__all__ = ["PagedSeriesStore", "PageStats", "DiskBackedDatabase"]
+__all__ = ["PagedSeriesStore", "PageStats", "DiskBackedDatabase", "ColumnBlockStore"]

@@ -1,0 +1,109 @@
+"""Packed column blocks — contiguous row storage for bulk verification.
+
+The engine's per-round verification wants candidate rows as one contiguous
+matrix.  A :class:`ColumnBlockStore` provides exactly that in two flavours:
+
+* **in-memory** (:meth:`ColumnBlockStore.from_array`): a contiguous
+  ``float32`` copy of the collection plus per-row ``float64`` norms.  This
+  is the early-abandon *filter* cache — half the memory traffic of the
+  float64 matrix — and is never the source of reported distances: survivors
+  of the filter are always re-measured on the original ``float64`` rows
+  (the row norms feed the filter's rounding margin, keeping it exact).
+* **memory-mapped** (:meth:`ColumnBlockStore.from_paged`): a read-only
+  ``float64`` :class:`numpy.memmap` over a :class:`~repro.storage.pages.PagedSeriesStore`'s
+  row region.  The page file's layout (one header page, then ``count``
+  contiguous little-endian rows) *is* already a column block, so gathering
+  many rows becomes one fancy-index slice instead of ``count`` per-row page
+  reads.  These bytes are the store of record, so distances computed from
+  them are bit-identical to per-row reads; the ``on_gather`` hook lets the
+  owning store keep its physical-I/O accounting truthful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["ColumnBlockStore"]
+
+
+class ColumnBlockStore:
+    """A ``(count, n)`` contiguous block of rows, gatherable by row id.
+
+    Attributes:
+        block: the backing 2-D array (``float32`` cache or ``float64`` memmap).
+        row_norms: per-row L2 norms in ``float64`` (``None`` for mapped
+            blocks, where the rows are already exact).
+        dtype: the block's dtype — callers branch on it to pick the
+            matching early-abandon margin rule.
+    """
+
+    __slots__ = ("block", "row_norms", "dtype", "count", "length", "_on_gather")
+
+    def __init__(
+        self,
+        block: np.ndarray,
+        row_norms: "Optional[np.ndarray]" = None,
+        on_gather: "Optional[Callable[[np.ndarray], None]]" = None,
+    ):
+        if block.ndim != 2:
+            raise ValueError("a column block must be a (count, n) array")
+        self.block = block
+        self.row_norms = row_norms
+        self.dtype = block.dtype
+        self.count = int(block.shape[0])
+        self.length = int(block.shape[1])
+        self._on_gather = on_gather
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_array(cls, data: np.ndarray, dtype=np.float32) -> "ColumnBlockStore":
+        """A packed cache of an in-memory collection (default ``float32``).
+
+        Row norms are computed from the *original* ``float64`` rows so the
+        early-abandon margin can bound the cast's rounding error exactly.
+        """
+        rows = np.asarray(data, dtype=float)
+        block = np.ascontiguousarray(rows, dtype=dtype)
+        row_norms = np.linalg.norm(rows, axis=1)
+        obs.count("columns.builds")
+        return cls(block, row_norms=row_norms)
+
+    @classmethod
+    def from_paged(cls, store) -> "ColumnBlockStore":
+        """A read-only ``float64`` memmap over a paged store's row region.
+
+        The mapping shares bytes with the page file, so rows appended via
+        ``put_row`` after construction are outside its shape — the caller
+        (``PagedSeriesStore.mapped_columns``) rebuilds on count changes.
+        """
+        count = len(store)
+        if count == 0:
+            raise ValueError("cannot map an empty store")
+        block = np.memmap(
+            store.path,
+            mode="r",
+            dtype="<f8",
+            offset=store.page_size,
+            shape=(count, store.length),
+        )
+        obs.count("columns.builds")
+        return cls(block, on_gather=getattr(store, "account_mapped_rows", None))
+
+    # ------------------------------------------------------------------
+    def gather(self, series_ids: "Iterable[int]") -> np.ndarray:
+        """The rows for ``series_ids`` as one new ``(len, n)`` array."""
+        idx = np.asarray(
+            series_ids if isinstance(series_ids, np.ndarray) else list(series_ids),
+            dtype=np.intp,
+        )
+        obs.count("columns.gathers")
+        if self._on_gather is not None:
+            self._on_gather(idx)
+        return self.block[idx]
+
+    def __len__(self) -> int:
+        return self.count

@@ -130,13 +130,15 @@ class DiskBackedDatabase:
     def ground_truth(self, query: np.ndarray, k: int) -> KNNResult:
         """Exact answer via a full sequential scan (reads every page).
 
-        Tombstoned rows are still read (they share pages with live ones)
-        but never returned; the over-fetch is capped at the tombstone
+        The scan streams through the store view in blocks — the whole
+        collection is charged as physical I/O but never materialised as one
+        matrix.  Tombstoned rows are still read (they share pages with live
+        ones) but never returned; the over-fetch is capped at the tombstone
         count, with a no-deletes fast path.
         """
         if self.store is None:
             raise RuntimeError("ingest data before searching")
-        return self._inner._ground_truth_from(self.store.read_all(), query, k)
+        return self._inner._ground_truth_from(self._inner.data, query, k)
 
     # ------------------------------------------------------------------
     def insert(self, series: np.ndarray) -> int:
@@ -232,7 +234,12 @@ class DiskBackedDatabase:
 
 
 class _StoreView:
-    """Array-like adapter: ``view[i]`` reads series ``i`` through the store."""
+    """Array-like adapter: ``view[i]`` reads series ``i`` through the store.
+
+    Batched access goes through :meth:`gather`, which prefers the store's
+    memory-mapped column block (one contiguous slice, physical I/O charged
+    per spanned page) and falls back to the page-cache batch read.
+    """
 
     def __init__(self, store: PagedSeriesStore):
         self._store = store
@@ -246,3 +253,14 @@ class _StoreView:
     @property
     def shape(self) -> "tuple[int, int]":
         return (len(self._store), self._store.length)
+
+    def gather(self, series_ids) -> np.ndarray:
+        """Rows for ``series_ids`` as one ``(len, n)`` float64 matrix."""
+        block = self._store.mapped_columns()
+        if block is not None:
+            return np.asarray(block.gather(series_ids), dtype=float)
+        return self._store.get_rows(series_ids)
+
+    def columns(self):
+        """The store's mapped :class:`~repro.storage.columns.ColumnBlockStore`."""
+        return self._store.mapped_columns()

@@ -63,6 +63,8 @@ class PagedSeriesStore:
         self._count = 0
         self._length = 0
         self._row_bytes = 0
+        #: ``(row_count, ColumnBlockStore)`` memmap cache; see mapped_columns
+        self._mapped = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -113,13 +115,17 @@ class PagedSeriesStore:
         return max(self._row_bytes / self.page_size, 1e-12)
 
     # ------------------------------------------------------------------
-    def _read_page(self, page_id: int) -> bytes:
+    def _read_page(self, page_id: int, handle=None) -> bytes:
         if page_id in self._cache:
             self._cache.move_to_end(page_id)
             self.stats.cache_hits += 1
             obs.count("storage.cache_hits")
             return self._cache[page_id]
-        with open(self.path, "rb") as handle:
+        if handle is None:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.page_size * page_id)
+                payload = handle.read(self.page_size)
+        else:
             handle.seek(self.page_size * page_id)
             payload = handle.read(self.page_size)
         self.stats.page_reads += 1
@@ -129,21 +135,88 @@ class PagedSeriesStore:
             self._cache.popitem(last=False)
         return payload
 
-    def read(self, series_id: int) -> np.ndarray:
-        """Read one series through the page cache."""
-        if not 0 <= series_id < self._count:
-            raise IndexError(f"series {series_id} out of range ({self._count} stored)")
+    def _row_from_pages(self, series_id: int, handle=None) -> np.ndarray:
         start_byte = self.page_size + series_id * self._row_bytes  # page 0 is the header
         end_byte = start_byte + self._row_bytes
         first_page = start_byte // self.page_size
         last_page = (end_byte - 1) // self.page_size
-        payload = b"".join(self._read_page(p) for p in range(first_page, last_page + 1))
+        payload = b"".join(
+            self._read_page(p, handle) for p in range(first_page, last_page + 1)
+        )
         offset = start_byte - first_page * self.page_size
         return np.frombuffer(payload[offset : offset + self._row_bytes], dtype="<f8").copy()
 
+    def read(self, series_id: int) -> np.ndarray:
+        """Read one series through the page cache."""
+        if not 0 <= series_id < self._count:
+            raise IndexError(f"series {series_id} out of range ({self._count} stored)")
+        return self._row_from_pages(series_id)
+
+    def get_rows(self, series_ids) -> np.ndarray:
+        """Read many series through the page cache in one batched pass.
+
+        Rows are fetched in ascending id order — page-sequential, so a run
+        of candidates sharing a page costs one physical read — over a
+        single open file handle, then returned in the *requested* order.
+        The cache and the :class:`PageStats` accounting behave exactly as
+        the equivalent sequence of :meth:`read` calls would.
+        """
+        ids = [int(sid) for sid in series_ids]
+        for sid in ids:
+            if not 0 <= sid < self._count:
+                raise IndexError(f"series {sid} out of range ({self._count} stored)")
+        obs.count("pages.batch_reads")
+        out = np.empty((len(ids), self._length), dtype=float)
+        order = sorted(range(len(ids)), key=lambda i: ids[i])
+        with open(self.path, "rb") as handle:
+            for i in order:
+                out[i] = self._row_from_pages(ids[i], handle)
+        return out
+
     def read_all(self) -> np.ndarray:
         """Read the whole collection (sequential scan)."""
-        return np.stack([self.read(i) for i in range(self._count)])
+        return self.get_rows(range(self._count))
+
+    # ------------------------------------------------------------------
+    def mapped_columns(self):
+        """A read-only column-block view of the row region, or ``None``.
+
+        Built lazily and rebuilt whenever the row count changes (appends
+        extend the file past the mapped shape).  Reads through the mapping
+        bypass the page cache, so callers must route their accounting
+        through :meth:`account_mapped_rows` — the returned block does this
+        itself on every ``gather``.
+        """
+        if self._count == 0:
+            return None
+        cached = self._mapped
+        if cached is not None and cached[0] == self._count:
+            return cached[1]
+        from .columns import ColumnBlockStore
+
+        try:
+            block = ColumnBlockStore.from_paged(self)
+        except (OSError, ValueError):
+            self._mapped = None
+            return None
+        self._mapped = (self._count, block)
+        return block
+
+    def account_mapped_rows(self, series_ids) -> None:
+        """Fold memory-mapped row reads into the physical-I/O counters.
+
+        Each row is charged the pages it spans, exactly as :meth:`read`
+        would report for a cold cache; mapped access never consults the LRU
+        so the charge goes entirely to ``page_reads``.
+        """
+        idx = np.asarray(series_ids, dtype=np.int64)
+        if idx.size == 0:
+            return
+        start = self.page_size + idx * self._row_bytes
+        end = start + self._row_bytes - 1
+        pages = int(np.sum(end // self.page_size - start // self.page_size + 1))
+        self.stats.page_reads += pages
+        obs.count("storage.page_reads", pages)
 
     # ------------------------------------------------------------------
     def put_row(self, series_id: int, values: np.ndarray, sync: bool = False) -> None:

@@ -1,0 +1,205 @@
+"""The bound cascade's dominance, caching and accounting contracts.
+
+Everything the search paths rely on lives here: every cheap tier value is
+``<=`` the exact bound it fronts *as floating point* (deflation absorbs the
+cross-route rounding drift), the vectorised tier equals the scalar one, the
+DBCH node tier never overshoots ``node_distance``, the build-time pairwise
+accelerator never overshoots the suite's pairwise distance, and unsupported
+methods (SAX MINDIST) report themselves out cleanly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.distance.cascade import (
+    BoundCascade,
+    PairwiseAccel,
+    make_pairwise_accel,
+    reconstruction_norm,
+)
+from repro.index import SeriesDatabase
+from repro.kinds import DistanceMode, IndexKind
+from repro.reduction import REDUCERS
+
+#: (reducer name, DistanceMode) -> the suite mode the cascade sees; one
+#: config per cheap-tier formula.
+TIER_CONFIGS = [
+    ("SAPLA", DistanceMode.PAR, "par"),
+    ("SAPLA", DistanceMode.LB, "lb"),
+    ("SAPLA", DistanceMode.AE, "ae"),
+    ("PAA", DistanceMode.PAR, "aligned"),
+    ("CHEBY", DistanceMode.PAR, "triangle"),
+]
+
+CONFIG_IDS = [f"{name}-{suite_mode}" for name, _, suite_mode in TIER_CONFIGS]
+
+
+def dataset(count=20, n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(count, n)).cumsum(axis=1)
+
+
+def build(name, mode, data, index=None):
+    db = SeriesDatabase(REDUCERS[name](8), index=index, distance_mode=mode)
+    db.ingest(data)
+    return db
+
+
+class TestReconstructionNorm:
+    @pytest.mark.parametrize("name", ["SAPLA", "APLA", "APCA", "PAA", "PLA", "CHEBY"])
+    def test_matches_reconstruction(self, name):
+        reducer = REDUCERS[name](8)
+        for i, series in enumerate(dataset(6, seed=4)):
+            rep = reducer.transform(series)
+            expected = np.linalg.norm(np.asarray(reducer.reconstruct(rep), dtype=float))
+            assert reconstruction_norm(rep, reducer) == pytest.approx(
+                expected, rel=1e-9, abs=1e-9
+            ), f"row {i}"
+
+    def test_cached_on_the_representation(self):
+        reducer = REDUCERS["SAPLA"](8)
+        rep = reducer.transform(dataset(1)[0])
+        first = reconstruction_norm(rep, reducer)
+        assert rep._cascade_norm == first
+        rep._cascade_norm = 123.0  # poke the cache to prove it is consulted
+        assert reconstruction_norm(rep, reducer) == 123.0
+
+
+class TestDominance:
+    @pytest.mark.parametrize("name,mode,suite_mode", TIER_CONFIGS, ids=CONFIG_IDS)
+    def test_cheap_never_exceeds_refine(self, name, mode, suite_mode):
+        data = dataset(seed=1)
+        db = build(name, mode, data)
+        cascade = db.cascade()
+        assert cascade.supported
+        assert cascade.mode == suite_mode
+        for qi in (0, 7):
+            query = data[qi] + 0.25
+            ctx = db.query_context(query)
+            qc = cascade.for_query(ctx)
+            assert qc is not None
+            for entry in db.entries:
+                rep = entry.representation
+                assert qc.cheap(rep) <= qc.refine(rep)
+
+    @pytest.mark.parametrize("name,mode,suite_mode", TIER_CONFIGS, ids=CONFIG_IDS)
+    def test_refine_equals_suite_bound(self, name, mode, suite_mode):
+        """Refinement is the suite's own bound — same value, not an analogue."""
+        data = dataset(seed=6)
+        db = build(name, mode, data)
+        ctx = db.query_context(data[3] - 0.1)
+        qc = db.cascade().for_query(ctx)
+        for entry in db.entries:
+            rep = entry.representation
+            assert qc.refine(rep) == db.suite.query_bound(ctx, rep)
+
+    @pytest.mark.parametrize("name,mode,suite_mode", TIER_CONFIGS, ids=CONFIG_IDS)
+    def test_vectorised_keys_equal_scalar_cheap(self, name, mode, suite_mode):
+        data = dataset(seed=2)
+        db = build(name, mode, data)
+        cascade = db.cascade()
+        ctx = db.query_context(data[5] + 0.5)
+        collection = cascade.collection(db)
+        keys = cascade.for_query(ctx).cheap_keys(collection)
+        scalar = cascade.for_query(ctx)
+        by_sid = {e.series_id: e.representation for e in db.entries}
+        for sid, key in zip(collection.sids.tolist(), keys.tolist()):
+            assert key == scalar.cheap(by_sid[sid])
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_random_dominance_all_tiers(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(8, 32)).cumsum(axis=1)
+        query = rng.normal(size=32).cumsum()
+        for name, mode, _ in TIER_CONFIGS:
+            db = build(name, mode, data)
+            ctx = db.query_context(query)
+            qc = db.cascade().for_query(ctx)
+            for entry in db.entries:
+                rep = entry.representation
+                assert qc.cheap(rep) <= qc.refine(rep)
+
+
+class TestNodeTier:
+    @pytest.mark.parametrize("name,mode,suite_mode", TIER_CONFIGS, ids=CONFIG_IDS)
+    def test_node_lower_never_exceeds_node_distance(self, name, mode, suite_mode):
+        data = dataset(count=40, seed=3)
+        db = build(name, mode, data, index=IndexKind.DBCH)
+        ctx = db.query_context(data[9] + 0.3)
+        qc = db.cascade().for_query(ctx)
+        stack = [db.tree.root]
+        seen = 0
+        while stack:
+            node = stack.pop()
+            assert qc.node_lower(node) <= db.node_distance(ctx, node)
+            seen += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        assert seen > 1  # the tree actually has internal structure
+
+
+class TestPairwiseAccel:
+    @pytest.mark.parametrize("name,mode,suite_mode", TIER_CONFIGS, ids=CONFIG_IDS)
+    def test_lower_never_exceeds_pairwise(self, name, mode, suite_mode):
+        data = dataset(count=10, seed=5)
+        db = build(name, mode, data)
+        accel = make_pairwise_accel(db.suite, db.reducer)
+        assert accel is not None
+        reps = [e.representation for e in db.entries]
+        for a in reps[:5]:
+            for b in reps[5:]:
+                assert accel.lower(a, b) <= db.suite.pairwise(a, b)
+
+    def test_metric_flag_tracks_reconstruction_modes(self):
+        data = dataset(count=6)
+        recon = build("SAPLA", DistanceMode.LB, data)
+        cheby = build("CHEBY", DistanceMode.PAR, data)
+        assert make_pairwise_accel(recon.suite, recon.reducer).metric is True
+        assert make_pairwise_accel(cheby.suite, cheby.reducer).metric is False
+
+    def test_certainly_not_above_requires_a_margin(self):
+        assert PairwiseAccel.certainly_not_above(1.0, 2.0)
+        assert not PairwiseAccel.certainly_not_above(2.0, 2.0)
+        assert not PairwiseAccel.certainly_not_above(3.0, 2.0)
+
+
+class TestUnsupportedModes:
+    def test_sax_has_no_cascade(self):
+        data = dataset()
+        db = build("SAX", DistanceMode.PAR, data)
+        cascade = db.cascade()
+        assert not cascade.supported
+        assert cascade.for_query(db.query_context(data[0])) is None
+        assert cascade.collection(db) is None
+        assert make_pairwise_accel(db.suite, db.reducer) is None
+
+    def test_sax_searches_still_answer(self):
+        data = dataset()
+        db = build("SAX", DistanceMode.PAR, data, index=IndexKind.DBCH)
+        result = db.knn(data[2] + 0.05, 3)
+        assert len(result.ids) == 3
+
+
+class TestAccounting:
+    def test_search_emits_cascade_counters(self):
+        data = dataset(count=40, seed=7)
+        with obs.capture() as session:
+            db = build("SAPLA", DistanceMode.LB, data, index=IndexKind.DBCH)
+            for i in range(3):
+                db.knn(data[i] + 0.1, 4)
+        counters = session.report().counters
+        assert counters["cascade.queries"] == 3
+        assert counters["cascade.cheap_bounds"] >= counters["cascade.refines"]
+        assert counters["cascade.cheap_bounds"] > 0
+        assert "cascade.pairwise_skipped" in counters  # DBCH build used the accel
+
+    def test_collection_cache_reused_within_a_generation(self):
+        data = dataset()
+        db = build("SAPLA", DistanceMode.PAR, data)
+        cascade = db.cascade()
+        first = cascade.collection(db)
+        assert cascade.collection(db) is first

@@ -51,6 +51,18 @@ def assert_same(a, b):
     assert a.distances == b.distances
 
 
+def assert_same_accounting(a, b):
+    """Ids, distances *and* every search counter agree — the cascade's
+    contract is that it changes when work happens, never what happens."""
+    assert_same(a, b)
+    assert a.n_verified == b.n_verified
+    assert a.n_total == b.n_total
+    assert a.n_candidates == b.n_candidates
+    assert a.nodes_visited == b.nodes_visited
+    assert a.node_pushes == b.node_pushes
+    assert a.heap_pushes == b.heap_pushes
+
+
 @pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
 @pytest.mark.parametrize("mode", list(DistanceMode))
 @pytest.mark.parametrize("name", sorted(REDUCERS))
@@ -111,6 +123,63 @@ def test_lookahead_changes_rounds_not_answers():
         assert_same(a, b)
 
 
+@pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
+@pytest.mark.parametrize("mode", list(DistanceMode))
+@pytest.mark.parametrize("name", sorted(REDUCERS))
+def test_cascade_toggle_is_invisible(name, mode, index):
+    """Full grid: cascade on vs off — same ids, distances and accounting.
+
+    The bound cascade evaluates a cheap dominated tier before each exact
+    bound; because the cheap tier never overshoots, every emission, prune
+    and verification decision must be byte-identical with ``cascade=False``
+    (the pre-cascade eager paths) in both vectorised and sequential modes.
+    """
+    data = dataset(seed=3)
+    db = build(name, index, mode, data)
+    queries = np.stack([data[5] + 0.1, data[14] - 0.2, dataset(1, 48, seed=8)[0]])
+    off = QueryOptions(k=5, cascade=False, early_abandon=False)
+    on = db.knn_batch(queries, QueryOptions(k=5))
+    base = db.knn_batch(queries, off)
+    seq_on = db.knn_batch(queries, QueryOptions(k=5, mode=ExecutionMode.SEQUENTIAL))
+    seq_base = db.knn_batch(
+        queries,
+        QueryOptions(
+            k=5, mode=ExecutionMode.SEQUENTIAL, cascade=False, early_abandon=False
+        ),
+    )
+    for a, b, c, d in zip(on.results, base.results, seq_on.results, seq_base.results):
+        assert_same_accounting(a, b)
+        assert_same_accounting(c, d)
+        assert_same(a, c)
+
+
+def test_early_abandon_forced_on_is_exact():
+    """With the engage gate lowered to one element, abandoning rounds still
+    return the ids and distances of the plain matrix norm, and the abandon
+    counters prove the filter actually ran."""
+    import repro.engine.engine as engine_mod
+    from repro import obs
+
+    data = dataset(count=64, n=48, seed=5)
+    db = build("PAA", None, DistanceMode.PAR, data)
+    queries = np.concatenate([data[:4] + 0.05, dataset(4, 48, seed=11)])
+    plain = db.knn_batch(queries, QueryOptions(k=3, early_abandon=False))
+    saved = engine_mod.EARLY_ABANDON_MIN_ELEMENTS
+    engine_mod.EARLY_ABANDON_MIN_ELEMENTS = 1
+    try:
+        with obs.capture() as session:
+            filtered = db.knn_batch(queries, QueryOptions(k=3, lookahead=8))
+    finally:
+        engine_mod.EARLY_ABANDON_MIN_ELEMENTS = saved
+    counters = session.report().counters
+    assert counters["verify.filter_rounds"] > 0
+    assert counters["verify.abandoned"] > 0
+    for a, b in zip(filtered.results, plain.results):
+        assert_same(a, b)
+    for query, result in zip(queries, filtered.results):
+        assert_same(result, linear_scan(data, query, 3))
+
+
 class TestPropertyEquivalence:
     """Randomised data/batch shapes keep the three paths identical."""
 
@@ -137,6 +206,61 @@ class TestPropertyEquivalence:
             assert_same(batch.results[i], truth)
             assert_same(sequential.results[i], truth)
             assert_same(db.knn(query, k), truth)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        count=st.integers(4, 24),
+        k=st.integers(1, 6),
+        index=st.sampled_from(INDEXES),
+        mode=st.sampled_from(list(DistanceMode)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_cascade_toggle(self, seed, count, k, index, mode):
+        """Random shapes: the cascade never changes answers or accounting."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(count, 32)).cumsum(axis=1)
+        queries = rng.normal(size=(2, 32)).cumsum(axis=1)
+        db = SeriesDatabase(REDUCERS["SAPLA"](6), index=index, distance_mode=mode)
+        db.ingest(data)
+        off = QueryOptions(k=k, cascade=False, early_abandon=False)
+        on = db.knn_batch(queries, QueryOptions(k=k))
+        base = db.knn_batch(queries, off)
+        seq_on = db.knn_batch(queries, QueryOptions(k=k, mode=ExecutionMode.SEQUENTIAL))
+        seq_base = db.knn_batch(
+            queries,
+            QueryOptions(
+                k=k,
+                mode=ExecutionMode.SEQUENTIAL,
+                cascade=False,
+                early_abandon=False,
+            ),
+        )
+        for a, b, c, d in zip(
+            on.results, base.results, seq_on.results, seq_base.results
+        ):
+            assert_same_accounting(a, b)
+            assert_same_accounting(c, d)
+            assert_same(a, c)
+
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_early_abandon_never_drops_a_true_neighbour(self, seed, k):
+        """Forced-on abandoning still reproduces the brute-force answer."""
+        import repro.engine.engine as engine_mod
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(20, 32)).cumsum(axis=1)
+        queries = rng.normal(size=(3, 32)).cumsum(axis=1)
+        db = SeriesDatabase(PAA(6), index=None)
+        db.ingest(data)
+        saved = engine_mod.EARLY_ABANDON_MIN_ELEMENTS
+        engine_mod.EARLY_ABANDON_MIN_ELEMENTS = 1
+        try:
+            batch = db.knn_batch(queries, QueryOptions(k=k, lookahead=4))
+        finally:
+            engine_mod.EARLY_ABANDON_MIN_ELEMENTS = saved
+        for i, query in enumerate(queries):
+            assert_same(batch.results[i], linear_scan(data, query, k))
 
     @given(seed=st.integers(0, 2**16), k=st.integers(1, 6))
     @settings(max_examples=15, deadline=None)

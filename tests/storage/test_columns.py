@@ -1,0 +1,118 @@
+"""Packed column blocks and the batched page-store read path.
+
+The exactness story: the float32 in-memory block is only ever a *filter*
+cache (its norms are float64, taken from the original rows), while the
+memory-mapped block shares bytes with the page file itself, so values read
+through it are bit-identical to per-row page reads — and the physical-I/O
+accounting must say so too.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.storage import ColumnBlockStore, PagedSeriesStore
+
+DATA = np.random.default_rng(3).normal(size=(24, 48)).cumsum(axis=1)
+
+
+class TestInMemoryBlock:
+    def test_from_array_packs_float32_with_float64_norms(self):
+        block = ColumnBlockStore.from_array(DATA)
+        assert block.dtype == np.float32
+        assert block.block.flags["C_CONTIGUOUS"]
+        assert block.count == 24 and block.length == 48
+        assert len(block) == 24
+        assert block.row_norms.dtype == np.float64
+        np.testing.assert_array_equal(block.row_norms, np.linalg.norm(DATA, axis=1))
+        np.testing.assert_allclose(block.block, DATA, rtol=1e-6, atol=1e-5)
+
+    def test_gather_returns_requested_order(self):
+        block = ColumnBlockStore.from_array(DATA)
+        got = block.gather([5, 0, 17, 5])
+        np.testing.assert_array_equal(got, DATA[[5, 0, 17, 5]].astype(np.float32))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            ColumnBlockStore(np.zeros(8))
+
+    def test_counters(self):
+        with obs.capture() as session:
+            block = ColumnBlockStore.from_array(DATA)
+            block.gather([1, 2])
+            block.gather(np.array([3]))
+        counters = session.report().counters
+        assert counters["columns.builds"] == 1
+        assert counters["columns.gathers"] == 2
+
+
+class TestMappedBlock:
+    def test_mapped_rows_are_bit_identical_to_reads(self, tmp_path):
+        store = PagedSeriesStore.write(tmp_path / "s.bin", DATA)
+        block = store.mapped_columns()
+        assert block is not None
+        assert block.dtype == np.float64
+        assert block.row_norms is None
+        ids = [2, 19, 0, 7]
+        np.testing.assert_array_equal(block.gather(ids), store.get_rows(ids))
+        np.testing.assert_array_equal(np.asarray(block.block), store.read_all())
+
+    def test_mapped_block_cached_until_append(self, tmp_path):
+        store = PagedSeriesStore.write(tmp_path / "s.bin", DATA)
+        first = store.mapped_columns()
+        assert store.mapped_columns() is first
+        store.put_row(len(store), DATA[0] + 1.0)
+        rebuilt = store.mapped_columns()
+        assert rebuilt is not first
+        assert rebuilt.count == len(DATA) + 1
+        np.testing.assert_array_equal(rebuilt.gather([len(DATA)])[0], DATA[0] + 1.0)
+
+    def test_gather_charges_physical_pages(self, tmp_path):
+        store = PagedSeriesStore.write(
+            tmp_path / "s.bin", DATA, page_size=256, cache_pages=2
+        )
+        block = store.mapped_columns()
+        store.stats.reset()
+        with obs.capture() as session:
+            block.gather([0, 11])
+        # 48 float64 values = 384 bytes: each row spans at least 2 pages of 256
+        assert store.stats.page_reads >= 4
+        assert session.report().counters["storage.page_reads"] == store.stats.page_reads
+
+    def test_empty_store_maps_to_none(self, tmp_path):
+        path = tmp_path / "s.bin"
+        store = PagedSeriesStore.write(path, DATA)
+        with pytest.raises(ValueError):
+            ColumnBlockStore.from_paged(_EmptyStoreProxy(store))
+
+
+class _EmptyStoreProxy:
+    """A store that reports zero rows — from_paged must refuse it."""
+
+    def __init__(self, store):
+        self.path = store.path
+        self.page_size = store.page_size
+        self.length = store.length
+
+    def __len__(self):
+        return 0
+
+
+class TestBatchedReads:
+    def test_get_rows_matches_individual_reads(self, tmp_path):
+        store = PagedSeriesStore.write(tmp_path / "s.bin", DATA)
+        ids = [9, 3, 3, 21, 0]
+        batched = store.get_rows(ids)
+        for row, sid in zip(batched, ids):
+            np.testing.assert_array_equal(row, store.read(sid))
+
+    def test_get_rows_counts_one_batch(self, tmp_path):
+        store = PagedSeriesStore.write(tmp_path / "s.bin", DATA)
+        with obs.capture() as session:
+            store.get_rows([1, 5, 9])
+        assert session.report().counters["pages.batch_reads"] == 1
+
+    def test_get_rows_validates_ids(self, tmp_path):
+        store = PagedSeriesStore.write(tmp_path / "s.bin", DATA)
+        with pytest.raises(IndexError):
+            store.get_rows([0, len(DATA)])
