@@ -1,7 +1,7 @@
 # Convenience targets for the SAPLA reproduction.
 
 .PHONY: install test bench bench-full examples results clean verify-obs verify-engine \
-	verify-lifecycle verify-experiments verify-cascade crash-matrix baseline
+	verify-lifecycle verify-experiments verify-cascade verify-serving crash-matrix baseline
 
 install:
 	pip install -e . || python setup.py develop
@@ -58,6 +58,16 @@ verify-cascade:
 		--store /tmp/repro-verify-cascade.sqlite --bench-dir /tmp
 	PYTHONPATH=src python -m repro experiment diff benchmarks/specs/medium.toml \
 		--store /tmp/repro-verify-cascade.sqlite --baseline BENCH_medium.json
+
+# sharded serving layer + client facade: lint + the sharding/server/client
+# tests, then the loopback load test (>= 1000 concurrent in-flight queries,
+# answers bit-identical to the unsharded engine) with its latency report
+# rendered through repro stats
+verify-serving:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/serving tests/client -q
+	PYTHONPATH=src python scripts/serve_loadtest.py --report /tmp/repro-serve-loadtest.json
+	PYTHONPATH=src python -m repro stats --report /tmp/repro-serve-loadtest.json
 
 # regenerate the committed perf baseline: BENCH_medium.json at the repo
 # root plus a JSON export of the results store

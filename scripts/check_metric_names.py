@@ -12,10 +12,11 @@ reported only with ``--strict`` (dynamic selection is expected to go
 through catalogued tables like ``PRUNED_METRICS``).
 
 The reverse direction is linted for the experiment service's, bound
-cascade's, verification filter's and batched-storage namespaces: every
-``experiments.*`` / ``cascade.*`` / ``verify.*`` / ``pages.*`` /
-``columns.*`` name declared in the catalogue must be *used* by at least one
-literal call site, so the catalogue cannot accumulate dead metrics.
+cascade's, verification filter's, batched-storage and serving namespaces:
+every ``experiments.*`` / ``cascade.*`` / ``verify.*`` / ``pages.*`` /
+``columns.*`` / ``server.*`` / ``shard.*`` name declared in the catalogue
+must be *used* by at least one literal call site, so the catalogue cannot
+accumulate dead metrics.
 
 Exit status 0 = clean, 1 = violations found.  Run from the repo root:
 
@@ -109,7 +110,15 @@ def main() -> int:
             violations.extend(check_file(path, used))
     # reverse check: every catalogued name in the fully-literal namespaces
     # must have a caller
-    reverse_prefixes = ("experiments.", "cascade.", "verify.", "pages.", "columns.")
+    reverse_prefixes = (
+        "experiments.",
+        "cascade.",
+        "verify.",
+        "pages.",
+        "columns.",
+        "server.",
+        "shard.",
+    )
     for name in sorted(CATALOG):
         if name.startswith(reverse_prefixes) and name not in used:
             violations.append(

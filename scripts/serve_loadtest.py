@@ -1,0 +1,190 @@
+"""Loopback load test: >= 1000 concurrent in-flight queries, bit-identical.
+
+Builds a synthetic database, computes every answer on the *unsharded*
+engine first, then partitions the data into round-robin shards behind a
+:class:`repro.serving.ShardedEngine`, starts a loopback
+:class:`repro.serving.ReproServer`, and fires ``--inflight`` single-query
+k-NN requests pipelined over ``--connections`` sockets — every frame is
+written before any response is read, so the whole population is in flight
+at once while the admission controller drains it ``--max-in-flight`` at a
+time.
+
+The run fails (exit 1) unless
+
+* the server's accepted in-flight high-water mark reaches
+  ``--min-inflight`` (1000 by default, the acceptance bar), and
+* every wire answer is bit-identical — ids *and* distances — to the
+  unsharded engine's answer for the same query.
+
+``--report`` writes the captured :class:`repro.obs.RunReport` (the
+``server.request_ms`` histogram carries the p50/p99 the Makefile renders
+through ``repro stats --report``).  Run from the repo root:
+
+    PYTHONPATH=src python scripts/serve_loadtest.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.engine import QueryOptions  # noqa: E402
+from repro.index import SeriesDatabase  # noqa: E402
+from repro.reduction import REDUCERS  # noqa: E402
+from repro.serving import (  # noqa: E402
+    ReproServer,
+    ServerConfig,
+    ShardedEngine,
+    encode_frame,
+    read_frame,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--series", type=int, default=256, help="database rows")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--queries", type=int, default=32, help="distinct query series")
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--inflight", type=int, default=1200, help="requests fired")
+    parser.add_argument(
+        "--min-inflight", type=int, default=1000,
+        help="required accepted in-flight high-water mark",
+    )
+    parser.add_argument("--connections", type=int, default=16)
+    parser.add_argument("--max-in-flight", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--report", default=None, metavar="OUT.json")
+    return parser.parse_args()
+
+
+async def _drive_connection(port: int, frames: list) -> list:
+    """Write every frame, then read every response; returns (id, ms, reply)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    samples = []
+    try:
+        sent = {}
+        for frame in frames:
+            sent[frame["id"]] = time.perf_counter()
+            writer.write(encode_frame(frame))
+        await writer.drain()
+        for _ in frames:
+            reply = await read_frame(reader)
+            samples.append(
+                (reply["id"], (time.perf_counter() - sent[reply["id"]]) * 1e3, reply)
+            )
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return samples
+
+
+async def _drive(engine, config: ServerConfig, requests: list, n_conns: int):
+    server = ReproServer(engine, config)
+    await server.start()
+    try:
+        batches = [requests[c::n_conns] for c in range(n_conns)]
+        started = time.perf_counter()
+        per_conn = await asyncio.gather(
+            *(_drive_connection(server.port, batch) for batch in batches)
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        await server.stop()
+    return elapsed, [s for batch in per_conn for s in batch], server.peak_in_flight
+
+
+def main() -> int:
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
+    data = rng.normal(size=(args.series, args.length)).cumsum(axis=1)
+    picks = rng.integers(0, args.series, size=args.queries)
+    queries = data[picks] + rng.normal(scale=0.05, size=(args.queries, args.length))
+
+    db = SeriesDatabase(REDUCERS["PAA"](n_coefficients=12), index=None)
+    db.ingest(data)
+    reference = db.knn_batch(queries, QueryOptions(k=args.k))
+    expected = [
+        ([int(i) for i in r.ids], [float(d) for d in r.distances])
+        for r in reference.results
+    ]
+
+    requests = [
+        {
+            "id": i,
+            "op": "knn",
+            "queries": queries[i % args.queries][None, :].tolist(),
+            "k": args.k,
+        }
+        for i in range(args.inflight)
+    ]
+    config = ServerConfig(
+        max_in_flight=args.max_in_flight, queue_depth=args.inflight + 64
+    )
+
+    with obs.capture() as session:
+        sharded = ShardedEngine.from_database(db, args.shards)
+        elapsed, samples, peak = asyncio.run(
+            _drive(sharded, config, requests, min(args.connections, args.inflight))
+        )
+        sharded.close()
+    report = session.report(
+        meta={
+            "command": "serve_loadtest",
+            "shards": args.shards,
+            "inflight": args.inflight,
+            "connections": args.connections,
+            "max_in_flight": args.max_in_flight,
+        }
+    )
+    if args.report:
+        report.save(args.report)
+
+    mismatches = sum(
+        1
+        for rid, _, reply in samples
+        if not reply.get("ok")
+        or reply["results"][0]["ids"] != expected[rid % args.queries][0]
+        or reply["results"][0]["distances"] != expected[rid % args.queries][1]
+    )
+    latencies = sorted(ms for _, ms, _ in samples)
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    print(
+        f"{len(samples)}/{args.inflight} answers in {elapsed:.2f}s "
+        f"({len(samples) / elapsed:.0f} qps) over {args.shards} shard(s); "
+        f"peak in-flight {peak}, p50 {p50:.1f} ms, p99 {p99:.1f} ms"
+    )
+
+    failures = []
+    if len(samples) != args.inflight:
+        failures.append(f"lost {args.inflight - len(samples)} responses")
+    if mismatches:
+        failures.append(f"{mismatches} answers differ from the unsharded engine")
+    if peak < args.min_inflight:
+        failures.append(f"peak in-flight {peak} < required {args.min_inflight}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: sustained >= {args.min_inflight} concurrent in-flight queries "
+        "with bit-identical scatter-gather answers"
+    )
+    if args.report:
+        print(f"wrote {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

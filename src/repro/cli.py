@@ -10,6 +10,11 @@ Commands
 ``ingest``       insert series into a saved database through its WAL
 ``checkpoint``   fold a database's WAL into its saved state
 ``compact``      drop tombstoned rows and reclaim space
+``shard``        materialise a sharded home (N round-robin shards) from a
+                 saved database directory
+``serve``        answer k-NN/range queries over TCP (length-prefixed JSON
+                 frames) from a saved database or sharded home; see
+                 docs/serving.md for the wire protocol and admission knobs
 ``experiment``   regenerate one of the paper's tables/figures, or drive the
                  experiment service: ``experiment run <spec.toml>`` executes
                  a declarative benchmark matrix into an sqlite results store
@@ -247,6 +252,91 @@ def _cmd_compact(args) -> int:
         f"compacted {report.directory}: dropped {report.rows_dropped} of "
         f"{report.rows_before} rows, reclaimed {report.reclaimed_bytes} bytes "
         f"({report.reclaimed_fraction:.1%} of raw data)"
+    )
+    return 0
+
+
+def _open_serving_target(path: str, shards: int):
+    """A query engine for ``serve``: sharded home, db dir, or partition on load."""
+    from .io import open_database
+    from .serving import MANIFEST_FILENAME, ShardedEngine
+
+    home = pathlib.Path(path)
+    if (home / MANIFEST_FILENAME).exists():
+        if shards > 1:
+            raise SystemExit(
+                f"{path} is already a sharded home; --shards only applies "
+                "to plain database directories (use 'repro shard' to re-partition)"
+            )
+        return ShardedEngine.open(home)
+    db = open_database(home)
+    if shards > 1:
+        return ShardedEngine.from_database(db, shards)
+    return db
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serving import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+    )
+
+    async def _run(engine) -> None:
+        server = ReproServer(engine, config)
+        await server.start()
+        shards = getattr(engine, "n_shards", 1)
+        print(
+            f"serving {args.database} on {config.host}:{server.port} "
+            f"({shards} shard(s), max_in_flight={config.max_in_flight}, "
+            f"queue_depth={config.queue_depth}); Ctrl-C to stop"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    def _serve_once() -> None:
+        engine = _open_serving_target(args.database, args.shards)
+        try:
+            asyncio.run(_run(engine))
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
+
+    if args.report:
+        with obs.capture() as session:
+            with obs.span("cli.serve"):
+                _serve_once()
+        session.report(
+            meta={"command": "serve", "database": args.database, "shards": args.shards}
+        ).save(args.report)
+        print(f"wrote {args.report}")
+    else:
+        _serve_once()
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    from .io import open_database
+    from .serving import ShardedEngine
+
+    with obs.span("cli.shard"):
+        db = open_database(args.database)
+        engine = ShardedEngine.from_database(db, args.shards)
+        engine.save(args.output)
+    print(
+        f"sharded {args.database} ({len(engine)} live series) into "
+        f"{args.shards} round-robin shard(s) under {args.output}"
     )
     return 0
 
@@ -563,6 +653,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compact", help="drop tombstoned rows and reclaim space")
     p.add_argument("--database", required=True, help="database directory (from save)")
     p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser("shard", help="partition a saved database into a sharded home")
+    p.add_argument("--database", required=True, help="source database directory (from save)")
+    p.add_argument("--output", required=True, help="sharded home directory to create")
+    p.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="round-robin shard count (series id modulo N)",
+    )
+    p.set_defaults(func=_cmd_shard)
+
+    p = sub.add_parser("serve", help="serve k-NN/range queries over TCP")
+    p.add_argument(
+        "--database", required=True,
+        help="database directory or sharded home (from 'repro shard')",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition a plain database into N in-memory shards at startup",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument(
+        "--max-in-flight", type=int, default=64, metavar="N",
+        help="queries executing concurrently on the thread pool",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=2048, metavar="N",
+        help="admitted queries allowed to wait; beyond this arrivals are shed",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="execution threads (defaults to --max-in-flight)",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="OUT.json",
+        help="write a RunReport (server.* / shard.* metrics) on shutdown",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("stats", help="metric catalogue / run-report summary")
     p.add_argument(

@@ -1,0 +1,107 @@
+"""The client base class and the in-process backend.
+
+:class:`Client` is the one query surface :func:`repro.client.connect`
+returns, whatever the backend; :class:`LocalClient` implements it directly
+over anything with the engine surface (``knn_batch`` / ``range_query``):
+a :class:`repro.index.SeriesDatabase`, a
+:class:`repro.storage.DiskBackedDatabase` or a
+:class:`repro.serving.ShardedEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import obs
+from .api import KnnRequest, QueryResult, RangeRequest
+
+__all__ = ["Client", "LocalClient"]
+
+
+class Client:
+    """Abstract query surface shared by every backend.
+
+    One :class:`~repro.client.KnnRequest` / :class:`~repro.client.RangeRequest`
+    works against all implementations and always yields
+    :class:`~repro.client.QueryResult` objects with identical semantics —
+    the point of the facade.  Clients are context managers; ``close()`` is
+    idempotent.
+    """
+
+    def knn(self, request: KnnRequest) -> "List[QueryResult]":
+        """Answer a batch k-NN request, one result per query row."""
+        raise NotImplementedError
+
+    def range(self, request: RangeRequest) -> QueryResult:
+        """Answer a radius query (ids/distances hold every hit in range)."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Backend and metrics information (shape varies by backend)."""
+        raise NotImplementedError
+
+    def ping(self) -> bool:
+        """Cheap liveness check."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the backend connection/resources (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class LocalClient(Client):
+    """In-process backend: requests run straight through the engine.
+
+    ``target`` is kept as :attr:`database` for callers that need
+    engine-level access (mutation, lifecycle); the client itself never
+    mutates it.
+    """
+
+    def __init__(self, target, owns: bool = False):
+        self.database = target
+        #: whether close() should tear the backend down (True when connect()
+        #: opened the backend itself from a path; False for caller-owned objects)
+        self._owns = owns
+
+    def knn(self, request: KnnRequest) -> "List[QueryResult]":
+        """Run the batch through the target's ``knn_batch``."""
+        batch = self.database.knn_batch(request.queries, request.options())
+        return QueryResult.from_batch(batch)
+
+    def range(self, request: RangeRequest) -> QueryResult:
+        """Run the radius query through the target's ``range_query``."""
+        result = self.database.range_query(request.query, request.radius)
+        return QueryResult.from_knn(
+            result, generation=getattr(self.database, "generation", None)
+        )
+
+    def stats(self) -> dict:
+        """Backend info plus a metrics snapshot when collection is enabled."""
+        body = {
+            "server": {
+                "backend": "local",
+                "shards": getattr(self.database, "n_shards", 1),
+            }
+        }
+        if obs.is_enabled():
+            body["stats"] = obs.RunReport.collect(meta={"source": "repro.client"}).to_dict()
+        return body
+
+    def ping(self) -> bool:
+        """Always reachable — the backend lives in this process."""
+        return True
+
+    def close(self) -> None:
+        """Tear the backend down if this client opened it (else a no-op)."""
+        if not self._owns:
+            return
+        closer = getattr(self.database, "close", None)
+        if callable(closer):
+            closer()

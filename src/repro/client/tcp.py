@@ -1,0 +1,103 @@
+"""The TCP backend: a blocking client for ``repro serve``.
+
+Speaks the length-prefixed JSON frame protocol of
+:mod:`repro.serving.protocol` over one socket.  The client is synchronous
+and issues one request at a time (the server supports pipelining; the
+asyncio load-test harness in ``scripts/serve_loadtest.py`` exercises that
+path); responses are matched by the echoed request id.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional
+
+from ..serving.protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame_blocking,
+)
+from .api import KnnRequest, QueryResult, RangeRequest
+from .local import Client
+
+__all__ = ["TcpClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error envelope.
+
+    ``code`` is the machine-readable cause: ``"overloaded"`` (shed by
+    admission control — retry later), ``"bad_request"`` or ``"internal"``.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class TcpClient(Client):
+    """A connected client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: "Optional[float]" = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self._max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+
+    def _call(self, op: str, payload: "Optional[dict]" = None) -> dict:
+        """One request/response round trip; raises :class:`ServerError` on failure."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        message = {"id": request_id, "op": op}
+        if payload:
+            message.update(payload)
+        self._sock.sendall(encode_frame(message, self._max_frame_bytes))
+        while True:
+            response = read_frame_blocking(self._file, self._max_frame_bytes)
+            if response is None:
+                raise ConnectionError("server closed the connection mid-request")
+            if response.get("id") == request_id:
+                break
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("code", "internal"), response.get("error", "unknown error")
+            )
+        return response
+
+    def knn(self, request: KnnRequest) -> "List[QueryResult]":
+        """Answer a batch k-NN request over the wire."""
+        response = self._call("knn", request.to_payload())
+        return [QueryResult.from_payload(item) for item in response["results"]]
+
+    def range(self, request: RangeRequest) -> QueryResult:
+        """Answer a radius query over the wire."""
+        response = self._call("range", request.to_payload())
+        return QueryResult.from_payload(response["result"])
+
+    def stats(self) -> dict:
+        """Server state (in-flight, peaks, shards) plus its metrics snapshot."""
+        response = self._call("stats")
+        return {key: response[key] for key in ("server", "stats") if key in response}
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self._call("ping").get("pong"))
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()

@@ -41,9 +41,23 @@ class QueryEngine:
     The engine is stateless between calls; it reads the database's entries,
     tree and distance suite at call time, so ingest/insert/delete between
     batches are picked up automatically.
+
+    Constructing an engine directly is deprecated: reach one through the
+    :mod:`repro.client` facade (``connect(database)``), or via
+    ``database.engine()`` / ``snapshot.engine()`` for engine-level access.
+    Direct construction still works but emits a single-shot
+    ``DeprecationWarning`` per process.
     """
 
-    def __init__(self, database):
+    def __init__(self, database, *, _internal: bool = False):
+        if not _internal:
+            from .._deprecations import warn_once
+
+            warn_once(
+                "QueryEngine",
+                "constructing QueryEngine(database) directly is deprecated; use "
+                "repro.client.connect(database) or database.engine() instead",
+            )
         self.database = database
 
     def knn_batch(

@@ -234,6 +234,9 @@ class TreeState(_QueryState):
         self.visited = 0
         self._qc = _query_cascade(db, self.ctx) if cascade else None
         self._node_tier = self._qc is not None and db.index_kind == IndexKind.DBCH
+        #: node keys that are navigation hints, not bounds (adaptive R-tree):
+        #: they order the walk but may never stop it or skip a subtree.
+        self._hint_nodes = not db.node_bounds_exact
         self.frontier.push_node(db.node_distance(self.ctx, db.tree.root), db.tree.root)
 
     def _collect(self, budget: int) -> "List[int]":
@@ -242,8 +245,11 @@ class TreeState(_QueryState):
         while len(pending) < budget and frontier:
             dist, tick, kind, payload = frontier.pop()
             if self.topk.full and dist > self.topk.threshold:
-                self.done = True
-                return pending
+                if not self._hint_nodes:
+                    self.done = True
+                    return pending
+                if kind in ("entry", "uentry"):
+                    continue  # entry bounds stay exact; node keys are hints
             if kind == "uentry":
                 frontier.reinsert(qc.refine(payload.representation), tick, "entry", payload)
                 continue

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from .. import obs
+from ..obs.report import _ms_display
 from .spec import ExperimentSpec, GateRule
 
 __all__ = ["GateViolation", "evaluate_gates", "diff_cells"]
@@ -31,11 +32,17 @@ class GateViolation:
     change_pct: float
 
     def describe(self) -> str:
-        """Human-readable one-liner naming the violated threshold."""
+        """Human-readable one-liner naming the violated threshold.
+
+        Seconds-valued metrics display in milliseconds (``*_ms``) so every
+        duration in a diff reads in one unit; the percent change is
+        scale-invariant, so the judgement is identical either way.
+        """
+        shown, scale = _ms_display(self.rule.metric)
         sign = "+" if self.change_pct >= 0 else ""
         return (
-            f"{self.cell}: {self.rule.metric} {self.baseline:.6g} -> "
-            f"{self.current:.6g} ({sign}{self.change_pct:.1f}%) violates "
+            f"{self.cell}: {shown} {self.baseline * scale:.6g} -> "
+            f"{self.current * scale:.6g} ({sign}{self.change_pct:.1f}%) violates "
             f"max {self.rule.direction} of {self.rule.limit_pct:g}%"
         )
 
@@ -97,7 +104,13 @@ def diff_cells(
     baseline_cells: "Sequence[Dict]",
     current_cells: "Sequence[Dict]",
 ) -> "List[Dict]":
-    """Gated-metric comparison rows (one per cell x applicable rule)."""
+    """Gated-metric comparison rows (one per cell x applicable rule).
+
+    Displayed values are unit-normalized: seconds-valued metrics (``*_s``,
+    excluding ``*_per_s`` rates) render in milliseconds under a ``*_ms``
+    metric label, matching ``repro stats``.  Gate evaluation itself works
+    on percent change, which scaling cannot affect.
+    """
     baseline = _cells_by_key(baseline_cells)
     rows: "List[Dict]" = []
     for cell in current_cells:
@@ -108,14 +121,15 @@ def diff_cells(
             current_value = cell["metrics"].get(rule.metric)
             if current_value is None:
                 continue
+            shown, scale = _ms_display(rule.metric)
             baseline_value = None if base is None else base["metrics"].get(rule.metric)
             if baseline_value is None:
                 rows.append(
                     {
                         "cell": cell["cell"],
-                        "metric": rule.metric,
+                        "metric": shown,
                         "baseline": "-",
-                        "current": current_value,
+                        "current": current_value * scale,
                         "change_pct": "-",
                         "limit": f"{rule.direction} {rule.limit_pct:g}%",
                         "verdict": "new",
@@ -126,9 +140,9 @@ def diff_cells(
             rows.append(
                 {
                     "cell": cell["cell"],
-                    "metric": rule.metric,
-                    "baseline": baseline_value,
-                    "current": current_value,
+                    "metric": shown,
+                    "baseline": baseline_value * scale,
+                    "current": current_value * scale,
                     "change_pct": round(change, 2),
                     "limit": f"{rule.direction} {rule.limit_pct:g}%",
                     "verdict": "FAIL" if _violates(rule, change) else "ok",

@@ -35,7 +35,7 @@ __all__ = [
 
 #: the workload families the runner knows how to execute
 #: (implementations live in :mod:`repro.experiments.workloads`)
-WORKLOAD_FAMILIES = ("batch_knn", "ingest", "pruning")
+WORKLOAD_FAMILIES = ("batch_knn", "ingest", "pruning", "serving")
 
 #: multiplier deriving per-cell seeds from the spec seed (any odd prime
 #: keeps distinct cells on distinct streams; the value is part of the
@@ -55,10 +55,15 @@ class ScaleSpec:
     n_queries: int = 16
     #: rows streamed by the ``ingest`` workload (0 = half of ``n_series``)
     n_inserts: int = 0
+    #: concurrent in-flight requests driven by the ``serving`` workload's
+    #: loopback load (0 = derived: ``max(4 * n_queries, 64)``)
+    n_inflight: int = 0
 
     def __post_init__(self):
         if self.length < 8 or self.n_series < 4 or self.n_queries < 1:
             raise ValueError(f"scale {self.name!r} is too small to measure")
+        if self.n_inflight < 0:
+            raise ValueError("n_inflight must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,10 @@ class EngineSpec:
 
     ``fsync`` takes the :class:`repro.lifecycle.FsyncPolicy` values plus
     ``"off"`` (no WAL at all); only the ``ingest`` workload reads it.
+    ``shards`` is the :class:`repro.serving.ShardedEngine` shard count; only
+    the ``serving`` workload reads it (like ``fsync``, it still appears in
+    every cell label when non-default — the label describes the spec'd
+    options, not which family consumes each one).
     """
 
     k: int = 8
@@ -91,12 +100,15 @@ class EngineSpec:
     lookahead: int = 1
     fsync: str = "batch"
     fsync_batch: int = 64
+    shards: int = 1
 
     def __post_init__(self):
         if self.k < 1 or self.parallelism < 1 or self.lookahead < 1:
             raise ValueError("k, parallelism and lookahead must be >= 1")
         if self.fsync not in ("always", "batch", "never", "off"):
             raise ValueError(f"unknown fsync policy {self.fsync!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
     @property
     def label(self) -> str:
@@ -105,6 +117,8 @@ class EngineSpec:
             parts.append(f"par{self.parallelism}")
         if self.fsync != "batch":
             parts.append(f"fsync-{self.fsync}")
+        if self.shards > 1:
+            parts.append(f"sh{self.shards}")
         return "-".join(parts)
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..engine import ExecutionMode, QueryOptions
 from ..index import SeriesDatabase
-from ..kinds import IndexKind
+from ..kinds import DistanceMode, IndexKind
 from ..reduction import REDUCERS
 from .spec import WORKLOAD_FAMILIES, TrialSpec
 
@@ -192,11 +192,133 @@ def run_pruning(trial: TrialSpec) -> "Dict[str, float]":
     return metrics
 
 
+# ----------------------------------------------------------------------
+# serving: sharded TCP scatter-gather under concurrent pipelined load
+# ----------------------------------------------------------------------
+#: reducers whose Dist_PAR is not a guaranteed lower bound; the serving
+#: workload runs them under DistanceMode.LB so sharded scatter-gather is
+#: provably bit-identical to the unsharded engine (the per-shard top-k
+#: union only covers the global top-k for exact configurations).
+_ADAPTIVE_METHODS = frozenset({"SAPLA", "APLA", "APCA"})
+
+
+def run_serving(trial: TrialSpec) -> "Dict[str, float]":
+    """Sharded ``repro serve`` throughput under pipelined loopback load.
+
+    Partitions the trial database into ``engine.shards`` round-robin shards
+    behind a :class:`repro.serving.ShardedEngine`, starts a loopback
+    :class:`repro.serving.ReproServer`, and drives ``scale.n_inflight``
+    single-query k-NN requests (0 = ``max(4 * n_queries, 64)``) pipelined
+    over a handful of connections so they are all in flight at once.
+
+    Metrics: ``serve_qps``, ``serve_p50/p99_ms`` (client-observed, queueing
+    included), ``inflight_peak`` (the server's accepted waiting+executing
+    high-water mark) and ``results_identical`` — every wire answer compared
+    bit-for-bit (ids *and* distances) against the unsharded engine's.
+    """
+    import asyncio
+
+    from ..serving import ReproServer, ServerConfig, ShardedEngine, encode_frame, read_frame
+
+    engine_spec = trial.engine
+    scale = trial.scale
+    data, queries = make_trial_data(trial)
+    reducer = REDUCERS[trial.reducer.method](n_coefficients=trial.reducer.coefficients)
+    index = None if trial.index_kind is IndexKind.NONE else trial.index_kind
+    mode = (
+        DistanceMode.LB if trial.reducer.method in _ADAPTIVE_METHODS else DistanceMode.PAR
+    )
+    db = SeriesDatabase(reducer, index=index, distance_mode=mode)
+    db.ingest(data, bulk=db.tree is not None)
+
+    options = QueryOptions(k=engine_spec.k, mode=engine_spec.mode)
+    reference = db.knn_batch(queries, options)
+    expected = [
+        ([int(i) for i in r.ids], [float(d) for d in r.distances])
+        for r in reference.results
+    ]
+
+    sharded = ShardedEngine.from_database(db, engine_spec.shards)
+    n_inflight = scale.n_inflight or max(4 * scale.n_queries, 64)
+    requests = [
+        {
+            "id": i,
+            "op": "knn",
+            "queries": queries[i % scale.n_queries][None, :].tolist(),
+            "k": engine_spec.k,
+            "mode": str(ExecutionMode(engine_spec.mode)),
+        }
+        for i in range(n_inflight)
+    ]
+    config = ServerConfig(queue_depth=n_inflight + 16)
+
+    async def _drive_connection(port: int, batch: "List[dict]") -> "List[tuple]":
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        samples: "List[tuple]" = []
+        try:
+            sent = {}
+            for frame in batch:
+                sent[frame["id"]] = time.perf_counter()
+                writer.write(encode_frame(frame))
+            await writer.drain()
+            for _ in batch:
+                reply = await read_frame(reader)
+                latency_ms = (time.perf_counter() - sent[reply["id"]]) * 1e3
+                samples.append((reply["id"], latency_ms, reply))
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        return samples
+
+    async def _drive() -> "tuple[float, List[tuple], int]":
+        server = ReproServer(sharded, config)
+        await server.start()
+        try:
+            n_conns = min(8, n_inflight)
+            batches = [requests[c::n_conns] for c in range(n_conns)]
+            started = time.perf_counter()
+            per_conn = await asyncio.gather(
+                *(_drive_connection(server.port, batch) for batch in batches)
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            await server.stop()
+        samples = [s for batch in per_conn for s in batch]
+        return elapsed, samples, server.peak_in_flight
+
+    elapsed, samples, peak = asyncio.run(_drive())
+    sharded.close()
+
+    identical = len(samples) == n_inflight
+    latencies_ms: "List[float]" = []
+    for rid, latency_ms, reply in samples:
+        latencies_ms.append(latency_ms)
+        want_ids, want_distances = expected[rid % scale.n_queries]
+        answer = reply.get("results", ({},))[0] if reply.get("ok") else {}
+        if answer.get("ids") != want_ids or answer.get("distances") != want_distances:
+            identical = False
+
+    metrics = {
+        "serve_qps": n_inflight / elapsed,
+        "inflight_peak": float(peak),
+        "results_identical": float(identical),
+    }
+    metrics.update(
+        {
+            f"serve_{k}_ms": v
+            for k, v in _percentiles(latencies_ms).items()
+            if k in ("p50", "p99")
+        }
+    )
+    return metrics
+
+
 #: family name -> implementation; keys mirror spec.WORKLOAD_FAMILIES
 WORKLOADS: "Dict[str, Callable[[TrialSpec], Dict[str, float]]]" = {
     "batch_knn": run_batch_knn,
     "ingest": run_ingest,
     "pruning": run_pruning,
+    "serving": run_serving,
 }
 assert tuple(WORKLOADS) == WORKLOAD_FAMILIES
 
@@ -205,6 +327,7 @@ _SUPPORTED_INDEXES = {
     "batch_knn": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
     "ingest": (IndexKind.DBCH, IndexKind.RTREE),
     "pruning": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
+    "serving": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
 }
 
 

@@ -26,7 +26,7 @@ import numpy as np
 
 from .. import obs
 from ..distance.euclidean import euclidean
-from ..distance.suite import QueryContext, make_suite
+from ..distance.suite import ADAPTIVE_METHODS, QueryContext, make_suite
 from ..kinds import DistanceMode, IndexKind, coerce_index_kind
 from ..lifecycle.snapshot import MutableDatabase
 from ..reduction.base import Reducer
@@ -414,7 +414,7 @@ class SeriesDatabase(MutableDatabase):
         if self._engine is None:
             from ..engine import QueryEngine
 
-            self._engine = QueryEngine(self)
+            self._engine = QueryEngine(self, _internal=True)
         return self._engine
 
     def cascade(self):
@@ -680,12 +680,16 @@ class SeriesDatabase(MutableDatabase):
                     hits.append((true, entry.series_id))
         else:
             use_node_tier = qc is not None and self.index_kind == IndexKind.DBCH
+            exact_nodes = self.node_bounds_exact
             frontier = _Frontier()
             frontier.push_node(self.node_distance(ctx, self.tree.root), self.tree.root)
             while frontier:
                 key, tick, kind, payload = frontier.pop()
                 if key > radius:
-                    break  # best-first: everything still queued is further out
+                    if exact_nodes:
+                        break  # best-first: everything still queued is further out
+                    if kind in ("entry", "uentry"):
+                        continue  # entry bounds stay exact; node keys are hints
                 if kind == "uentry":
                     frontier.reinsert(qc.refine(payload.representation), tick, "entry", payload)
                     continue
@@ -746,3 +750,17 @@ class SeriesDatabase(MutableDatabase):
             )
             return self.tree.node_distance(q_feature, self._weights, node)
         return self.tree.node_distance(ctx.representation, node)
+
+    @property
+    def node_bounds_exact(self) -> bool:
+        """Whether :meth:`node_distance` may *prune* subtrees, not just order them.
+
+        The R-tree's weighted feature MINDIST assumes every series shares the
+        query's segment layout; adaptive methods break that, so their node
+        distances are navigation hints only — pruning on them falsely
+        dismisses true neighbours (entry-level bounds stay exact and carry
+        all pruning instead).  See :mod:`repro.index.mbr`.
+        """
+        return not (
+            self.index_kind == IndexKind.RTREE and self.suite.method in ADAPTIVE_METHODS
+        )

@@ -10,6 +10,12 @@ and contribute nothing, so the R-tree behaves well; for adaptive methods the
 endpoints differ per series, the boxes of homogeneous datasets overlap
 heavily, and navigation degrades — the overlap problem of paper Sec. 5.2
 that the DBCH-tree is built to remove.
+
+For those adaptive methods the weighted MINDIST is *not* a lower bound of
+the true distance (the weights assume the query's segment layout), so the
+search layers treat it as a navigation hint only: it orders the frontier
+but never prunes a subtree (``SeriesDatabase.node_bounds_exact``); all
+pruning falls to the exact entry-level query bounds.
 """
 
 from __future__ import annotations

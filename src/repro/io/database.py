@@ -20,11 +20,11 @@ from __future__ import annotations
 import json
 import pathlib
 import shutil
-import warnings
 from typing import Union
 
 import numpy as np
 
+from .._deprecations import warn_once
 from ..index.knn import SeriesDatabase
 from ..kinds import DistanceMode, IndexKind
 from ..reduction import REDUCERS
@@ -177,20 +177,28 @@ def open_database(directory: PathLike, durability=None):
 
 
 def save_database(database: SeriesDatabase, directory: PathLike) -> None:
-    """Deprecated alias — use ``database.save(directory)``."""
-    warnings.warn(
+    """Deprecated alias — use ``database.save(directory)``.
+
+    Warns once per process (see :mod:`repro._deprecations`).
+    """
+    warn_once(
+        "save_database",
         "save_database is deprecated; use database.save(directory)",
-        DeprecationWarning,
-        stacklevel=2,
     )
-    save_series_database(database, directory)
+    database.save(directory)
 
 
 def load_database(directory: PathLike) -> SeriesDatabase:
-    """Deprecated alias — use :func:`open_database`."""
-    warnings.warn(
-        "load_database is deprecated; use repro.io.open_database(directory)",
-        DeprecationWarning,
-        stacklevel=2,
+    """Deprecated alias — use :func:`repro.client.connect` or :func:`open_database`.
+
+    Routes through the :mod:`repro.client` facade (so sharded homes resolve
+    too) and returns the backing database object.  Warns once per process.
+    """
+    from ..client import connect
+
+    warn_once(
+        "load_database",
+        "load_database is deprecated; use repro.client.connect(directory) "
+        "(or repro.io.open_database for engine-level access)",
     )
-    return open_database(directory)
+    return connect(directory).database

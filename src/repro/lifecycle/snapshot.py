@@ -63,6 +63,10 @@ class Snapshot:
     def index_kind(self):
         return self._db.index_kind
 
+    @property
+    def node_bounds_exact(self):
+        return self._db.node_bounds_exact
+
     def query_context(self, query):
         """Reduce ``query`` for the distance suite (stateless; delegated)."""
         return self._db.query_context(query)
@@ -87,6 +91,19 @@ class Snapshot:
         identical bytes.
         """
         return self._db.columns()
+
+    def engine(self):
+        """A :class:`repro.engine.QueryEngine` over this pinned view.
+
+        Cached on the snapshot for its lifetime; the engine reads the
+        pinned entry list/tree, so batches through it are stable even
+        while the owning database mutates.
+        """
+        if self._engine is None:
+            from ..engine import QueryEngine
+
+            self._engine = QueryEngine(self, _internal=True)
+        return self._engine
 
     # -- lifetime --------------------------------------------------------
     def release(self) -> None:

@@ -110,6 +110,17 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "compaction.runs": (COUNTER, "compaction passes executed"),
     "compaction.rows_dropped": (COUNTER, "tombstoned rows dropped by compaction"),
     "compaction.reclaimed_bytes": (COUNTER, "raw data bytes reclaimed by compaction"),
+    # ------------------------------------------------------------- serving
+    "server.requests": (COUNTER, "request frames dispatched by the TCP server"),
+    "server.shed": (COUNTER, "queries shed by admission control (queue full)"),
+    "server.errors": (COUNTER, "requests answered with an error envelope"),
+    "server.connections": (COUNTER, "TCP connections accepted by the server"),
+    "server.in_flight": (GAUGE, "accepted queries currently waiting or executing"),
+    "server.request_ms": (HISTOGRAM, "milliseconds from admission to response per query request"),
+    "shard.batches": (COUNTER, "scatter-gather batches executed by a sharded engine"),
+    "shard.queries": (COUNTER, "per-shard query executions (queries x shards searched)"),
+    "shard.count": (GAUGE, "shards behind the last scatter-gather batch"),
+    "shard.merge_ms": (HISTOGRAM, "milliseconds merging per-shard answers per batch"),
     # --------------------------------------------------------- experiments
     "experiments.trials": (COUNTER, "experiment trials executed by the runner"),
     "experiments.trials_skipped": (COUNTER, "matrix cells skipped as unsupported by their workload"),
@@ -118,6 +129,8 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "experiments.trial_wall_s": (HISTOGRAM, "wall seconds per recorded experiment trial"),
     # --------------------------------------------------------------- spans
     "cli.knn": (SPAN, "whole `repro knn` command"),
+    "cli.serve": (SPAN, "whole `repro serve` command (bind to shutdown)"),
+    "cli.shard": (SPAN, "whole `repro shard` command"),
     "cli.experiment": (SPAN, "whole `repro experiment` command"),
     "cli.ingest": (SPAN, "whole `repro ingest` command"),
     "cli.checkpoint": (SPAN, "whole `repro checkpoint` command"),

@@ -29,6 +29,20 @@ COMPATIBLE_SCHEMAS = frozenset({"repro.obs/1", SCHEMA_VERSION})
 PathLike = Union[str, pathlib.Path]
 
 
+def _ms_display(name: str) -> "tuple[str, float]":
+    """``(display name, scale)`` normalizing seconds-valued names to ms.
+
+    ``*_s``-suffixed duration names render as ``*_ms`` with values scaled
+    by 1000 so every duration in human-facing tables shares one unit;
+    ``*_per_s`` names are rates, not durations, and pass through.  Used by
+    :meth:`RunReport.summary_rows` and the experiment diff renderer —
+    stored metric names never change.
+    """
+    if name.endswith("_s") and not name.endswith("_per_s"):
+        return name[:-2] + "_ms", 1000.0
+    return name, 1.0
+
+
 @dataclass
 class RunReport:
     """One run's metrics, spans and free-form metadata."""
@@ -114,20 +128,31 @@ class RunReport:
 
     # ------------------------------------------------------------------
     def summary_rows(self) -> "List[Dict[str, object]]":
-        """Flat name/kind/value rows (the `repro stats` table), name-sorted."""
+        """Flat name/kind/value rows (the `repro stats` table), name-sorted.
+
+        Histogram *display* is unit-normalized: seconds-valued histograms
+        (``*_s`` names, excluding ``*_per_s`` rates) render in milliseconds
+        under a ``*_ms`` metric name, so every duration percentile in the
+        table reads in the same unit.  Stored names and values (and the
+        :meth:`trial_metrics` ingest contract) are untouched.
+        """
         rows: "List[Dict[str, object]]" = []
         for name, value in sorted(self.counters.items()):
             rows.append({"metric": name, "kind": "counter", "value": value})
         for name, value in sorted(self.gauges.items()):
             rows.append({"metric": name, "kind": "gauge", "value": round(value, 6)})
         for name, h in sorted(self.histograms.items()):
+            shown, scale = _ms_display(name)
             text = (
-                f"n={h['count']} mean={h['mean']:.4g} "
-                f"min={h['min']:.4g} max={h['max']:.4g}"
+                f"n={h['count']} mean={h['mean'] * scale:.4g} "
+                f"min={h['min'] * scale:.4g} max={h['max'] * scale:.4g}"
             )
             if "p50" in h:  # schema /1 reports predate the percentile keys
-                text += f" p50={h['p50']:.4g} p90={h['p90']:.4g} p99={h['p99']:.4g}"
-            rows.append({"metric": name, "kind": "histogram", "value": text})
+                text += (
+                    f" p50={h['p50'] * scale:.4g} p90={h['p90'] * scale:.4g}"
+                    f" p99={h['p99'] * scale:.4g}"
+                )
+            rows.append({"metric": shown, "kind": "histogram", "value": text})
         return rows
 
     # ------------------------------------------------------------------

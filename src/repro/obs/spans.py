@@ -8,10 +8,19 @@ count plus accumulated wall and CPU seconds) instead of appending, so a
 Disabled mode returns a shared no-op context manager — ``span(...)``
 allocates nothing per call, matching the registry's hot-path contract.
 Span names must be declared with kind ``span`` in :mod:`repro.obs.catalog`.
+
+The active-span stack is **thread-local**: spans opened on a worker thread
+(the serving layer runs queries on a pool) nest under that thread's own
+spans and root at the top level, never under whatever another thread
+happens to have open — a shared stack would chain thousands of concurrent
+queries into one pathologically deep tree.  Node creation is locked so
+concurrent first-use of a name cannot drop a subtree; the float
+accumulations themselves stay lock-free (best-effort, like the registry).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -92,9 +101,10 @@ class _LiveSpan:
 
     def __enter__(self) -> Span:
         rec = self._recorder
-        parent = rec._stack[-1]
-        self._node = parent.child(self._name)
-        rec._stack.append(self._node)
+        stack = rec._stack
+        with rec._child_lock:
+            self._node = stack[-1].child(self._name)
+        stack.append(self._node)
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
         return self._node
@@ -111,17 +121,32 @@ class _LiveSpan:
 
 
 class SpanRecorder:
-    """Owns one span tree plus the active-span stack."""
+    """Owns one span tree plus the per-thread active-span stacks."""
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self.root = Span("root")
-        self._stack: "List[Span]" = [self.root]
+        self._local = threading.local()
+        self._child_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> "List[Span]":
+        """This thread's active-span stack, rooted at the current tree.
+
+        A stack built before :meth:`reset` points at the old root and is
+        discarded on next touch, so stale threads cannot resurrect a
+        dropped tree.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None or stack[0] is not self.root:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
 
     def reset(self) -> None:
         """Drop the collected tree and any dangling stack state."""
         self.root = Span("root")
-        self._stack = [self.root]
+        self._local = threading.local()
 
     def span(self, name: str) -> "_LiveSpan | _NoopSpan":
         """A context manager timing ``name`` under the active span."""

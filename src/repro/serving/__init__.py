@@ -1,0 +1,29 @@
+"""Sharded serving: scatter-gather engines and the asyncio TCP server.
+
+The composition layer over the batched engine, bound cascade and
+durability machinery: :func:`partition_database` splits one collection
+into round-robin shards, :class:`ShardedEngine` answers queries across
+them with the single-engine tie-break (and per-shard WAL/checkpoint
+lifecycle), and :class:`ReproServer` puts the whole thing behind a TCP
+listener speaking length-prefixed JSON frames with admission control.
+
+Clients should not import this package directly — use
+:func:`repro.client.connect`, which returns the same typed surface for an
+in-process database, a sharded home directory, or a running server.
+"""
+
+from .protocol import FrameError, MAX_FRAME_BYTES, encode_frame, read_frame
+from .server import ReproServer, ServerConfig
+from .sharding import MANIFEST_FILENAME, ShardedEngine, partition_database
+
+__all__ = [
+    "FrameError",
+    "MANIFEST_FILENAME",
+    "MAX_FRAME_BYTES",
+    "ReproServer",
+    "ServerConfig",
+    "ShardedEngine",
+    "encode_frame",
+    "partition_database",
+    "read_frame",
+]

@@ -1,0 +1,274 @@
+"""Stdlib-only asyncio TCP server fronting a (sharded) query engine.
+
+:class:`ReproServer` accepts connections speaking the length-prefixed JSON
+protocol of :mod:`repro.serving.protocol`, admits each query under a
+two-stage admission controller, executes it on a thread pool (NumPy
+verification releases the GIL, so shard scatter and many requests overlap),
+and writes the response frame back — responses carry the request's ``id``,
+so clients may pipeline arbitrarily many requests per connection.
+
+**Admission control.**  ``max_in_flight`` bounds the queries *executing*
+concurrently; arrivals beyond it wait in an admission queue bounded by
+``queue_depth``; arrivals beyond *that* are shed immediately with an
+``overloaded`` error rather than queued into unbounded memory.  The
+accepted in-flight population (waiting + executing) is therefore capped at
+``max_in_flight + queue_depth``, and a loopback load test can hold well
+over 1000 queries in flight with the defaults.
+
+Everything is instrumented through :mod:`repro.obs`: ``server.*`` counters
+(requests, sheds, errors, connections), the ``server.in_flight`` gauge and
+the ``server.request_ms`` latency histogram, whose p50/p99 render through
+``repro stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import obs
+from ..client.api import KnnRequest, RangeRequest, QueryResult
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+)
+
+__all__ = ["ServerConfig", "ReproServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Validated, immutable configuration for one :class:`ReproServer`.
+
+    Args:
+        host: interface to bind (loopback by default).
+        port: TCP port; 0 picks a free one (read it back from
+            :attr:`ReproServer.port` after start).
+        max_in_flight: queries executing concurrently on the thread pool.
+        queue_depth: admitted queries allowed to *wait* for an execution
+            slot; arrivals beyond this are shed with an ``overloaded``
+            error.
+        workers: thread-pool size for query execution (defaults to
+            ``max_in_flight``).
+        max_frame_bytes: per-frame size cap for both directions.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_in_flight: int = 64
+    queue_depth: int = 2048
+    workers: "Optional[int]" = None
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self):
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None)")
+
+
+class ReproServer:
+    """One engine behind one TCP listener — start, serve, stop.
+
+    ``engine`` is anything with the engine query surface (``knn_batch`` +
+    ``range_query``): a :class:`repro.index.SeriesDatabase`, a
+    :class:`repro.storage.DiskBackedDatabase` or a
+    :class:`repro.serving.ShardedEngine`.  The server never mutates it.
+    """
+
+    def __init__(self, engine, config: "Optional[ServerConfig]" = None):
+        self.engine = engine
+        self.config = config if config is not None else ServerConfig()
+        self.port: "Optional[int]" = None
+        self.peak_in_flight = 0
+        self._server: "Optional[asyncio.base_events.Server]" = None
+        self._executor: "Optional[ThreadPoolExecutor]" = None
+        self._slots: "Optional[asyncio.Semaphore]" = None
+        self._waiting = 0
+        self._executing = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and create the execution pool."""
+        workers = self.config.workers or self.config.max_in_flight
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._slots = asyncio.Semaphore(self.config.max_in_flight)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``repro serve`` wraps this)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener and shut the execution pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted queries currently waiting or executing."""
+        return self._waiting + self._executing
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        """Read frames for one connection; each request runs as its own task."""
+        if obs.is_enabled():
+            obs.count("server.connections")
+        write_lock = asyncio.Lock()
+        tasks: "set[asyncio.Task]" = set()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader, self.config.max_frame_bytes)
+                except FrameError:
+                    break  # protocol violation: drop the connection
+                if frame is None:
+                    break
+                task = asyncio.ensure_future(
+                    self._handle_request(frame, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass  # loop teardown: the connection dies with the server
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _reply(self, writer, lock: asyncio.Lock, message: dict) -> None:
+        frame = encode_frame(message, self.config.max_frame_bytes)
+        async with lock:
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to deliver to
+
+    def _note_in_flight(self) -> None:
+        population = self.in_flight
+        if population > self.peak_in_flight:
+            self.peak_in_flight = population
+        if obs.is_enabled():
+            obs.gauge_set("server.in_flight", population)
+
+    async def _handle_request(self, frame: dict, writer, lock: asyncio.Lock) -> None:
+        """Dispatch one request frame and write its response."""
+        rid = frame.get("id")
+        op = frame.get("op")
+        if obs.is_enabled():
+            obs.count("server.requests")
+        if op == "ping":
+            await self._reply(writer, lock, ok_response(rid, op, {"pong": True}))
+            return
+        if op == "stats":
+            await self._reply(writer, lock, ok_response(rid, op, self._stats_body()))
+            return
+        if op not in ("knn", "range"):
+            if obs.is_enabled():
+                obs.count("server.errors")
+            await self._reply(
+                writer, lock, error_response(rid, "bad_request", f"unknown op {op!r}")
+            )
+            return
+        # two-stage admission: bounded executing + bounded waiting, then shed
+        if self._waiting >= self.config.queue_depth:
+            if obs.is_enabled():
+                obs.count("server.shed")
+            await self._reply(
+                writer,
+                lock,
+                error_response(rid, "overloaded", "admission queue is full; retry later"),
+            )
+            return
+        start = time.perf_counter()
+        self._waiting += 1
+        self._note_in_flight()
+        await self._slots.acquire()
+        self._waiting -= 1
+        self._executing += 1
+        try:
+            body = await self._execute(op, frame)
+            message = ok_response(rid, op, body)
+        except (ValueError, KeyError, TypeError, RuntimeError, FrameError) as exc:
+            if obs.is_enabled():
+                obs.count("server.errors")
+            message = error_response(rid, "bad_request", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            if obs.is_enabled():
+                obs.count("server.errors")
+            message = error_response(rid, "internal", str(exc))
+        finally:
+            self._executing -= 1
+            self._slots.release()
+            self._note_in_flight()
+            if obs.is_enabled():
+                obs.observe(
+                    "server.request_ms", (time.perf_counter() - start) * 1000.0
+                )
+        await self._reply(writer, lock, message)
+
+    async def _execute(self, op: str, frame: dict) -> dict:
+        """Run one admitted query on the thread pool; returns the reply body."""
+        loop = asyncio.get_event_loop()
+        if op == "knn":
+            request = KnnRequest.from_payload(frame)
+            batch = await loop.run_in_executor(
+                self._executor,
+                self.engine.knn_batch,
+                request.queries,
+                request.options(),
+            )
+            return {
+                "results": [r.to_payload() for r in QueryResult.from_batch(batch)],
+                "elapsed_s": batch.elapsed_s,
+            }
+        request = RangeRequest.from_payload(frame)
+        result = await loop.run_in_executor(
+            self._executor, self.engine.range_query, request.query, request.radius
+        )
+        generation = getattr(self.engine, "generation", None)
+        return {
+            "result": QueryResult.from_knn(result, generation=generation).to_payload()
+        }
+
+    def _stats_body(self) -> dict:
+        """The ``stats`` op body: server state + a metrics snapshot."""
+        body = {
+            "server": {
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "max_in_flight": self.config.max_in_flight,
+                "queue_depth": self.config.queue_depth,
+                "shards": getattr(self.engine, "n_shards", 1),
+            }
+        }
+        if obs.is_enabled():
+            body["stats"] = obs.RunReport.collect(meta={"source": "repro.serving"}).to_dict()
+        return body

@@ -43,7 +43,7 @@ class TestValidation:
     def test_non_2d_queries_rejected(self):
         db, data = build()
         with pytest.raises(ValueError):
-            QueryEngine(db).knn_batch(data[0], QueryOptions(k=1))
+            db.engine().knn_batch(data[0], QueryOptions(k=1))
 
     def test_default_options_are_k1(self):
         db, data = build()

@@ -92,6 +92,27 @@ def test_lower_bounding_configs_match_linear_scan(name, mode, index):
         assert_same(result, linear_scan(data, query, 4))
 
 
+@pytest.mark.parametrize("name", ["SAPLA", "APLA", "APCA"])
+def test_adaptive_rtree_node_mindist_never_dismisses(name):
+    """Regression: the R-tree's feature MINDIST is not a lower bound for
+    adaptive layouts, so it must only order the walk — pruning on it falsely
+    dismissed a true neighbour on exactly this dataset (found by the sharded
+    equivalence property; APLA/LB, k=3)."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(22, 48)).cumsum(axis=1)
+    qrng = np.random.default_rng(1)
+    queries = data[qrng.integers(0, len(data), size=3)]
+    queries = queries + qrng.normal(scale=0.05, size=queries.shape)
+    db = build(name, IndexKind.RTREE, DistanceMode.LB, data)
+    assert not db.node_bounds_exact
+    batched = db.knn_batch(queries, QueryOptions(k=3))
+    for query, result in zip(queries, batched.results):
+        assert_same(result, linear_scan(data, query, 3))
+    flat = build(name, None, DistanceMode.LB, data)
+    for query in queries:
+        assert_same(db.range_query(query, 12.0), flat.range_query(query, 12.0))
+
+
 @pytest.mark.parametrize("index", INDEXES, ids=["scan", "dbch", "rtree"])
 def test_k_larger_than_count_returns_everything(index):
     data = dataset(count=6)
@@ -278,7 +299,7 @@ class TestPropertyEquivalence:
 def test_engine_is_reusable_across_batches():
     data = dataset()
     db = build("PAA", None, DistanceMode.PAR, data)
-    engine = QueryEngine(db)
+    engine = db.engine()
     first = engine.knn_batch(data[:2], QueryOptions(k=3))
     second = engine.knn_batch(data[2:4], QueryOptions(k=3))
     for query, result in zip(data[:2], first.results):

@@ -92,3 +92,40 @@ class TestDiffCells:
         assert by[("batch_knn|tiny|PAA-4|none|k2-auto", "latency_p50_ms")]["verdict"] == "FAIL"
         assert by[("batch_knn|tiny|PAA-4|none|k2-auto", "speedup")]["verdict"] == "ok"
         assert by[("new|cell", "latency_p50_ms")]["verdict"] == "new"
+
+
+class TestUnitNormalizedDisplay:
+    """Diff output reads in ms even when the stored metric is seconds."""
+
+    def test_seconds_metric_displays_as_ms(self):
+        spec = spec_with(GateRule("trial_wall_s", 10.0, "increase"))
+        rows = diff_cells(spec, [cell(trial_wall_s=0.5)], [cell(trial_wall_s=0.6)])
+        (row,) = rows
+        assert row["metric"] == "trial_wall_ms"
+        assert row["baseline"] == pytest.approx(500.0)
+        assert row["current"] == pytest.approx(600.0)
+        # the verdict is computed on percent change, which scaling can't move
+        assert row["change_pct"] == pytest.approx(20.0)
+        assert row["verdict"] == "FAIL"
+
+    def test_rate_metric_is_not_scaled(self):
+        spec = spec_with(GateRule("inserts_per_s", 10.0, "decrease"))
+        rows = diff_cells(
+            spec, [cell(inserts_per_s=100.0)], [cell(inserts_per_s=95.0)]
+        )
+        (row,) = rows
+        assert row["metric"] == "inserts_per_s"
+        assert row["baseline"] == pytest.approx(100.0)
+        assert row["current"] == pytest.approx(95.0)
+        assert row["verdict"] == "ok"
+
+    def test_violation_describe_uses_ms(self):
+        spec = spec_with(GateRule("trial_wall_s", 10.0, "increase"))
+        violations = evaluate_gates(
+            spec, [cell(trial_wall_s=0.5)], [cell(trial_wall_s=0.6)]
+        )
+        (violation,) = violations
+        text = violation.describe()
+        assert "trial_wall_ms" in text
+        assert "500 -> 600" in text
+        assert "+20.0%" in text

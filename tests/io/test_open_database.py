@@ -79,6 +79,13 @@ class TestUnifiedRoundTrip:
 
 
 class TestDeprecatedAliases:
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        """The aliases warn once per process; forget earlier tests' calls."""
+        from repro._deprecations import reset_warned
+
+        reset_warned()
+
     def test_save_database_warns_and_works(self, tmp_path):
         db = SeriesDatabase(PAA(6), index=None)
         db.ingest(dataset())

@@ -84,9 +84,9 @@ class TestSnapshotPinning:
         near_duplicate = db.data[before.ids[0]] + 1e-9
         db.insert(near_duplicate)
         # a fresh query through the pinned view sees the old entry set
-        from repro.engine import QueryEngine, QueryOptions
+        from repro.engine import QueryOptions
 
-        pinned_result = QueryEngine(snap).knn_batch(q[None, :], QueryOptions(k=5))
+        pinned_result = snap.engine().knn_batch(q[None, :], QueryOptions(k=5))
         assert pinned_result.results[0].ids == before.ids
         snap.release()
         after = db.knn(q, 5)

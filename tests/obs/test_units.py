@@ -1,0 +1,76 @@
+"""Duration display is milliseconds everywhere — pin the ``_s`` -> ``_ms`` rule.
+
+``repro stats`` and ``repro experiment diff`` used to mix raw-seconds and
+milliseconds rows in one table.  The fix is display-only: ``*_s`` duration
+names render as ``*_ms`` scaled by 1000, ``*_per_s`` rates and ``*_ms``
+names pass through, and stored report payloads never change.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import _ms_display
+from repro.obs.spans import SpanRecorder
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    prev_reg = obs.set_registry(MetricsRegistry(enabled=False))
+    prev_rec = obs.set_recorder(SpanRecorder(enabled=False))
+    yield
+    obs.set_registry(prev_reg)
+    obs.set_recorder(prev_rec)
+
+
+class TestMsDisplay:
+    def test_seconds_names_scale_to_ms(self):
+        assert _ms_display("experiments.trial_wall_s") == (
+            "experiments.trial_wall_ms",
+            1000.0,
+        )
+
+    def test_rates_are_not_durations(self):
+        assert _ms_display("inserts_per_s") == ("inserts_per_s", 1.0)
+
+    def test_ms_names_pass_through(self):
+        assert _ms_display("server.request_ms") == ("server.request_ms", 1.0)
+        assert _ms_display("latency_p50_ms") == ("latency_p50_ms", 1.0)
+
+    def test_non_duration_names_pass_through(self):
+        assert _ms_display("knn.queries") == ("knn.queries", 1.0)
+
+
+class TestSummaryRows:
+    def sample_report(self):
+        with obs.capture() as session:
+            obs.observe("experiments.trial_wall_s", 0.25)
+            obs.observe("experiments.trial_wall_s", 0.75)
+            obs.observe("server.request_ms", 3.0)
+        return session.report()
+
+    def rows_by_metric(self, report):
+        return {row["metric"]: row for row in report.summary_rows()}
+
+    def test_seconds_histogram_renders_as_ms(self):
+        rows = self.rows_by_metric(self.sample_report())
+        assert "experiments.trial_wall_s" not in rows
+        row = rows["experiments.trial_wall_ms"]
+        assert row["kind"] == "histogram"
+        assert "mean=500" in row["value"]
+        assert "max=750" in row["value"]
+
+    def test_ms_histogram_is_untouched(self):
+        rows = self.rows_by_metric(self.sample_report())
+        assert "mean=3" in rows["server.request_ms"]["value"]
+
+    def test_stored_payload_keeps_seconds(self):
+        # the normalization is display-only: round-tripped reports still
+        # carry the catalogued ``_s`` name with raw-seconds values
+        report = self.sample_report()
+        payload = report.to_dict()
+        hist = payload["histograms"]["experiments.trial_wall_s"]
+        assert hist["mean"] == pytest.approx(0.5)
+        assert "experiments.trial_wall_ms" not in payload["histograms"]
