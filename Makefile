@@ -1,7 +1,8 @@
 # Convenience targets for the SAPLA reproduction.
 
 .PHONY: install test bench bench-full examples results clean verify-obs verify-engine \
-	verify-lifecycle verify-experiments verify-cascade verify-serving crash-matrix baseline
+	verify-lifecycle verify-experiments verify-cascade verify-serving verify-continuous \
+	crash-matrix baseline
 
 install:
 	pip install -e . || python setup.py develop
@@ -68,6 +69,18 @@ verify-serving:
 	PYTHONPATH=src pytest tests/serving tests/client -q
 	PYTHONPATH=src python scripts/serve_loadtest.py --report /tmp/repro-serve-loadtest.json
 	PYTHONPATH=src python -m repro stats --report /tmp/repro-serve-loadtest.json
+
+# continuous-query subsystem: lint + its tests, then the subscription load
+# test (>= 100 standing subscriptions over streaming ingest, pushed
+# frontiers bit-identical to scratch re-runs) whose insert-to-notify
+# latency report is committed and rendered through repro stats
+verify-continuous:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/continuous -q
+	PYTHONPATH=src python scripts/continuous_loadtest.py \
+		--report benchmarks/results/continuous_loadtest.report.json
+	PYTHONPATH=src python -m repro stats \
+		--report benchmarks/results/continuous_loadtest.report.json
 
 # regenerate the committed perf baseline: BENCH_medium.json at the repo
 # root plus a JSON export of the results store

@@ -1,0 +1,77 @@
+"""Micro-bench — StreamingSAPLA bulk ``extend`` vs point-at-a-time ``append``.
+
+PR 9 added an amortised merge-selection cache (adjacent-pair Reconstruction
+Areas and merged fits are kept in lockstep with the closed list, so each
+merge recomputes two neighbours instead of re-deriving every pair) and a
+bulk ``extend`` path that validates the whole chunk once.  This bench proves
+the bulk path is faster than the historical per-point loop *and* that both
+produce bit-identical segmentations.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import StreamingSAPLA
+
+from conftest import publish_table
+
+
+def _segments(stream: StreamingSAPLA):
+    return [(s.start, s.end, s.a, s.b) for s in stream.representation.segments]
+
+
+def _per_point_baseline(series, budget: int) -> "tuple[float, StreamingSAPLA]":
+    """The historical ingestion loop: one validated ``append`` per point."""
+    stream = StreamingSAPLA(max_segments=budget)
+    started = time.process_time()
+    for value in series:
+        stream.append(value)
+    return time.process_time() - started, stream
+
+
+def _bulk(series, budget: int) -> "tuple[float, StreamingSAPLA]":
+    stream = StreamingSAPLA(max_segments=budget)
+    started = time.process_time()
+    stream.extend(series)
+    return time.process_time() - started, stream
+
+
+def test_bulk_extend_speed_and_equivalence(benchmark, bench_report):
+    rng = np.random.default_rng(11)
+    rows = []
+    with bench_report("streaming_extend", rows=rows):
+        for n, budget in ((2000, 8), (8000, 8), (8000, 32)):
+            series = rng.normal(size=n).cumsum()
+            # warm both paths once so the comparison excludes import costs
+            _bulk(series[:256], budget)
+            t_point, via_append = _per_point_baseline(series, budget)
+            t_bulk, via_extend = _bulk(series, budget)
+            assert _segments(via_append) == _segments(via_extend)
+            rows.append(
+                {
+                    "n": n,
+                    "budget": budget,
+                    "append_pts_per_s": n / max(t_point, 1e-9),
+                    "extend_pts_per_s": n / max(t_bulk, 1e-9),
+                    "speedup": max(t_point, 1e-9) / max(t_bulk, 1e-9),
+                }
+            )
+    publish_table(
+        "streaming_extend",
+        "Extension — bulk StreamingSAPLA.extend vs per-point append",
+        rows,
+    )
+    # the bulk path must not lose to the per-point loop (allowing scheduler
+    # noise on the smallest chunk); the medians in the committed report show
+    # the real margin
+    assert max(row["speedup"] for row in rows) > 1.0
+
+    chunk = rng.normal(size=4000).cumsum()
+
+    def feed():
+        stream = StreamingSAPLA(max_segments=16)
+        stream.extend(chunk)
+        return stream.n_segments
+
+    benchmark(feed)

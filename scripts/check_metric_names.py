@@ -12,11 +12,12 @@ reported only with ``--strict`` (dynamic selection is expected to go
 through catalogued tables like ``PRUNED_METRICS``).
 
 The reverse direction is linted for the experiment service's, bound
-cascade's, verification filter's, batched-storage and serving namespaces:
-every ``experiments.*`` / ``cascade.*`` / ``verify.*`` / ``pages.*`` /
-``columns.*`` / ``server.*`` / ``shard.*`` name declared in the catalogue
-must be *used* by at least one literal call site, so the catalogue cannot
-accumulate dead metrics.
+cascade's, verification filter's, batched-storage, serving and continuous
+namespaces: every ``experiments.*`` / ``cascade.*`` / ``verify.*`` /
+``pages.*`` / ``columns.*`` / ``server.*`` / ``shard.*`` /
+``continuous.*`` name declared in the catalogue must be *used* by at
+least one literal call site, so the catalogue cannot accumulate dead
+metrics.
 
 Exit status 0 = clean, 1 = violations found.  Run from the repo root:
 
@@ -118,6 +119,7 @@ def main() -> int:
         "columns.",
         "server.",
         "shard.",
+        "continuous.",
     )
     for name in sorted(CATALOG):
         if name.startswith(reverse_prefixes) and name not in used:

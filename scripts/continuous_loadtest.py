@@ -1,0 +1,338 @@
+"""Loopback subscription load test: >= 100 standing queries, bit-identical.
+
+Builds a synthetic database, starts a loopback
+:class:`repro.serving.ReproServer`, registers ``--subscriptions`` standing
+queries (a 3:1 mix of k-NN and range watches) on one subscriber
+connection, then streams ``--inserts`` rows — every other one a noisy copy
+of a watch query, so deltas are guaranteed — and ``--deletes`` tombstones
+through a second connection.  Push frames are read concurrently the whole
+time; each one's insert-to-notify latency is the gap between writing the
+mutation frame and reading the push frame it produced, matched by the
+``generation`` both the mutation response and the notification carry.
+
+The run fails (exit 1) unless
+
+* at least ``--min-subscriptions`` subscriptions are live end to end
+  (100 by default, the acceptance bar),
+* every subscription's final pushed frontier is bit-identical — ids *and*
+  distances — to re-running its query from scratch on a fresh engine fed
+  the same mutations, and
+* at least one delta push was observed per mutation phase.
+
+``--report`` writes the captured :class:`repro.obs.RunReport` (the
+``continuous.notify_ms`` histogram plus the client-observed
+``notify_p50_ms``/``notify_p99_ms`` in the meta) which the Makefile
+renders through ``repro stats --report``.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/continuous_loadtest.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import struct
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.continuous import KnnWatch, RangeWatch  # noqa: E402
+from repro.engine import QueryOptions  # noqa: E402
+from repro.index import SeriesDatabase  # noqa: E402
+from repro.reduction import REDUCERS  # noqa: E402
+from repro.serving import (  # noqa: E402
+    ReproServer,
+    ServerConfig,
+    ShardedEngine,
+    encode_frame,
+    read_frame,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--series", type=int, default=256, help="database rows")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--queries", type=int, default=32, help="distinct watch queries")
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--subscriptions", type=int, default=128)
+    parser.add_argument(
+        "--min-subscriptions", type=int, default=100,
+        help="required live standing subscriptions",
+    )
+    parser.add_argument("--inserts", type=int, default=80, help="rows streamed in")
+    parser.add_argument(
+        "--deletes", type=int, default=10,
+        help="streamed rows tombstoned again after the inserts",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--report", default=None, metavar="OUT.json")
+    return parser.parse_args()
+
+
+def _build_engine(args, data):
+    db = SeriesDatabase(REDUCERS["PAA"](n_coefficients=12), index=None)
+    db.ingest(data)
+    if args.shards > 1:
+        return ShardedEngine.from_database(db, args.shards)
+    return db
+
+
+def _gen_key(generation):
+    return tuple(generation) if isinstance(generation, list) else generation
+
+
+def _watches(args, queries, radii):
+    """The subscription mix: every 4th one a range watch, the rest k-NN."""
+    watches = []
+    for i in range(args.subscriptions):
+        q = queries[i % args.queries]
+        if i % 4 == 3:
+            watches.append(RangeWatch(query=q, radius=radii[i % args.queries]))
+        else:
+            watches.append(KnnWatch(query=q, k=args.k))
+    return watches
+
+
+async def _drive(args, engine, watches, stream, delete_plan, received, gen_t0):
+    """Subscribe, mutate, listen; returns (sids, deleted gids, mutate seconds)."""
+    config = ServerConfig(
+        queue_depth=args.subscriptions + args.inserts + args.deletes + 64,
+        notify_queue=args.inserts + args.deletes + 8,
+    )
+    server = ReproServer(engine, config)
+    await server.start()
+    try:
+        sub_reader, sub_writer = await asyncio.open_connection("127.0.0.1", server.port)
+        mut_reader, mut_writer = await asyncio.open_connection("127.0.0.1", server.port)
+        try:
+            for i, watch in enumerate(watches):
+                sub_writer.write(
+                    encode_frame({"id": i, "op": "subscribe", "query": watch.to_payload()})
+                )
+            await sub_writer.drain()
+            sids_by_rid = {}
+            while len(sids_by_rid) < len(watches) or len(received) < len(watches):
+                frame = await read_frame(sub_reader)
+                if frame.get("op") == "notify":
+                    received.append((time.perf_counter(), frame["notification"]))
+                elif not frame.get("ok"):
+                    raise RuntimeError(f"subscribe failed: {frame}")
+                else:
+                    sids_by_rid[frame["id"]] = str(frame["subscription_id"])
+            sids = [sids_by_rid[i] for i in range(len(watches))]
+
+            done = asyncio.Event()
+            inserted_gids = []
+            deleted_gids = []
+            timings = {}
+
+            async def _mutate():
+                started = time.perf_counter()
+                for i, row in enumerate(stream):
+                    t0 = time.perf_counter()
+                    mut_writer.write(
+                        encode_frame({"id": i, "op": "insert", "series": row.tolist()})
+                    )
+                    await mut_writer.drain()
+                    reply = await read_frame(mut_reader)
+                    inserted_gids.append(int(reply["series_id"]))
+                    gen_t0[_gen_key(reply["generation"])] = t0
+                for j, victim_index in enumerate(delete_plan):
+                    gid = inserted_gids[victim_index]
+                    t0 = time.perf_counter()
+                    mut_writer.write(
+                        encode_frame(
+                            {"id": len(stream) + j, "op": "delete", "series_id": gid}
+                        )
+                    )
+                    await mut_writer.drain()
+                    reply = await read_frame(mut_reader)
+                    if reply.get("deleted"):
+                        deleted_gids.append(gid)
+                        gen_t0[_gen_key(reply["generation"])] = t0
+                timings["mutate_s"] = time.perf_counter() - started
+                done.set()
+
+            async def _listen():
+                # cancellation-safe framing: buffer raw bytes ourselves so a
+                # timed-out read never strands half a frame
+                buffer = bytearray()
+                quiet = 0
+                while True:
+                    try:
+                        chunk = await asyncio.wait_for(
+                            sub_reader.read(1 << 16), timeout=0.5
+                        )
+                    except asyncio.TimeoutError:
+                        if done.is_set() and not buffer:
+                            quiet += 1
+                            if quiet >= 2:
+                                return
+                        continue
+                    if not chunk:
+                        return
+                    quiet = 0
+                    buffer.extend(chunk)
+                    while len(buffer) >= 4:
+                        (length,) = struct.unpack(">I", bytes(buffer[:4]))
+                        if len(buffer) < 4 + length:
+                            break
+                        body = bytes(buffer[4 : 4 + length])
+                        del buffer[: 4 + length]
+                        frame = json.loads(body.decode("utf-8"))
+                        if frame.get("op") == "notify":
+                            received.append((time.perf_counter(), frame["notification"]))
+
+            await asyncio.gather(_mutate(), _listen())
+            return sids, deleted_gids, timings["mutate_s"]
+        finally:
+            for writer in (sub_writer, mut_writer):
+                writer.close()
+                await writer.wait_closed()
+    finally:
+        await server.stop()
+
+
+def main() -> int:
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
+    data = rng.normal(size=(args.series, args.length)).cumsum(axis=1)
+    picks = rng.integers(0, args.series, size=args.queries)
+    queries = data[picks] + rng.normal(scale=0.05, size=(args.queries, args.length))
+
+    # range radii: just past each query's current 4th neighbour, so the
+    # near-duplicate inserts below are guaranteed to join the result set
+    reference = SeriesDatabase(REDUCERS["PAA"](n_coefficients=12), index=None)
+    reference.ingest(data)
+    radii = [
+        float(r.distances[-1]) + 0.5
+        for r in reference.knn_batch(queries, QueryOptions(k=4)).results
+    ]
+
+    n_inserts = args.inserts
+    rng = np.random.default_rng(args.seed + 1)
+    wild = rng.normal(size=(n_inserts, args.length)).cumsum(axis=1)
+    near_picks = rng.integers(0, args.queries, size=n_inserts)
+    near = queries[near_picks] + rng.normal(scale=0.05, size=(n_inserts, args.length))
+    stream = np.where((np.arange(n_inserts) % 2 == 0)[:, None], near, wild)
+    delete_plan = list(range(0, n_inserts, max(n_inserts // max(args.deletes, 1), 1)))[
+        : args.deletes
+    ]
+
+    watches = _watches(args, queries, radii)
+    received: list = []
+    gen_t0: dict = {}
+
+    with obs.capture() as session:
+        engine = _build_engine(args, data)
+        sids, deleted_gids, mutate_s = asyncio.run(
+            _drive(args, engine, watches, stream, delete_plan, received, gen_t0)
+        )
+        closer = getattr(engine, "close", None)
+        if callable(closer):
+            closer()
+
+    # client-observed insert-to-notify latency + final pushed frontiers
+    latencies = []
+    state: dict = {}
+    for recv_t, note in received:
+        sid = note["subscription_id"]
+        if sid not in state or note["seq"] > state[sid][0]:
+            state[sid] = (note["seq"], note)
+        t0 = gen_t0.get(_gen_key(note.get("generation")))
+        if t0 is not None:
+            latencies.append((recv_t - t0) * 1e3)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2] if latencies else float("nan")
+    p99 = (
+        latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+        if latencies
+        else float("nan")
+    )
+
+    report = session.report(
+        meta={
+            "command": "continuous_loadtest",
+            "subscriptions": len(sids),
+            "inserts": n_inserts,
+            "deletes": len(deleted_gids),
+            "shards": args.shards,
+            "delta_pushes": len(latencies),
+            "notify_p50_ms": round(p50, 3),
+            "notify_p99_ms": round(p99, 3),
+        }
+    )
+    if args.report:
+        report.save(args.report)
+
+    # scratch verification: a fresh engine fed the same mutations must
+    # answer every watch identically to its final pushed frontier
+    scratch = _build_engine(args, data)
+    replayed = [int(scratch.insert(row)) for row in stream]
+    for gid in deleted_gids:
+        scratch.delete(gid)
+    mismatches = 0
+    for i, watch in enumerate(watches):
+        note = state.get(sids[i], (0, None))[1]
+        if note is None:
+            mismatches += 1
+            continue
+        if isinstance(watch, KnnWatch):
+            result = scratch.knn_batch(
+                np.asarray([watch.query]), QueryOptions(k=watch.k)
+            ).results[0]
+        else:
+            result = scratch.range_query(watch.query, watch.radius)
+        want_ids = [int(g) for g in result.ids]
+        want_distances = [float(d) for d in result.distances]
+        if note["ids"] != want_ids or note["distances"] != want_distances:
+            mismatches += 1
+    closer = getattr(scratch, "close", None)
+    if callable(closer):
+        closer()
+
+    print(
+        f"{len(sids)} standing subscriptions over {n_inserts} inserts + "
+        f"{len(deleted_gids)} deletes in {mutate_s:.2f}s "
+        f"({(n_inserts + len(deleted_gids)) / mutate_s:.0f} mutations/s, "
+        f"{args.shards} shard(s)); {len(latencies)} delta pushes, "
+        f"insert-to-notify p50 {p50:.1f} ms, p99 {p99:.1f} ms"
+    )
+
+    failures = []
+    if len(sids) < args.min_subscriptions:
+        failures.append(
+            f"only {len(sids)} subscriptions < required {args.min_subscriptions}"
+        )
+    if set(deleted_gids) - set(replayed):
+        failures.append("scratch replay assigned different ids than the server")
+    if not latencies:
+        failures.append("no delta pushes observed")
+    if mismatches:
+        failures.append(
+            f"{mismatches} subscriptions' final frontiers differ from scratch re-runs"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: sustained >= {args.min_subscriptions} standing subscriptions "
+        "with bit-identical pushed frontiers"
+    )
+    if args.report:
+        print(f"wrote {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

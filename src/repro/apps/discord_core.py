@@ -1,0 +1,68 @@
+"""The windowed nearest-neighbour core shared by discord search paths.
+
+Both the batch discord scan (:func:`repro.apps.find_discord`) and the
+online scorer (:class:`repro.continuous.OnlineDiscordScorer`) answer the
+same inner question: given one candidate window, how far away is its
+nearest *non-overlapping* neighbour?  The HOT-SAX-shaped answer lives
+here once — order the neighbours by a cheap lower bound, verify true
+distances in that order, stop the scan as soon as the next bound cannot
+beat the running minimum, and (optionally) abandon the candidate early
+once its minimum falls under a caller-supplied threshold.
+
+Soundness requires the caller's bounds to *lower-bound* the true
+distance: the batch path uses the aligned representation-space distance
+(a true lower bound for equal-budget PAA-family reductions), while the
+online scorer derives a triangle-inequality bound from StreamingSAPLA
+reconstructions and their residuals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["nearest_nonoverlapping"]
+
+
+def nearest_nonoverlapping(
+    candidates: "Sequence[Tuple[float, int]]",
+    verify: "Callable[[int], float]",
+    stop_at: "float | None" = None,
+) -> "Tuple[float, int, int]":
+    """One candidate window's nearest-neighbour scan over ordered bounds.
+
+    Args:
+        candidates: ``(lower_bound, neighbour_key)`` pairs.  They are
+            sorted here (ascending bound, key breaking ties) so true
+            neighbours are verified first and the bound cut-off triggers
+            as early as possible.
+        verify: maps a neighbour key to the true distance (one raw
+            distance computation; the expensive call being minimised).
+        stop_at: optional early-abandon threshold — once the running
+            minimum is ``<= stop_at`` the candidate can no longer matter
+            to the caller (it cannot beat the best discord so far / it
+            is already under the alert threshold), so the scan stops.
+
+    Returns:
+        ``(nn, nn_key, n_verified)`` — the nearest true distance found
+        (exact unless the scan abandoned via ``stop_at``), the neighbour
+        key it belongs to, and how many verifications were spent.
+        ``(inf, -1, 0)`` when there are no candidates.
+    """
+    ordered = sorted(candidates)
+    if not ordered:
+        return float("inf"), -1, 0
+    nn = np.inf
+    nn_key = ordered[0][1]
+    verified = 0
+    for bound, key in ordered:
+        if bound >= nn:
+            break  # no closer neighbour can exist below this bound
+        true = float(verify(key))
+        verified += 1
+        if true < nn:
+            nn, nn_key = true, key
+        if stop_at is not None and nn <= stop_at:
+            break  # the candidate can no longer matter to the caller
+    return float(nn), int(nn_key), verified

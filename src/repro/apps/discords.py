@@ -3,10 +3,13 @@
 The time series *discord* is the window whose nearest non-overlapping
 neighbour is farthest away — the classic anomaly-detection formulation the
 paper's introduction cites.  The search is HOT-SAX-shaped: an outer loop over
-candidate windows, an inner nearest-neighbour scan ordered by the cheap
-representation-space distance, with two early exits (abandon a candidate as
-soon as any neighbour lands under the best-so-far; stop the inner scan when
-the lower bound exceeds the current candidate's running minimum).
+candidate windows, an inner nearest-neighbour scan through the shared
+:func:`repro.apps.discord_core.nearest_nonoverlapping` core — ordered by the
+cheap representation-space distance, with two early exits (abandon a
+candidate as soon as any neighbour lands under the best-so-far; stop the
+inner scan when the lower bound exceeds the current candidate's running
+minimum).  The online streaming variant
+(:class:`repro.continuous.OnlineDiscordScorer`) drives the same core.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from ..distance.euclidean import euclidean
 from ..distance.segmentwise import aligned_distance
 from ..reduction.base import Reducer
 from ..reduction.paa import PAA
+from .discord_core import nearest_nonoverlapping
 from .windows import sliding_windows, windows_overlap
 
 __all__ = ["Discord", "find_discord"]
@@ -59,20 +63,12 @@ def find_discord(
             for j in range(len(windows))
             if not windows_overlap(starts[i], starts[j], window)
         ]
-        if not bounds:
-            continue
-        bounds.sort()
-        nn = np.inf
-        nn_j = bounds[0][1]
-        for bound, j in bounds:
-            if bound >= nn:
-                break  # no closer neighbour can exist below this bound
-            true = euclidean(windows[i], windows[j])
-            verified += 1
-            if true < nn:
-                nn, nn_j = true, j
-            if nn <= best_nn:
-                break  # candidate i cannot beat the best discord
+        nn, nn_j, n_verified = nearest_nonoverlapping(
+            bounds,
+            lambda j: euclidean(windows[i], windows[j]),
+            stop_at=best_nn,
+        )
+        verified += n_verified
         if nn > best_nn and np.isfinite(nn):
             best_nn = nn
             best_start = int(starts[i])

@@ -26,6 +26,7 @@ from typing import Union
 
 from .api import KnnRequest, QueryResult, RangeRequest
 from .local import Client, LocalClient
+from .subscription import Subscription
 from .tcp import ServerError, TcpClient
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "QueryResult",
     "RangeRequest",
     "ServerError",
+    "Subscription",
     "TcpClient",
     "connect",
 ]

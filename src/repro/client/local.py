@@ -10,10 +10,15 @@ a :class:`repro.index.SeriesDatabase`, a
 
 from __future__ import annotations
 
+import queue as _queue
 from typing import List
 
+import numpy as np
+
 from .. import obs
+from ..continuous import ContinuousEvaluator, Notification, StandingQuery
 from .api import KnnRequest, QueryResult, RangeRequest
+from .subscription import Subscription
 
 __all__ = ["Client", "LocalClient"]
 
@@ -24,8 +29,11 @@ class Client:
     One :class:`~repro.client.KnnRequest` / :class:`~repro.client.RangeRequest`
     works against all implementations and always yields
     :class:`~repro.client.QueryResult` objects with identical semantics —
-    the point of the facade.  Clients are context managers; ``close()`` is
-    idempotent.
+    the point of the facade.  The mutation surface (``insert``/``delete``)
+    and the continuous surface (``subscribe``/``unsubscribe``) behave
+    identically too: a standing query registered through any backend emits
+    the same :class:`repro.continuous.Notification` deltas.  Clients are
+    context managers; ``close()`` is idempotent.
     """
 
     def knn(self, request: KnnRequest) -> "List[QueryResult]":
@@ -34,6 +42,25 @@ class Client:
 
     def range(self, request: RangeRequest) -> QueryResult:
         """Answer a radius query (ids/distances hold every hit in range)."""
+        raise NotImplementedError
+
+    def insert(self, series) -> int:
+        """Insert one series; returns its (global) id.
+
+        Standing subscriptions observe the insert and push their deltas.
+        """
+        raise NotImplementedError
+
+    def delete(self, series_id: int) -> bool:
+        """Tombstone one series id; ``False`` when it isn't live."""
+        raise NotImplementedError
+
+    def subscribe(self, query: StandingQuery) -> Subscription:
+        """Register a standing query; returns its notification stream."""
+        raise NotImplementedError
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Drop a standing query by id (``Subscription.close`` calls this)."""
         raise NotImplementedError
 
     def stats(self) -> dict:
@@ -65,6 +92,11 @@ class LocalClient(Client):
     """
 
     def __init__(self, target, owns: bool = False):
+        if isinstance(target, ContinuousEvaluator):
+            self._continuous: "ContinuousEvaluator | None" = target
+            target = target.target
+        else:
+            self._continuous = None
         self.database = target
         #: whether close() should tear the backend down (True when connect()
         #: opened the backend itself from a path; False for caller-owned objects)
@@ -82,12 +114,51 @@ class LocalClient(Client):
             result, generation=getattr(self.database, "generation", None)
         )
 
+    # -- mutation + continuous surface -----------------------------------
+    def _evaluator(self) -> ContinuousEvaluator:
+        """The evaluator behind mutation/subscription calls (lazy)."""
+        if self._continuous is None:
+            self._continuous = ContinuousEvaluator(self.database)
+        return self._continuous
+
+    def insert(self, series) -> int:
+        """Insert through the evaluator so subscriptions see the delta."""
+        return self._evaluator().insert(np.asarray(series, dtype=float))
+
+    def delete(self, series_id: int) -> bool:
+        """Delete through the evaluator so subscriptions see the delta."""
+        return self._evaluator().delete(int(series_id))
+
+    def subscribe(self, query: StandingQuery) -> Subscription:
+        """Register a standing query fed by an in-process queue."""
+        inbox: "_queue.Queue[Notification]" = _queue.Queue()
+        sid = self._evaluator().subscribe(query, sink=inbox.put)
+
+        def fetch(timeout):
+            try:
+                return inbox.get(timeout=timeout)
+            except _queue.Empty:
+                raise TimeoutError(
+                    f"no notification for {sid} within {timeout}s"
+                ) from None
+
+        return Subscription(sid, self, fetch)
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Drop a standing query by id."""
+        return self._evaluator().unsubscribe(subscription_id)
+
     def stats(self) -> dict:
         """Backend info plus a metrics snapshot when collection is enabled."""
         body = {
             "server": {
                 "backend": "local",
                 "shards": getattr(self.database, "n_shards", 1),
+                "subscriptions": (
+                    len(self._continuous.registry)
+                    if self._continuous is not None
+                    else 0
+                ),
             }
         }
         if obs.is_enabled():
@@ -102,6 +173,8 @@ class LocalClient(Client):
         """Tear the backend down if this client opened it (else a no-op)."""
         if not self._owns:
             return
+        if self._continuous is not None:
+            self._continuous.close()
         closer = getattr(self.database, "close", None)
         if callable(closer):
             closer()

@@ -1,0 +1,100 @@
+"""The subscription handle ``Client.subscribe`` returns.
+
+A :class:`Subscription` is a blocking iterator (and, via :meth:`aiter`, an
+async iterator) of typed :class:`repro.continuous.Notification` deltas for
+one standing query.  The handle is backend-agnostic: a
+:class:`~repro.client.LocalClient` feeds it from an in-process queue, a
+:class:`~repro.client.TcpClient` from ``notify`` push frames read off the
+socket.  Consumers that care about exactly-once semantics track the last
+``seq`` they processed and skip re-deliveries at or below it (see
+``docs/continuous.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..continuous import Notification
+
+__all__ = ["Subscription"]
+
+Fetch = Callable[[Optional[float]], Notification]
+
+
+class Subscription:
+    """One standing query's notification stream.
+
+    Iterate it (``for note in sub``) to block for deltas forever, call
+    :meth:`next` with a timeout to poll, or ``async for note in
+    sub.aiter()`` from a coroutine.  ``close()`` unsubscribes on the
+    backend; closing is idempotent and ends any iteration with
+    ``StopIteration``.
+    """
+
+    def __init__(self, sid: str, client, fetch: Fetch):
+        #: the backend subscription id (``sub-000001``-style)
+        self.id = sid
+        self._client = client
+        self._fetch = fetch
+        self._closed = False
+
+    def next(self, timeout: "Optional[float]" = None) -> Notification:
+        """Block for the next notification.
+
+        Raises ``TimeoutError`` when ``timeout`` seconds pass without one,
+        and ``StopIteration`` once the subscription is closed.
+        """
+        if self._closed:
+            raise StopIteration
+        return self._fetch(timeout)
+
+    def __iter__(self) -> "Subscription":
+        return self
+
+    def __next__(self) -> Notification:
+        return self.next()
+
+    def aiter(self):
+        """An async-iterator view (fetches on a worker thread)."""
+        return _AsyncView(self)
+
+    def close(self) -> None:
+        """Unsubscribe on the backend (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._client.unsubscribe(self.id)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Subscription(id={self.id!r}, {state})"
+
+
+class _AsyncView:
+    """Async iteration over a blocking subscription."""
+
+    def __init__(self, subscription: Subscription):
+        self._subscription = subscription
+
+    def __aiter__(self) -> "_AsyncView":
+        return self
+
+    async def __anext__(self) -> Notification:
+        import asyncio
+
+        if self._subscription._closed:
+            raise StopAsyncIteration
+        loop = asyncio.get_event_loop()
+        try:
+            return await loop.run_in_executor(
+                None, self._subscription._fetch, None
+            )
+        except StopIteration as exc:  # pragma: no cover - defensive
+            raise StopAsyncIteration from exc

@@ -5,20 +5,31 @@ Speaks the length-prefixed JSON frame protocol of
 and issues one request at a time (the server supports pipelining; the
 asyncio load-test harness in ``scripts/serve_loadtest.py`` exercises that
 path); responses are matched by the echoed request id.
+
+Unsolicited ``notify`` push frames — standing-subscription deltas — may
+arrive interleaved with responses at any time, so every frame read first
+routes by ``op``: notify frames land in their subscription's inbox (a
+:class:`repro.client.Subscription` drains it), everything else matches
+the pending request id.
 """
 
 from __future__ import annotations
 
+import json
 import socket
-from typing import List, Optional
+import struct
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
+from ..continuous import Notification, StandingQuery
 from ..serving.protocol import (
     MAX_FRAME_BYTES,
+    FrameError,
     encode_frame,
-    read_frame_blocking,
 )
 from .api import KnnRequest, QueryResult, RangeRequest
 from .local import Client
+from .subscription import Subscription
 
 __all__ = ["TcpClient", "ServerError"]
 
@@ -47,9 +58,44 @@ class TcpClient(Client):
     ):
         self._max_frame_bytes = max_frame_bytes
         self._sock = socket.create_connection((host, port), timeout)
-        self._file = self._sock.makefile("rb")
+        # frames are parsed out of an owned buffer (never socket.makefile):
+        # a recv that times out mid-frame leaves the partial bytes here, so
+        # the next read resumes with framing intact instead of a poisoned
+        # buffered reader
+        self._buffer = bytearray()
         self._next_id = 0
         self._closed = False
+        self._inboxes: "Dict[str, Deque[Notification]]" = {}
+
+    def _read_frame(self) -> "Optional[dict]":
+        """One frame off the socket, honouring its current timeout setting."""
+        while True:
+            if len(self._buffer) >= 4:
+                (length,) = struct.unpack(">I", bytes(self._buffer[:4]))
+                if length > self._max_frame_bytes:
+                    raise FrameError(
+                        f"frame of {length} bytes exceeds the "
+                        f"{self._max_frame_bytes} cap"
+                    )
+                if len(self._buffer) >= 4 + length:
+                    body = bytes(self._buffer[4 : 4 + length])
+                    del self._buffer[: 4 + length]
+                    return json.loads(body.decode("utf-8"))
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                if self._buffer:
+                    raise FrameError("connection closed mid-frame")
+                return None  # clean close between frames
+            self._buffer.extend(chunk)
+
+    def _route_notify(self, frame: dict) -> "Optional[str]":
+        """File one push frame into its subscription inbox; returns the sid."""
+        sid = frame.get("subscription_id")
+        inbox = self._inboxes.get(sid)
+        if inbox is None:
+            return None  # already unsubscribed: drop the straggler
+        inbox.append(Notification.from_payload(frame["notification"]))
+        return sid
 
     def _call(self, op: str, payload: "Optional[dict]" = None) -> dict:
         """One request/response round trip; raises :class:`ServerError` on failure."""
@@ -62,9 +108,12 @@ class TcpClient(Client):
             message.update(payload)
         self._sock.sendall(encode_frame(message, self._max_frame_bytes))
         while True:
-            response = read_frame_blocking(self._file, self._max_frame_bytes)
+            response = self._read_frame()
             if response is None:
                 raise ConnectionError("server closed the connection mid-request")
+            if response.get("op") == "notify":
+                self._route_notify(response)
+                continue
             if response.get("id") == request_id:
                 break
         if not response.get("ok"):
@@ -83,6 +132,60 @@ class TcpClient(Client):
         response = self._call("range", request.to_payload())
         return QueryResult.from_payload(response["result"])
 
+    # -- mutation + continuous surface -----------------------------------
+    def insert(self, series) -> int:
+        """Insert one series over the wire; returns its global id."""
+        payload = {"series": [float(v) for v in series]}
+        return int(self._call("insert", payload)["series_id"])
+
+    def delete(self, series_id: int) -> bool:
+        """Tombstone one series id over the wire."""
+        return bool(self._call("delete", {"series_id": int(series_id)})["deleted"])
+
+    def subscribe(self, query: StandingQuery) -> Subscription:
+        """Register a standing query; deltas arrive as push frames."""
+        response = self._call("subscribe", {"query": query.to_payload()})
+        sid = str(response["subscription_id"])
+        self._inboxes[sid] = deque()
+        return Subscription(sid, self, lambda timeout: self._fetch_notify(sid, timeout))
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Drop a standing query; its inbox is discarded."""
+        response = self._call("unsubscribe", {"subscription_id": subscription_id})
+        self._inboxes.pop(subscription_id, None)
+        return bool(response["unsubscribed"])
+
+    def _fetch_notify(self, sid: str, timeout: "Optional[float]") -> Notification:
+        """Next notification for ``sid`` — drain the inbox, then the socket.
+
+        Only safe from the thread using this client (the client is
+        single-threaded by contract); other subscriptions' frames read
+        here land in their own inboxes.
+        """
+        inbox = self._inboxes.get(sid)
+        if inbox is None:
+            raise StopIteration  # unsubscribed while iterating
+        if inbox:
+            return inbox.popleft()
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            while True:
+                try:
+                    frame = self._read_frame()
+                except socket.timeout:
+                    raise TimeoutError(
+                        f"no notification for {sid} within {timeout}s"
+                    ) from None
+                if frame is None:
+                    raise ConnectionError("server closed the connection")
+                if frame.get("op") == "notify" and self._route_notify(frame) == sid:
+                    return inbox.popleft()
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(previous)
+
     def stats(self) -> dict:
         """Server state (in-flight, peaks, shards) plus its metrics snapshot."""
         response = self._call("stats")
@@ -97,7 +200,4 @@ class TcpClient(Client):
         if self._closed:
             return
         self._closed = True
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._sock.close()

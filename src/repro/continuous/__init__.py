@@ -1,0 +1,46 @@
+"""Continuous queries: standing subscriptions over streaming ingest.
+
+Register a query once — k-NN, range, subsequence match, or an online
+anomaly watch — and receive incremental :class:`Notification` deltas as
+the write-ahead log advances, instead of polling one-shot queries.  See
+``docs/continuous.md`` for the architecture, wire-protocol push frames,
+backpressure semantics and delivery guarantees.
+
+* :mod:`repro.continuous.queries` — the standing-query vocabulary and the
+  typed notification delta;
+* :mod:`repro.continuous.registry` — durable, replayable subscription
+  state (a checksummed log beside the data WAL);
+* :mod:`repro.continuous.evaluator` — the incremental evaluator routing
+  mutations to affected subscriptions;
+* :mod:`repro.continuous.anomaly` — the StreamingSAPLA-driven online
+  discord scorer behind :class:`AnomalyWatch`.
+"""
+
+from .anomaly import AnomalyAlert, OnlineDiscordScorer
+from .evaluator import ContinuousEvaluator
+from .queries import (
+    AnomalyWatch,
+    KnnWatch,
+    Notification,
+    RangeWatch,
+    StandingQuery,
+    SubsequenceWatch,
+    query_from_payload,
+)
+from .registry import SUBSCRIPTIONS_FILENAME, SubscriptionRegistry, SubscriptionState
+
+__all__ = [
+    "AnomalyAlert",
+    "AnomalyWatch",
+    "ContinuousEvaluator",
+    "KnnWatch",
+    "Notification",
+    "OnlineDiscordScorer",
+    "RangeWatch",
+    "StandingQuery",
+    "SubscriptionRegistry",
+    "SubscriptionState",
+    "SUBSCRIPTIONS_FILENAME",
+    "SubsequenceWatch",
+    "query_from_payload",
+]

@@ -1,0 +1,201 @@
+"""Online discord scoring over an unbounded stream.
+
+The batch discord search (:func:`repro.apps.find_discord`) asks, per
+window, how far away its nearest non-overlapping neighbour is; the top
+discord is the window maximising that distance.  Online, the question
+inverts into an alert predicate with *left-discord* semantics: as each
+window completes, score it against the **prior** windows only (the future
+is unknown) and alert when even the closest predecessor is farther than a
+threshold — the window is unlike everything seen before it.
+
+The scan itself is the shared HOT-SAX-shaped core
+(:func:`repro.apps.discord_core.nearest_nonoverlapping`).  The cheap
+ordering bound comes from the source paper's streaming segmenter: each
+window is reduced by a fresh :class:`repro.core.StreamingSAPLA` pass, and
+for reconstructions ``r_i``/``r_j`` with residuals ``e_i``/``e_j`` the
+triangle inequality gives the true lower bound
+
+``d(w_i, w_j) >= max(0, ||r_i - r_j|| - e_i - e_j)``
+
+so predecessors are verified nearest-first and the scan abandons a window
+as soon as its running minimum drops to the alert threshold.  History is
+bounded (``history`` windows), so memory stays O(history × window).
+
+Scoring is deterministic in the consumed values: re-feeding the same
+stream replays the same alerts with the same indices, which is what lets
+crash recovery re-derive an anomaly subscription's state exactly
+(see :class:`repro.continuous.ContinuousEvaluator`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.discord_core import nearest_nonoverlapping
+from ..apps.windows import windows_overlap
+from ..core.streaming import StreamingSAPLA
+from ..distance.euclidean import euclidean
+
+__all__ = ["AnomalyAlert", "OnlineDiscordScorer"]
+
+
+@dataclass(frozen=True)
+class AnomalyAlert:
+    """One raised anomaly: a window with no close predecessor.
+
+    ``score`` is the distance to the nearest non-overlapping prior window
+    (exact — the scan only abandons *below* the threshold, never above);
+    ``nn_start`` locates that nearest predecessor; ``n_verified`` counts
+    the raw distance computations the bound ordering could not prune.
+    """
+
+    start: int
+    window: int
+    score: float
+    nn_start: int
+    n_verified: int
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict — the ``alert`` field of a notification."""
+        return {
+            "start": int(self.start),
+            "window": int(self.window),
+            "score": float(self.score),
+            "nn_start": int(self.nn_start),
+            "n_verified": int(self.n_verified),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AnomalyAlert":
+        return cls(
+            start=int(payload["start"]),
+            window=int(payload["window"]),
+            score=float(payload["score"]),
+            nn_start=int(payload["nn_start"]),
+            n_verified=int(payload["n_verified"]),
+        )
+
+
+class _Seen:
+    """One scored window kept in the bounded history."""
+
+    __slots__ = ("start", "raw", "recon", "err")
+
+    def __init__(self, start: int, raw: np.ndarray, recon: np.ndarray, err: float):
+        self.start = start
+        self.raw = raw
+        self.recon = recon
+        self.err = err
+
+
+class OnlineDiscordScorer:
+    """Score completed stream windows against their predecessors.
+
+    Args:
+        window: window length scored (>= 2).
+        threshold: alert when the nearest non-overlapping predecessor is
+            farther than this Euclidean distance.
+        stride: offset between consecutive scored windows.
+        max_segments: :class:`repro.core.StreamingSAPLA` budget per window.
+        history: how many scored windows stay comparable (memory bound).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        threshold: float,
+        stride: int = 1,
+        max_segments: int = 8,
+        history: int = 64,
+    ):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.stride = int(stride)
+        self.max_segments = int(max_segments)
+        self.history = int(history)
+        self._buffer: "List[float]" = []
+        self._buffer_start = 0  # global index of _buffer[0]
+        self._next_start = 0  # start of the next window to score
+        self._seen: "Deque[_Seen]" = deque(maxlen=history)
+        self.n_points = 0
+        self.n_alerts = 0
+
+    # ------------------------------------------------------------------
+    def extend(self, values: "Iterable[float]") -> "List[AnomalyAlert]":
+        """Consume a chunk of stream values; return any alerts it raised."""
+        chunk = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values), dtype=float
+        ).ravel()
+        if chunk.size == 0:
+            return []
+        if not np.isfinite(chunk).all():
+            raise ValueError("stream values must be finite")
+        self._buffer.extend(chunk.tolist())
+        self.n_points += int(chunk.size)
+        alerts: "List[AnomalyAlert]" = []
+        while self.n_points >= self._next_start + self.window:
+            start = self._next_start
+            offset = start - self._buffer_start
+            raw = np.array(self._buffer[offset : offset + self.window], dtype=float)
+            alert = self._score(start, raw)
+            if alert is not None:
+                alerts.append(alert)
+            self._next_start += self.stride
+            drop = self._next_start - self._buffer_start
+            if drop > 0:
+                del self._buffer[:drop]
+                self._buffer_start = self._next_start
+        return alerts
+
+    def append(self, value: float) -> "List[AnomalyAlert]":
+        """Consume a single stream value (thin wrapper over :meth:`extend`)."""
+        return self.extend([value])
+
+    # ------------------------------------------------------------------
+    def _score(self, start: int, raw: np.ndarray) -> "Optional[AnomalyAlert]":
+        reducer = StreamingSAPLA(self.max_segments)
+        reducer.extend(raw)
+        recon = reducer.reconstruct()
+        err = float(np.linalg.norm(raw - recon))
+        prior = list(self._seen)
+        candidates: "List[Tuple[float, int]]" = [
+            (max(0.0, float(np.linalg.norm(recon - seen.recon)) - err - seen.err), i)
+            for i, seen in enumerate(prior)
+            if not windows_overlap(start, seen.start, self.window)
+        ]
+        self._seen.append(_Seen(start, raw, recon, err))
+        if not candidates:
+            return None  # nothing comparable yet: no left discord exists
+        nn, nn_i, verified = nearest_nonoverlapping(
+            candidates,
+            lambda i: euclidean(raw, prior[i].raw),
+            stop_at=self.threshold,
+        )
+        if nn <= self.threshold:
+            return None
+        self.n_alerts += 1
+        return AnomalyAlert(
+            start=int(start),
+            window=self.window,
+            score=float(nn),
+            nn_start=int(prior[nn_i].start),
+            n_verified=int(verified),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineDiscordScorer(window={self.window}, threshold={self.threshold}, "
+            f"n_points={self.n_points}, n_alerts={self.n_alerts})"
+        )

@@ -1,0 +1,273 @@
+"""Durable subscription state: a checksummed log beside the data WAL.
+
+Standing subscriptions must survive exactly what ingest survives — a
+SIGKILL at any instant.  The registry therefore persists every
+subscription-visible event to an append-only log with the same structural
+guarantees as :mod:`repro.lifecycle.wal`:
+
+``file   = magic (8 bytes) · record*``
+``record = length u32 LE · crc32(payload) u32 LE · payload``
+``payload = UTF-8 JSON object``
+
+Three record ops exist: ``subscribe`` (the standing query, verbatim, plus
+the ingest cursor it starts from), ``unsubscribe``, and ``ack`` — the
+delivered frontier of one notification (seq, generation and the per-kind
+result state).  Acks are written *after* the sink delivers, so the log's
+replayed state is always *at or behind* what the consumer saw; recovery
+(:meth:`repro.continuous.ContinuousEvaluator.resync`) re-runs each query
+from scratch and re-emits the delta against the acked frontier — at-least-
+once delivery, de-duplicated by ``seq`` on the consumer side (see
+``docs/continuous.md``).
+
+Replay is torn-tail tolerant: a record cut mid-write by a crash fails its
+length or CRC check, replay stops there, and reopening truncates the torn
+tail so appends never interleave with garbage.  A registry opened without
+a path keeps the same state in memory only (tests, ephemeral servers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+from threading import RLock
+from typing import Dict, Optional, Union
+
+from .. import obs
+from ..lifecycle.wal import DurabilityOptions, FsyncPolicy
+from .queries import StandingQuery, query_from_payload
+
+__all__ = ["SubscriptionRegistry", "SubscriptionState", "SUBSCRIPTIONS_FILENAME"]
+
+PathLike = Union[str, pathlib.Path]
+
+#: identifies a subscription log and its format version.
+MAGIC = b"RPSUB\x00\x01\n"
+
+#: default subscription-log filename inside a database directory.
+SUBSCRIPTIONS_FILENAME = "subscriptions.log"
+
+_PREFIX = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: guards replay against a corrupt length prefix claiming gigabytes.
+_MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+@dataclass
+class SubscriptionState:
+    """One subscription's replayable state.
+
+    ``seq`` is the last *acknowledged* notification sequence number;
+    ``state`` is the per-kind acked frontier (``ids``/``distances`` for
+    knn and range watches, offset matches for subsequence watches, the
+    stream cursor and alert count for anomaly watches).  ``from_row`` is
+    the global row count at subscribe time — stream-shaped watches
+    (subsequence, anomaly) only see rows inserted at or after it.
+    """
+
+    sid: str
+    query: StandingQuery
+    seq: int = 0
+    generation: object = None
+    from_row: int = 0
+    state: dict = field(default_factory=dict)
+
+
+class SubscriptionRegistry:
+    """Replayable registry of standing subscriptions.
+
+    Args:
+        path: log file location; ``None`` keeps the registry in memory
+            only (no crash durability).
+        durability: a :class:`repro.lifecycle.DurabilityOptions` — only
+            the fsync policy applies here (``wal=False`` still logs;
+            subscriptions are control-plane state, not bulk ingest).
+    """
+
+    def __init__(
+        self,
+        path: "Optional[PathLike]" = None,
+        durability: "Optional[DurabilityOptions]" = None,
+    ):
+        self._durability = durability if durability is not None else DurabilityOptions()
+        self._path = pathlib.Path(path) if path is not None else None
+        self._subs: "Dict[str, SubscriptionState]" = {}
+        self._counter = 0
+        self._lock = RLock()
+        self._file = None
+        self._unsynced = 0
+        if self._path is not None:
+            self._open()
+
+    # -- construction ----------------------------------------------------
+    def _open(self) -> None:
+        exists = self._path.exists()
+        if exists:
+            valid_end = self._replay()
+            self._file = open(self._path, "r+b")
+            self._file.truncate(valid_end)  # drop any torn tail
+            self._file.seek(valid_end)
+        else:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self._path, "w+b")
+            self._file.write(MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _replay(self) -> int:
+        """Rebuild state from the log; returns the last valid byte offset."""
+        with obs.span("continuous.replay"):
+            blob = self._path.read_bytes()
+            if len(blob) < len(MAGIC) or blob[: len(MAGIC)] != MAGIC:
+                raise ValueError(f"{self._path} is not a subscription log (bad magic)")
+            offset = len(MAGIC)
+            while True:
+                if offset + _PREFIX.size > len(blob):
+                    break
+                length, crc = _PREFIX.unpack_from(blob, offset)
+                if length > _MAX_PAYLOAD:
+                    break  # corrupt prefix: treat as torn tail
+                start = offset + _PREFIX.size
+                payload = blob[start : start + length]
+                if len(payload) != length or zlib.crc32(payload) != crc:
+                    break  # torn or corrupt record
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                self._apply(record)
+                offset = start + length
+            return offset
+
+    def _apply(self, record: dict) -> None:
+        op = record.get("op")
+        sid = record.get("sid")
+        if op == "subscribe":
+            self._subs[sid] = SubscriptionState(
+                sid=sid,
+                query=query_from_payload(record["query"]),
+                from_row=int(record.get("from_row", 0)),
+            )
+            self._counter = max(self._counter, int(record.get("counter", 0)))
+        elif op == "unsubscribe":
+            self._subs.pop(sid, None)
+        elif op == "ack" and sid in self._subs:
+            sub = self._subs[sid]
+            sub.seq = int(record["seq"])
+            generation = record.get("generation")
+            sub.generation = (
+                tuple(generation) if isinstance(generation, list) else generation
+            )
+            sub.state = record.get("state", {})
+
+    # -- the append path -------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._file is None:
+            return
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        self._file.write(_PREFIX.pack(len(payload), zlib.crc32(payload)) + payload)
+        self._file.flush()
+        policy = self._durability.fsync
+        if policy is FsyncPolicy.ALWAYS:
+            os.fsync(self._file.fileno())
+        elif policy is FsyncPolicy.BATCH:
+            self._unsynced += 1
+            if self._unsynced >= self._durability.batch_records:
+                os.fsync(self._file.fileno())
+                self._unsynced = 0
+
+    # -- the registry surface ---------------------------------------------
+    def subscribe(
+        self, query: StandingQuery, from_row: int = 0, sid: "Optional[str]" = None
+    ) -> str:
+        """Register one standing query; returns its subscription id."""
+        with self._lock:
+            self._counter += 1
+            if sid is None:
+                sid = f"sub-{self._counter:06d}"
+            if sid in self._subs:
+                raise ValueError(f"subscription id {sid!r} already registered")
+            self._subs[sid] = SubscriptionState(
+                sid=sid, query=query, from_row=int(from_row)
+            )
+            self._append(
+                {
+                    "op": "subscribe",
+                    "sid": sid,
+                    "counter": self._counter,
+                    "from_row": int(from_row),
+                    "query": query.to_payload(),
+                }
+            )
+            obs.gauge_set("continuous.subscriptions", len(self._subs))
+            return sid
+
+    def unsubscribe(self, sid: str) -> bool:
+        """Drop one subscription; ``False`` when the id is unknown."""
+        with self._lock:
+            if sid not in self._subs:
+                return False
+            del self._subs[sid]
+            self._append({"op": "unsubscribe", "sid": sid})
+            obs.gauge_set("continuous.subscriptions", len(self._subs))
+            return True
+
+    def ack(self, sid: str, seq: int, generation: object, state: dict) -> None:
+        """Persist one delivered notification's frontier (call *after* delivery)."""
+        with self._lock:
+            sub = self._subs.get(sid)
+            if sub is None:
+                return  # racing unsubscribe: nothing to record
+            sub.seq = int(seq)
+            sub.generation = generation
+            sub.state = state
+            record_generation = (
+                list(generation) if isinstance(generation, tuple) else generation
+            )
+            self._append(
+                {
+                    "op": "ack",
+                    "sid": sid,
+                    "seq": int(seq),
+                    "generation": record_generation,
+                    "state": state,
+                }
+            )
+
+    def get(self, sid: str) -> "Optional[SubscriptionState]":
+        """One subscription's current state (``None`` when unknown)."""
+        with self._lock:
+            return self._subs.get(sid)
+
+    def subscriptions(self) -> "Dict[str, SubscriptionState]":
+        """A snapshot of every active subscription, keyed by id."""
+        with self._lock:
+            return dict(self._subs)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def path(self) -> "Optional[pathlib.Path]":
+        """The backing log path (``None`` for an in-memory registry)."""
+        return self._path
+
+    def sync(self) -> None:
+        """Force-fsync the log (no-op in memory)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush and close the log (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self.sync()
+                self._file.close()
+                self._file = None

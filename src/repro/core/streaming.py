@@ -11,14 +11,21 @@ Reconstruction Area merges (Eqs. (3), (4) via statistics), so memory stays
 O(max_segments) while every kept coefficient remains the *exact*
 least-squares fit of the points it covers.
 
-Amortised cost per point: O(log N) for the threshold heap plus O(N) on the
-rare merge — the streaming analogue of SAPLA's O(n(N + log n)).
+Merge selection is amortised: the Reconstruction Area (and merged fit) of
+every adjacent closed pair is cached, so picking the cheapest pair is a
+scan over cached floats and each merge recomputes only its two disturbed
+neighbours instead of re-deriving every pair.  Amortised cost per point:
+O(log N) for the threshold heap plus O(N) float comparisons on the rare
+merge — the streaming analogue of SAPLA's O(n(N + log n)).
+:meth:`StreamingSAPLA.extend` is the bulk path: it validates the chunk
+once and runs a tightened append loop (``benchmarks/bench_streaming_extend.py``
+measures the win over point-at-a-time :meth:`StreamingSAPLA.append`).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -67,6 +74,10 @@ class StreamingSAPLA:
             raise ValueError("max_segments must be >= 1")
         self.max_segments = int(max_segments)
         self._closed: "List[_Piece]" = []
+        #: ``_pair_cache[i]`` caches ``(reconstruction_area, merged_fit)``
+        #: for the adjacent closed pair ``(i, i + 1)`` — kept in lockstep
+        #: with ``_closed`` so merge selection never re-derives a pair.
+        self._pair_cache: "List[Tuple[float, LineFit]]" = []
         self._open_start = 0
         self._open: Optional[LineFit] = None
         self._pending: Optional[float] = None  # first point of a fresh segment
@@ -90,6 +101,30 @@ class StreamingSAPLA:
         value = float(value)
         if not np.isfinite(value):
             raise ValueError("stream values must be finite")
+        self._ingest(value)
+
+    def extend(self, values: "Iterable[float]") -> None:
+        """Append a whole chunk of values in order (the bulk path).
+
+        Equivalent point for point to calling :meth:`append` in a loop —
+        same splits, same merges, same representation — but the chunk is
+        converted and validated once up front and the per-point loop runs
+        without redundant conversions, so bulk ingest is measurably
+        faster (see ``benchmarks/bench_streaming_extend.py``).
+        """
+        chunk = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values), dtype=float
+        ).ravel()
+        if chunk.size == 0:
+            return
+        if not np.isfinite(chunk).all():
+            raise ValueError("stream values must be finite")
+        ingest = self._ingest
+        for value in chunk.tolist():
+            ingest(value)
+
+    def _ingest(self, value: float) -> None:
+        """The append fast path: ``value`` is already a finite float."""
         self._count += 1
         if self._open is None:
             if self._pending is None:
@@ -108,11 +143,6 @@ class StreamingSAPLA:
         else:
             self._open = incremented
 
-    def extend(self, values: Iterable[float]) -> None:
-        """Append every value of an iterable in order."""
-        for value in values:
-            self.append(value)
-
     # ------------------------------------------------------------------
     def _should_split(self, area: float) -> bool:
         """The paper's eta heap: keep the N-1 largest increment areas."""
@@ -127,22 +157,35 @@ class StreamingSAPLA:
             return True
         return False
 
+    def _pair_entry(self, i: int) -> "Tuple[float, LineFit]":
+        """The cached merge candidate for adjacent closed pair ``(i, i+1)``."""
+        left, right = self._closed[i], self._closed[i + 1]
+        merged = left.fit.merge(right.fit)
+        return reconstruction_area(left.fit, right.fit, merged), merged
+
     def _close_open(self) -> None:
         self._closed.append(_Piece(self._open_start, self._open))
+        if len(self._closed) >= 2:
+            self._pair_cache.append(self._pair_entry(len(self._closed) - 2))
         self._open = None
         while len(self._closed) > self.max_segments - 1 and len(self._closed) >= 2:
             self._merge_cheapest_pair()
 
     def _merge_cheapest_pair(self) -> None:
+        # strict < keeps the historical tie-break: the earliest cheapest pair
         best_i, best_area = 0, float("inf")
-        for i in range(len(self._closed) - 1):
-            left, right = self._closed[i], self._closed[i + 1]
-            merged = left.fit.merge(right.fit)
-            area = reconstruction_area(left.fit, right.fit, merged)
+        for i, (area, _) in enumerate(self._pair_cache):
             if area < best_area:
                 best_i, best_area = i, area
-        left, right = self._closed[best_i], self._closed[best_i + 1]
-        self._closed[best_i : best_i + 2] = [_Piece(left.start, left.fit.merge(right.fit))]
+        left = self._closed[best_i]
+        merged = self._pair_cache[best_i][1]
+        self._closed[best_i : best_i + 2] = [_Piece(left.start, merged)]
+        # the merged piece disturbs exactly its two neighbouring pairs
+        del self._pair_cache[best_i]
+        if best_i > 0:
+            self._pair_cache[best_i - 1] = self._pair_entry(best_i - 1)
+        if best_i < len(self._closed) - 1:
+            self._pair_cache[best_i] = self._pair_entry(best_i)
 
     # ------------------------------------------------------------------
     @property

@@ -35,7 +35,7 @@ __all__ = [
 
 #: the workload families the runner knows how to execute
 #: (implementations live in :mod:`repro.experiments.workloads`)
-WORKLOAD_FAMILIES = ("batch_knn", "ingest", "pruning", "serving")
+WORKLOAD_FAMILIES = ("batch_knn", "ingest", "pruning", "serving", "continuous")
 
 #: multiplier deriving per-cell seeds from the spec seed (any odd prime
 #: keeps distinct cells on distinct streams; the value is part of the
@@ -58,12 +58,17 @@ class ScaleSpec:
     #: concurrent in-flight requests driven by the ``serving`` workload's
     #: loopback load (0 = derived: ``max(4 * n_queries, 64)``)
     n_inflight: int = 0
+    #: standing k-NN subscriptions registered by the ``continuous``
+    #: workload (0 = derived: ``max(n_queries, 8)``)
+    n_subscriptions: int = 0
 
     def __post_init__(self):
         if self.length < 8 or self.n_series < 4 or self.n_queries < 1:
             raise ValueError(f"scale {self.name!r} is too small to measure")
         if self.n_inflight < 0:
             raise ValueError("n_inflight must be >= 0")
+        if self.n_subscriptions < 0:
+            raise ValueError("n_subscriptions must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -313,12 +313,217 @@ def run_serving(trial: TrialSpec) -> "Dict[str, float]":
     return metrics
 
 
+# ----------------------------------------------------------------------
+# continuous: standing subscriptions under streaming ingest
+# ----------------------------------------------------------------------
+def run_continuous(trial: TrialSpec) -> "Dict[str, float]":
+    """Insert-to-notify latency of standing k-NN subscriptions over TCP.
+
+    Registers ``scale.n_subscriptions`` standing :class:`repro.continuous.
+    KnnWatch` queries (0 = ``max(n_queries, 8)``) on one subscriber
+    connection of a loopback :class:`repro.serving.ReproServer`, then
+    streams ``scale.n_inserts`` rows through a second connection.  Every
+    other streamed row is a noisy copy of a subscription query, so deltas
+    are guaranteed; latency is measured from just before the insert frame
+    is written to the moment its push frame is read back, matched by the
+    ``generation`` the insert response and the notification both carry.
+
+    Metrics: ``notify_p50/p99_ms``, ``notifications`` (delta pushes
+    received), ``insert_qps``, and ``results_identical`` — each
+    subscription's final pushed frontier compared bit-for-bit (ids *and*
+    distances) against re-running its query from scratch on a fresh engine
+    fed the same rows.
+    """
+    import asyncio
+    import json
+    import struct
+
+    from ..continuous import KnnWatch
+    from ..serving import ReproServer, ServerConfig, ShardedEngine, encode_frame, read_frame
+
+    engine_spec = trial.engine
+    scale = trial.scale
+    data, queries = make_trial_data(trial)
+    mode = (
+        DistanceMode.LB if trial.reducer.method in _ADAPTIVE_METHODS else DistanceMode.PAR
+    )
+
+    def _build_engine():
+        reducer = REDUCERS[trial.reducer.method](
+            n_coefficients=trial.reducer.coefficients
+        )
+        index = None if trial.index_kind is IndexKind.NONE else trial.index_kind
+        db = SeriesDatabase(reducer, index=index, distance_mode=mode)
+        db.ingest(data, bulk=db.tree is not None)
+        if engine_spec.shards > 1:
+            return ShardedEngine.from_database(db, engine_spec.shards)
+        return db
+
+    n_subs = scale.n_subscriptions or max(scale.n_queries, 8)
+    n_inserts = scale.n_inserts or max(scale.n_series // 2, 32)
+    rng = np.random.default_rng(trial.seed + 1)
+    wild = rng.normal(size=(n_inserts, scale.length)).cumsum(axis=1)
+    picks = rng.integers(0, scale.n_queries, size=n_inserts)
+    near = queries[picks] + rng.normal(scale=0.05, size=(n_inserts, scale.length))
+    stream = np.where((np.arange(n_inserts) % 2 == 0)[:, None], near, wild)
+    sub_queries = [queries[i % scale.n_queries] for i in range(n_subs)]
+
+    engine = _build_engine()
+    config = ServerConfig(
+        queue_depth=n_subs + n_inserts + 64, notify_queue=n_inserts + 8
+    )
+    received: "List[tuple]" = []  # (recv_perf_counter, notification payload)
+    gen_t0: "Dict[object, float]" = {}  # insert's resulting generation -> send t0
+    timings: "Dict[str, float]" = {}
+
+    def _gen_key(generation):
+        return tuple(generation) if isinstance(generation, list) else generation
+
+    async def _drive() -> "List[str]":
+        server = ReproServer(engine, config)
+        await server.start()
+        try:
+            sub_reader, sub_writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            mut_reader, mut_writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                # register every standing query, collect acks + initial pushes
+                for i, query in enumerate(sub_queries):
+                    watch = KnnWatch(query=query, k=engine_spec.k)
+                    sub_writer.write(
+                        encode_frame(
+                            {"id": i, "op": "subscribe", "query": watch.to_payload()}
+                        )
+                    )
+                await sub_writer.drain()
+                sids_by_rid: "Dict[int, str]" = {}
+                while len(sids_by_rid) < n_subs or len(received) < n_subs:
+                    frame = await read_frame(sub_reader)
+                    if frame.get("op") == "notify":
+                        received.append((time.perf_counter(), frame["notification"]))
+                    else:
+                        sids_by_rid[frame["id"]] = str(frame["subscription_id"])
+                sids = [sids_by_rid[i] for i in range(n_subs)]
+
+                done = asyncio.Event()
+
+                async def _mutate() -> None:
+                    started = time.perf_counter()
+                    for i, row in enumerate(stream):
+                        t0 = time.perf_counter()
+                        mut_writer.write(
+                            encode_frame(
+                                {"id": i, "op": "insert", "series": row.tolist()}
+                            )
+                        )
+                        await mut_writer.drain()
+                        reply = await read_frame(mut_reader)
+                        gen_t0[_gen_key(reply["generation"])] = t0
+                    timings["mutate_s"] = time.perf_counter() - started
+                    done.set()
+
+                async def _listen() -> None:
+                    # cancellation-safe framing: buffer raw bytes ourselves so
+                    # a timed-out read never strands half a frame
+                    buffer = bytearray()
+                    quiet = 0
+                    while True:
+                        try:
+                            chunk = await asyncio.wait_for(
+                                sub_reader.read(1 << 16), timeout=0.5
+                            )
+                        except asyncio.TimeoutError:
+                            if done.is_set() and not buffer:
+                                quiet += 1
+                                if quiet >= 2:
+                                    return
+                            continue
+                        if not chunk:
+                            return
+                        quiet = 0
+                        buffer.extend(chunk)
+                        while len(buffer) >= 4:
+                            (length,) = struct.unpack(">I", bytes(buffer[:4]))
+                            if len(buffer) < 4 + length:
+                                break
+                            body = bytes(buffer[4 : 4 + length])
+                            del buffer[: 4 + length]
+                            frame = json.loads(body.decode("utf-8"))
+                            if frame.get("op") == "notify":
+                                received.append(
+                                    (time.perf_counter(), frame["notification"])
+                                )
+
+                await asyncio.gather(_mutate(), _listen())
+                return sids
+            finally:
+                for writer in (sub_writer, mut_writer):
+                    writer.close()
+                    await writer.wait_closed()
+        finally:
+            await server.stop()
+
+    sids = asyncio.run(_drive())
+    closer = getattr(engine, "close", None)
+    if callable(closer):
+        closer()
+
+    # latency per delta push + each subscription's final pushed frontier
+    latencies_ms: "List[float]" = []
+    state: "Dict[str, tuple]" = {}  # sid -> (seq, notification payload)
+    for recv_t, note in received:
+        sid = note["subscription_id"]
+        if sid not in state or note["seq"] > state[sid][0]:
+            state[sid] = (note["seq"], note)
+        t0 = gen_t0.get(_gen_key(note.get("generation")))
+        if t0 is not None:
+            latencies_ms.append((recv_t - t0) * 1e3)
+
+    scratch = _build_engine()
+    for row in stream:
+        scratch.insert(row)
+    batch = scratch.knn_batch(
+        np.asarray(sub_queries), QueryOptions(k=engine_spec.k)
+    )
+    identical = len(state) == n_subs and bool(latencies_ms)
+    for i, result in enumerate(batch.results):
+        note = state.get(sids[i], (0, None))[1]
+        if note is None:
+            identical = False
+            continue
+        want_ids = [int(g) for g in result.ids]
+        want_distances = [float(d) for d in result.distances]
+        if note["ids"] != want_ids or note["distances"] != want_distances:
+            identical = False
+    closer = getattr(scratch, "close", None)
+    if callable(closer):
+        closer()
+
+    metrics = {
+        "notifications": float(len(latencies_ms)),
+        "insert_qps": n_inserts / timings["mutate_s"],
+        "results_identical": float(identical),
+    }
+    metrics.update(
+        {
+            f"notify_{k}_ms": v
+            for k, v in _percentiles(latencies_ms or [0.0]).items()
+            if k in ("p50", "p99")
+        }
+    )
+    return metrics
+
+
 #: family name -> implementation; keys mirror spec.WORKLOAD_FAMILIES
 WORKLOADS: "Dict[str, Callable[[TrialSpec], Dict[str, float]]]" = {
     "batch_knn": run_batch_knn,
     "ingest": run_ingest,
     "pruning": run_pruning,
     "serving": run_serving,
+    "continuous": run_continuous,
 }
 assert tuple(WORKLOADS) == WORKLOAD_FAMILIES
 
@@ -328,6 +533,7 @@ _SUPPORTED_INDEXES = {
     "ingest": (IndexKind.DBCH, IndexKind.RTREE),
     "pruning": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
     "serving": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
+    "continuous": (IndexKind.NONE, IndexKind.DBCH, IndexKind.RTREE),
 }
 
 

@@ -121,6 +121,14 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "shard.queries": (COUNTER, "per-shard query executions (queries x shards searched)"),
     "shard.count": (GAUGE, "shards behind the last scatter-gather batch"),
     "shard.merge_ms": (HISTOGRAM, "milliseconds merging per-shard answers per batch"),
+    # ---------------------------------------------------------- continuous
+    "continuous.subscriptions": (GAUGE, "standing subscriptions currently registered"),
+    "continuous.notifications": (COUNTER, "notification deltas delivered to subscription sinks"),
+    "continuous.delta_evals": (COUNTER, "subscription re-evaluations answered incrementally"),
+    "continuous.full_reruns": (COUNTER, "subscription re-evaluations that fell back to a full re-run"),
+    "continuous.alerts": (COUNTER, "anomaly alerts raised by online discord scoring"),
+    "continuous.dropped": (COUNTER, "notifications dropped by per-subscription backpressure"),
+    "continuous.notify_ms": (HISTOGRAM, "milliseconds from mutation arrival to notification delivery"),
     # --------------------------------------------------------- experiments
     "experiments.trials": (COUNTER, "experiment trials executed by the runner"),
     "experiments.trials_skipped": (COUNTER, "matrix cells skipped as unsupported by their workload"),
@@ -128,7 +136,11 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "experiments.gate_violations": (COUNTER, "threshold rules violated by the last experiment diff"),
     "experiments.trial_wall_s": (HISTOGRAM, "wall seconds per recorded experiment trial"),
     # --------------------------------------------------------------- spans
+    "continuous.evaluate": (SPAN, "re-evaluate every standing subscription after one mutation"),
+    "continuous.replay": (SPAN, "replay a subscription log into registry state"),
     "cli.knn": (SPAN, "whole `repro knn` command"),
+    "cli.subscribe": (SPAN, "whole `repro subscribe` command"),
+    "cli.watch": (SPAN, "whole `repro watch` command"),
     "cli.serve": (SPAN, "whole `repro serve` command (bind to shutdown)"),
     "cli.shard": (SPAN, "whole `repro shard` command"),
     "cli.experiment": (SPAN, "whole `repro experiment` command"),

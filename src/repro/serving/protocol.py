@@ -10,23 +10,41 @@ match answers out of order) and carry ``{"ok": true, ...body}`` or
 Operations and their payloads (see :mod:`repro.client.api` for the
 dataclasses the payloads mirror):
 
-========  ==========================================  =======================
-op        request payload                             ok-response body
-========  ==========================================  =======================
-``knn``   :meth:`repro.client.KnnRequest.to_payload`  ``results`` (list of
-                                                      :class:`QueryResult`
-                                                      payloads)
-``range``  :meth:`repro.client.RangeRequest.to_payload`  ``result`` (one
-                                                      :class:`QueryResult`
-                                                      payload)
-``stats``  —                                          ``stats`` (metrics
-                                                      snapshot), ``server``
-``ping``   —                                          ``pong: true``
-========  ==========================================  =======================
+===============  ==============================================  =======================
+op               request payload                                 ok-response body
+===============  ==============================================  =======================
+``knn``          :meth:`repro.client.KnnRequest.to_payload`      ``results`` (list of
+                                                                 :class:`QueryResult`
+                                                                 payloads)
+``range``        :meth:`repro.client.RangeRequest.to_payload`    ``result`` (one
+                                                                 :class:`QueryResult`
+                                                                 payload)
+``insert``       ``series`` (list of floats)                     ``series_id``,
+                                                                 ``generation``
+``delete``       ``series_id``                                   ``deleted``,
+                                                                 ``generation``
+``subscribe``    ``query`` (a standing-query payload, see        ``subscription_id``
+                 :func:`repro.continuous.query_from_payload`)
+``unsubscribe``  ``subscription_id``                             ``unsubscribed``
+``stats``        —                                               ``stats`` (metrics
+                                                                 snapshot), ``server``
+``ping``         —                                               ``pong: true``
+===============  ==============================================  =======================
+
+**Push frames.**  After a ``subscribe``, the server writes unsolicited
+``notify`` frames on the same connection whenever the standing query's
+result changes: ``{"op": "notify", "ok": true, "subscription_id": ...,
+"notification": <Notification payload>}``.  Push frames carry **no**
+``id`` key — they answer no request — so pipelining clients must route
+frames by ``op`` before matching ids (see
+:meth:`repro.client.TcpClient._call`).  Delivery order per subscription
+follows notification ``seq``; see ``docs/continuous.md`` for backpressure
+and resync semantics.
 
 JSON serialises doubles via their shortest round-trip repr, so distances
 survive the wire bit-for-bit — the serving tests assert byte-identical
-answers against the in-process engine.
+answers against the in-process engine (and the continuous tests assert
+the same for pushed deltas).
 """
 
 from __future__ import annotations

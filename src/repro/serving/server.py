@@ -13,12 +13,26 @@ concurrently; arrivals beyond it wait in an admission queue bounded by
 ``overloaded`` error rather than queued into unbounded memory.  The
 accepted in-flight population (waiting + executing) is therefore capped at
 ``max_in_flight + queue_depth``, and a loopback load test can hold well
-over 1000 queries in flight with the defaults.
+over 1000 queries in flight with the defaults.  Mutations and subscription
+management (``insert``/``delete``/``subscribe``/``unsubscribe``) pass
+through the same two stages.
+
+**Continuous queries.**  A ``subscribe`` request registers a standing
+query with a :class:`repro.continuous.ContinuousEvaluator` wrapping the
+engine; result deltas are pushed back as ``notify`` frames on the
+subscriber's connection.  Each subscription gets a bounded notify queue
+(``notify_queue`` frames): when a slow consumer overflows it the delta is
+*dropped* (``continuous.dropped``) and, once the queue drains, the server
+re-runs the subscription and pushes one ``full`` resync notification —
+consumers never see a silently-patched gap, only a replacement snapshot.
+Subscriptions are tied to their connection and are torn down when it
+closes.  See ``docs/continuous.md`` for the delivery guarantees.
 
 Everything is instrumented through :mod:`repro.obs`: ``server.*`` counters
 (requests, sheds, errors, connections), the ``server.in_flight`` gauge and
 the ``server.request_ms`` latency histogram, whose p50/p99 render through
-``repro stats``.
+``repro stats``, plus the ``continuous.*`` family for the subscription
+path.
 """
 
 from __future__ import annotations
@@ -27,10 +41,13 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
+
+import numpy as np
 
 from .. import obs
 from ..client.api import KnnRequest, RangeRequest, QueryResult
+from ..continuous import ContinuousEvaluator, query_from_payload
 from .protocol import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -41,6 +58,11 @@ from .protocol import (
 )
 
 __all__ = ["ServerConfig", "ReproServer"]
+
+#: ops that go through the two-stage admission controller
+_ADMITTED_OPS = frozenset(
+    {"knn", "range", "insert", "delete", "subscribe", "unsubscribe"}
+)
 
 
 @dataclass(frozen=True)
@@ -58,6 +80,9 @@ class ServerConfig:
         workers: thread-pool size for query execution (defaults to
             ``max_in_flight``).
         max_frame_bytes: per-frame size cap for both directions.
+        notify_queue: per-subscription buffered push frames; a consumer
+            lagging beyond this drops deltas and gets a ``full`` resync
+            once it catches up.
     """
 
     host: str = "127.0.0.1"
@@ -66,6 +91,7 @@ class ServerConfig:
     queue_depth: int = 2048
     workers: "Optional[int]" = None
     max_frame_bytes: int = MAX_FRAME_BYTES
+    notify_queue: int = 256
 
     def __post_init__(self):
         if self.max_in_flight < 1:
@@ -74,6 +100,20 @@ class ServerConfig:
             raise ValueError("queue_depth must be >= 0")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None)")
+        if self.notify_queue < 1:
+            raise ValueError("notify_queue must be >= 1")
+
+
+class _Channel:
+    """One subscription's server-side delivery state (per connection)."""
+
+    __slots__ = ("sid", "queue", "lagged", "task")
+
+    def __init__(self, queue: "asyncio.Queue"):
+        self.sid: "Optional[str]" = None
+        self.queue = queue
+        self.lagged = False
+        self.task: "Optional[asyncio.Task]" = None
 
 
 class ReproServer:
@@ -81,11 +121,20 @@ class ReproServer:
 
     ``engine`` is anything with the engine query surface (``knn_batch`` +
     ``range_query``): a :class:`repro.index.SeriesDatabase`, a
-    :class:`repro.storage.DiskBackedDatabase` or a
-    :class:`repro.serving.ShardedEngine`.  The server never mutates it.
+    :class:`repro.storage.DiskBackedDatabase`, a
+    :class:`repro.serving.ShardedEngine`, or a pre-built
+    :class:`repro.continuous.ContinuousEvaluator` wrapping one of those
+    (pass the evaluator to serve a durable subscription registry).  Reads
+    never mutate the engine; ``insert``/``delete`` requests do, routed
+    through the evaluator so standing subscriptions see every change.
     """
 
     def __init__(self, engine, config: "Optional[ServerConfig]" = None):
+        if isinstance(engine, ContinuousEvaluator):
+            self._continuous: "Optional[ContinuousEvaluator]" = engine
+            engine = engine.target
+        else:
+            self._continuous = None
         self.engine = engine
         self.config = config if config is not None else ServerConfig()
         self.port: "Optional[int]" = None
@@ -95,6 +144,13 @@ class ReproServer:
         self._slots: "Optional[asyncio.Semaphore]" = None
         self._waiting = 0
         self._executing = 0
+
+    @property
+    def continuous(self) -> ContinuousEvaluator:
+        """The evaluator behind mutation and subscription ops (lazy)."""
+        if self._continuous is None:
+            self._continuous = ContinuousEvaluator(self.engine)
+        return self._continuous
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -138,6 +194,7 @@ class ReproServer:
             obs.count("server.connections")
         write_lock = asyncio.Lock()
         tasks: "set[asyncio.Task]" = set()
+        channels: "Dict[str, _Channel]" = {}
         try:
             while True:
                 try:
@@ -147,7 +204,7 @@ class ReproServer:
                 if frame is None:
                     break
                 task = asyncio.ensure_future(
-                    self._handle_request(frame, writer, write_lock)
+                    self._handle_request(frame, writer, write_lock, channels)
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -156,10 +213,59 @@ class ReproServer:
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
+            for channel in list(channels.values()):
+                await self._close_channel(channel)
+            if channels and self._continuous is not None:
+                loop = asyncio.get_event_loop()
+                for sid in channels:
+                    # subscriptions die with their connection
+                    await loop.run_in_executor(
+                        self._executor, self._continuous.unsubscribe, sid
+                    )
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- push-frame delivery -----------------------------------------------
+    def _enqueue(self, channel: _Channel, note) -> None:
+        """Queue one notification for the drainer (event-loop thread only)."""
+        try:
+            channel.queue.put_nowait(note)
+        except asyncio.QueueFull:
+            channel.lagged = True
+            if obs.is_enabled():
+                obs.count("continuous.dropped")
+
+    async def _drain(self, channel: _Channel, writer, lock: asyncio.Lock) -> None:
+        """Deliver one subscription's queued notifications in order."""
+        loop = asyncio.get_event_loop()
+        while True:
+            note = await channel.queue.get()
+            await self._reply(
+                writer,
+                lock,
+                {
+                    "op": "notify",
+                    "ok": True,
+                    "subscription_id": channel.sid,
+                    "notification": note.to_payload(),
+                },
+            )
+            if channel.lagged and channel.queue.empty():
+                # consumer caught up after drops: replace its state wholesale
+                channel.lagged = False
+                await loop.run_in_executor(
+                    self._executor, self.continuous.refresh, channel.sid
+                )
+
+    async def _close_channel(self, channel: _Channel) -> None:
+        if channel.task is not None:
+            channel.task.cancel()
+            try:
+                await channel.task
+            except (asyncio.CancelledError, Exception):
                 pass
 
     async def _reply(self, writer, lock: asyncio.Lock, message: dict) -> None:
@@ -178,7 +284,9 @@ class ReproServer:
         if obs.is_enabled():
             obs.gauge_set("server.in_flight", population)
 
-    async def _handle_request(self, frame: dict, writer, lock: asyncio.Lock) -> None:
+    async def _handle_request(
+        self, frame: dict, writer, lock: asyncio.Lock, channels: "Dict[str, _Channel]"
+    ) -> None:
         """Dispatch one request frame and write its response."""
         rid = frame.get("id")
         op = frame.get("op")
@@ -190,7 +298,7 @@ class ReproServer:
         if op == "stats":
             await self._reply(writer, lock, ok_response(rid, op, self._stats_body()))
             return
-        if op not in ("knn", "range"):
+        if op not in _ADMITTED_OPS:
             if obs.is_enabled():
                 obs.count("server.errors")
             await self._reply(
@@ -214,7 +322,7 @@ class ReproServer:
         self._waiting -= 1
         self._executing += 1
         try:
-            body = await self._execute(op, frame)
+            body = await self._execute(op, frame, writer, lock, channels)
             message = ok_response(rid, op, body)
         except (ValueError, KeyError, TypeError, RuntimeError, FrameError) as exc:
             if obs.is_enabled():
@@ -234,8 +342,10 @@ class ReproServer:
                 )
         await self._reply(writer, lock, message)
 
-    async def _execute(self, op: str, frame: dict) -> dict:
-        """Run one admitted query on the thread pool; returns the reply body."""
+    async def _execute(
+        self, op: str, frame: dict, writer, lock: asyncio.Lock, channels
+    ) -> dict:
+        """Run one admitted request on the thread pool; returns the reply body."""
         loop = asyncio.get_event_loop()
         if op == "knn":
             request = KnnRequest.from_payload(frame)
@@ -249,14 +359,53 @@ class ReproServer:
                 "results": [r.to_payload() for r in QueryResult.from_batch(batch)],
                 "elapsed_s": batch.elapsed_s,
             }
-        request = RangeRequest.from_payload(frame)
-        result = await loop.run_in_executor(
-            self._executor, self.engine.range_query, request.query, request.radius
+        if op == "range":
+            request = RangeRequest.from_payload(frame)
+            result = await loop.run_in_executor(
+                self._executor, self.engine.range_query, request.query, request.radius
+            )
+            generation = getattr(self.engine, "generation", None)
+            return {
+                "result": QueryResult.from_knn(result, generation=generation).to_payload()
+            }
+        if op == "insert":
+            series = np.asarray(frame["series"], dtype=float)
+            gid = await loop.run_in_executor(
+                self._executor, self.continuous.insert, series
+            )
+            return {"series_id": int(gid), "generation": self._generation_body()}
+        if op == "delete":
+            deleted = await loop.run_in_executor(
+                self._executor, self.continuous.delete, int(frame["series_id"])
+            )
+            return {"deleted": bool(deleted), "generation": self._generation_body()}
+        if op == "unsubscribe":
+            sid = str(frame["subscription_id"])
+            channel = channels.pop(sid, None)
+            if channel is not None:
+                await self._close_channel(channel)
+            dropped = await loop.run_in_executor(
+                self._executor, self.continuous.unsubscribe, sid
+            )
+            return {"unsubscribed": bool(dropped)}
+        # subscribe: register the standing query and start its drainer
+        query = query_from_payload(frame["query"])
+        channel = _Channel(asyncio.Queue(self.config.notify_queue))
+
+        def sink(note):
+            loop.call_soon_threadsafe(self._enqueue, channel, note)
+
+        sid = await loop.run_in_executor(
+            self._executor, self.continuous.subscribe, query, sink
         )
+        channel.sid = sid
+        channels[sid] = channel
+        channel.task = asyncio.ensure_future(self._drain(channel, writer, lock))
+        return {"subscription_id": sid}
+
+    def _generation_body(self):
         generation = getattr(self.engine, "generation", None)
-        return {
-            "result": QueryResult.from_knn(result, generation=generation).to_payload()
-        }
+        return list(generation) if isinstance(generation, tuple) else generation
 
     def _stats_body(self) -> dict:
         """The ``stats`` op body: server state + a metrics snapshot."""
@@ -267,6 +416,11 @@ class ReproServer:
                 "max_in_flight": self.config.max_in_flight,
                 "queue_depth": self.config.queue_depth,
                 "shards": getattr(self.engine, "n_shards", 1),
+                "subscriptions": (
+                    len(self._continuous.registry)
+                    if self._continuous is not None
+                    else 0
+                ),
             }
         }
         if obs.is_enabled():

@@ -1,0 +1,159 @@
+"""``Client.subscribe`` through both backends: same deltas, same handle.
+
+The facade promise: a standing query registered through a
+:class:`LocalClient` or a :class:`TcpClient` yields the same typed
+:class:`Notification` stream from the same :class:`Subscription` handle —
+blocking ``next`` with timeouts, plain iteration, idempotent ``close``.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.client import KnnRequest, connect
+from repro.continuous import KnnWatch, Notification, RangeWatch
+from repro.engine import QueryOptions
+from repro.index import SeriesDatabase
+from repro.reduction import PAA
+from repro.serving import ReproServer, ServerConfig
+
+LENGTH = 32
+
+
+def make_db(count=20, seed=0):
+    rng = np.random.default_rng(seed)
+    db = SeriesDatabase(PAA(8), index=None)
+    db.ingest(rng.normal(size=(count, LENGTH)).cumsum(axis=1))
+    return db
+
+
+class _ServerThread:
+    """Host a ReproServer on a background event loop for the sync client."""
+
+    def __init__(self, engine, config=None):
+        self.server = ReproServer(engine, config or ServerConfig())
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        started.wait(timeout=10)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self):
+        async def shutdown():
+            await self.server.stop()
+            self.loop.stop()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), self.loop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+class TestLocalSubscribe:
+    def test_subscription_streams_typed_deltas(self):
+        db = make_db()
+        client = connect(db)
+        query = np.asarray(db.data)[0] + 0.01
+        subscription = client.subscribe(KnnWatch(query=query, k=3))
+        initial = subscription.next(timeout=2.0)
+        assert isinstance(initial, Notification)
+        assert initial.full and initial.seq == 1
+
+        gid = client.insert(query + 0.001)
+        delta = subscription.next(timeout=2.0)
+        assert gid in delta.added
+        reference = db.knn_batch(query[None, :], QueryOptions(k=3)).results[0]
+        assert list(delta.ids) == list(reference.ids)
+        assert list(delta.distances) == list(reference.distances)
+
+        with pytest.raises(TimeoutError):
+            subscription.next(timeout=0.05)  # nothing pending
+
+        subscription.close()
+        subscription.close()  # idempotent
+        with pytest.raises(StopIteration):
+            subscription.next()
+        assert client.stats()["server"]["subscriptions"] == 0
+
+    def test_iteration_and_context_manager(self):
+        db = make_db()
+        client = connect(db)
+        query = np.asarray(db.data)[1] + 0.01
+        with client.subscribe(RangeWatch(query=query, radius=1.0)) as subscription:
+            client.insert(query + 0.002)
+            notes = [note for _, note in zip(range(2), subscription)]
+        assert notes[0].full and not notes[1].full
+        assert client.stats()["server"]["subscriptions"] == 0
+
+
+class TestTcpSubscribe:
+    def test_subscription_over_the_wire_matches_local(self):
+        db = make_db()
+        reference_db = make_db()
+        host = _ServerThread(db)
+        try:
+            client = connect(f"tcp://127.0.0.1:{host.port}")
+            try:
+                query = np.asarray(reference_db.data)[2] + 0.01
+                subscription = client.subscribe(KnnWatch(query=query, k=4))
+                assert subscription.id.startswith("sub-")
+                initial = subscription.next(timeout=5.0)
+                assert initial.full and initial.seq == 1
+
+                # a one-shot query mid-subscription: pushes keep routing
+                results = client.knn(KnnRequest(queries=query[None, :], k=4))
+                gid = client.insert(query + 0.001)
+                delta = subscription.next(timeout=5.0)
+                assert gid in delta.added
+
+                reference_db.insert(query + 0.001)
+                reference = reference_db.knn_batch(
+                    query[None, :], QueryOptions(k=4)
+                ).results[0]
+                assert list(delta.ids) == list(reference.ids)
+                assert list(delta.distances) == list(reference.distances)
+                assert list(results[0].ids) == list(initial.ids)
+
+                with pytest.raises(TimeoutError):
+                    subscription.next(timeout=0.1)
+
+                assert client.stats()["server"]["subscriptions"] == 1
+                subscription.close()
+                assert client.stats()["server"]["subscriptions"] == 0
+                with pytest.raises(StopIteration):
+                    subscription.next()
+            finally:
+                client.close()
+        finally:
+            host.stop()
+
+    def test_deleting_a_frontier_member_pushes_a_full_rerun(self):
+        db = make_db()
+        host = _ServerThread(db)
+        try:
+            client = connect(f"tcp://127.0.0.1:{host.port}")
+            try:
+                query = np.asarray(db.data)[5] + 0.01
+                subscription = client.subscribe(KnnWatch(query=query, k=3))
+                initial = subscription.next(timeout=5.0)
+                victim = initial.ids[0]
+                assert client.delete(victim) is True
+                note = subscription.next(timeout=5.0)
+                assert note.full and victim in note.removed
+                subscription.close()
+            finally:
+                client.close()
+        finally:
+            host.stop()

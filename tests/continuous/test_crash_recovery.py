@@ -1,0 +1,206 @@
+"""SIGKILL mid-notify: recovery re-emits exactly the unconfirmed deltas.
+
+The child opens a durable database home plus a subscription registry with
+``FsyncPolicy.ALWAYS``, registers a k-NN watch and an anomaly watch, and
+streams inserts, printing every delivered notification as a JSON line
+*before* the registry acks it (the sink-then-ack order under test).  The
+parent SIGKILLs it mid-stream — the kill can land between a delivery and
+its ack, between the WAL fsync and the delivery, or mid-append — then
+reopens everything, resyncs, and plays consumer: notifications are
+de-duplicated by ``seq``.  After the merge
+
+* no alert or frontier is lost — the consumer's final state equals a
+  scratch run on the recovered database, and
+* no duplicate differs — any re-delivered seq carries the same content
+  as the original, so seq-deduplication is safe.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.continuous import (
+    ContinuousEvaluator,
+    OnlineDiscordScorer,
+    SubscriptionRegistry,
+)
+from repro.engine import QueryOptions
+from repro.index import SeriesDatabase
+from repro.io import open_database
+from repro.reduction import PAA
+
+LENGTH = 32
+SEED_ROWS = 8
+K = 3
+WINDOW = 8
+THRESHOLD = 1.0
+CHILD_SEED = 1234
+TOTAL_INSERTS = 60
+
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import json
+    import sys
+
+    import numpy as np
+
+    from repro.continuous import (
+        AnomalyWatch,
+        ContinuousEvaluator,
+        KnnWatch,
+        SubscriptionRegistry,
+    )
+    from repro.io import open_database
+    from repro.lifecycle import DurabilityOptions, FsyncPolicy
+
+    home, total = sys.argv[1], int(sys.argv[2])
+    always = DurabilityOptions(fsync=FsyncPolicy.ALWAYS)
+    db = open_database(home, durability=always)
+    registry = SubscriptionRegistry(home + "/subscriptions.log", durability=always)
+    evaluator = ContinuousEvaluator(db, registry)
+
+    def sink(note):
+        print(json.dumps(note.to_payload()), flush=True)
+
+    rng = np.random.default_rng({seed})
+    query = np.asarray(db.data)[0] + 0.01
+    evaluator.subscribe(KnnWatch(query=query, k={k}), sink=sink)
+    evaluator.subscribe(
+        AnomalyWatch(window={window}, threshold={threshold}, stride=2, history=48),
+        sink=sink,
+    )
+    for i in range(total):
+        if i % 3 == 0:
+            row = query + rng.normal(scale=0.05, size={length})
+        elif i % 7 == 5:
+            row = np.sin(np.linspace(0, 6, {length})) + 6.0  # discord material
+        else:
+            row = rng.normal(size={length}).cumsum()
+        evaluator.insert(row)
+    """
+).format(
+    seed=CHILD_SEED, k=K, window=WINDOW, threshold=THRESHOLD, length=LENGTH
+)
+
+
+def seed_home(tmp_path):
+    rng = np.random.default_rng(0)
+    db = SeriesDatabase(PAA(8), index=None)
+    db.ingest(rng.normal(size=(SEED_ROWS, LENGTH)).cumsum(axis=1))
+    home = tmp_path / "home"
+    db.save(home)
+    return home
+
+
+def run_child_and_kill_after(home, notes_before_kill):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, str(home), str(TOTAL_INSERTS)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    delivered = []
+    try:
+        # acks are written only after the sink (the print) returns, so the
+        # pipe holds everything the log can have acked: kill mid-stream,
+        # then drain to EOF — a torn final line is a delivery the crash
+        # interrupted before its ack, exactly what resync must re-emit
+        for line in child.stdout:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn mid-write by the kill
+            delivered.append(payload)
+            if len(delivered) == notes_before_kill and child.poll() is None:
+                os.kill(child.pid, signal.SIGKILL)
+    finally:
+        child.stdout.close()
+        child.wait()
+    return delivered
+
+
+@pytest.mark.parametrize("kill_after", [2, 7, 19])
+def test_sigkill_mid_notify_loses_and_duplicates_nothing(tmp_path, kill_after):
+    home = seed_home(tmp_path)
+    delivered = run_child_and_kill_after(home, kill_after)
+    assert len(delivered) >= kill_after
+
+    # consumer state before the crash: latest payload per (sid, seq)
+    seen = {}
+    for payload in delivered:
+        key = (payload["subscription_id"], payload["seq"])
+        assert key not in seen, "the live stream already duplicated a seq"
+        seen[key] = payload
+
+    # recover: WAL replay for the data, log replay for the subscriptions
+    db = open_database(home)
+    registry = SubscriptionRegistry(home / "subscriptions.log")
+    assert len(registry) == 2
+    evaluator = ContinuousEvaluator(db, registry)
+    resynced = []
+    for sid in registry.subscriptions():
+        evaluator.attach_sink(sid, lambda note: resynced.append(note))
+    emitted = evaluator.resync()
+    assert [n.to_payload() for n in emitted] == [n.to_payload() for n in resynced]
+
+    # merge with seq-dedupe: a re-delivered seq must repeat the original
+    for note in emitted:
+        payload = note.to_payload()
+        key = (payload["subscription_id"], payload["seq"])
+        if key in seen:
+            original = seen[key]
+            assert payload["ids"] == original["ids"]
+            assert payload["distances"] == original["distances"]
+            assert payload["alert"] == original["alert"]
+        else:
+            seen[key] = payload
+
+    by_sid = {}
+    for (sid, seq), payload in seen.items():
+        by_sid.setdefault(sid, {})[seq] = payload
+
+    states = registry.subscriptions()
+    knn_sid = next(s for s, st in states.items() if st.query.kind == "knn")
+    anomaly_sid = next(s for s, st in states.items() if st.query.kind == "anomaly")
+
+    # nothing lost: the consumer's newest frontier is the scratch answer
+    knn_notes = by_sid[knn_sid]
+    final = knn_notes[max(knn_notes)]
+    query = states[knn_sid].query.query
+    scratch = db.knn_batch(query[None, :], QueryOptions(k=K)).results[0]
+    assert final["ids"] == [int(g) for g in scratch.ids]
+    assert final["distances"] == [float(d) for d in scratch.distances]
+
+    # and the k-NN seqs the consumer holds are gapless from 1
+    assert sorted(knn_notes) == list(range(1, max(knn_notes) + 1))
+
+    # anomaly watch: the merged alert stream is exactly what scoring the
+    # recovered rows from the subscription cursor reproduces
+    watch = states[anomaly_sid].query
+    scorer = OnlineDiscordScorer(
+        window=watch.window,
+        threshold=watch.threshold,
+        stride=watch.stride,
+        max_segments=watch.max_segments,
+        history=watch.history,
+    )
+    expected = []
+    data = np.asarray(db.data)
+    for gid in range(states[anomaly_sid].from_row, data.shape[0]):
+        expected.extend(scorer.extend(data[gid]))
+    merged_alerts = [
+        by_sid[anomaly_sid][seq]["alert"]
+        for seq in sorted(by_sid[anomaly_sid])
+        if by_sid[anomaly_sid][seq]["alert"] is not None
+    ]
+    assert merged_alerts == [a.to_payload() for a in expected]
+    evaluator.close()

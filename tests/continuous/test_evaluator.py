@@ -1,0 +1,254 @@
+"""Incremental evaluation per watch kind + the delivery-order guarantee.
+
+Each kind's delta path must leave the maintained frontier bit-identical
+to the one-shot engine answer on the mutated database; delivery must sink
+before it acks, so a failed sink never advances the acked seq.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continuous import (
+    AnomalyWatch,
+    ContinuousEvaluator,
+    KnnWatch,
+    OnlineDiscordScorer,
+    RangeWatch,
+    SubsequenceWatch,
+)
+from repro.distance import euclidean
+from repro.engine import QueryOptions
+from repro.index import SeriesDatabase
+from repro.reduction import PAA
+
+LENGTH = 32
+
+
+def make_db(count=16, seed=0):
+    rng = np.random.default_rng(seed)
+    db = SeriesDatabase(PAA(8), index=None)
+    db.ingest(rng.normal(size=(count, LENGTH)).cumsum(axis=1))
+    return db
+
+
+def collect(evaluator, query):
+    notes = []
+    sid = evaluator.subscribe(query, sink=notes.append)
+    return sid, notes
+
+
+class TestKnnWatch:
+    def test_initial_snapshot_matches_scratch(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[0] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=4))
+        reference = db.knn_batch(query[None, :], QueryOptions(k=4)).results[0]
+        assert len(notes) == 1 and notes[0].full and notes[0].seq == 1
+        assert list(notes[0].ids) == list(reference.ids)
+        assert list(notes[0].distances) == list(reference.distances)
+
+    def test_near_insert_enters_the_frontier_as_a_delta(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[3] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=4))
+        gid = evaluator.insert(query + 0.001)
+        assert len(notes) == 2
+        delta = notes[1]
+        assert not delta.full and delta.added == (gid,) and len(delta.removed) == 1
+        reference = db.knn_batch(query[None, :], QueryOptions(k=4)).results[0]
+        assert list(delta.ids) == list(reference.ids)
+        assert list(delta.distances) == list(reference.distances)
+
+    def test_far_insert_is_silent_once_the_frontier_is_full(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[3] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=4))
+        evaluator.insert(query + 1e6)  # far beyond the kept top-k
+        assert len(notes) == 1  # only the initial snapshot
+
+    def test_frontier_delete_triggers_a_full_rerun(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[5] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=4))
+        victim = notes[0].ids[0]
+        assert evaluator.delete(victim)
+        assert len(notes) == 2
+        note = notes[1]
+        assert note.full and victim in note.removed
+        reference = db.knn_batch(query[None, :], QueryOptions(k=4)).results[0]
+        assert list(note.ids) == list(reference.ids)
+        assert list(note.distances) == list(reference.distances)
+
+    def test_delete_outside_the_frontier_is_silent(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[5] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=2))
+        reference = db.knn_batch(query[None, :], QueryOptions(k=16)).results[0]
+        outsider = reference.ids[-1]  # live, but nowhere near the top-2
+        assert outsider not in notes[0].ids
+        assert evaluator.delete(outsider)
+        assert len(notes) == 1
+
+
+class TestRangeWatch:
+    def test_membership_uses_the_range_query_distance_primitive(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[2] + 0.01
+        radius = float(
+            db.knn_batch(query[None, :], QueryOptions(k=3)).results[0].distances[-1]
+        ) + 0.25
+        sid, notes = collect(evaluator, RangeWatch(query=query, radius=radius))
+        reference = db.range_query(query, radius)
+        assert list(notes[0].ids) == list(reference.ids)
+        assert list(notes[0].distances) == list(reference.distances)
+
+        row = query + 0.002
+        gid = evaluator.insert(row)
+        delta = notes[-1]
+        assert delta.added == (gid,)
+        # the incremental distance is exactly range_query's verification value
+        assert dict(zip(delta.ids, delta.distances))[gid] == euclidean(row, query)
+        reference = db.range_query(query, radius)
+        assert list(delta.ids) == list(reference.ids)
+        assert list(delta.distances) == list(reference.distances)
+
+    def test_out_of_radius_insert_and_member_delete(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[2] + 0.01
+        radius = float(
+            db.knn_batch(query[None, :], QueryOptions(k=3)).results[0].distances[-1]
+        ) + 0.25
+        sid, notes = collect(evaluator, RangeWatch(query=query, radius=radius))
+        evaluator.insert(query + 1e6)
+        assert len(notes) == 1  # outside the radius: silent
+
+        member = notes[0].ids[0]
+        assert evaluator.delete(member)
+        assert notes[-1].removed == (member,)
+        reference = db.range_query(query, radius)
+        assert list(notes[-1].ids) == list(reference.ids)
+        assert list(notes[-1].distances) == list(reference.distances)
+
+
+class TestSubsequenceWatch:
+    def test_sees_only_rows_inserted_after_subscribing(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        pattern = np.sin(np.linspace(0.0, 3.0, 8))
+        sid, notes = collect(
+            evaluator, SubsequenceWatch(pattern=pattern, radius=0.5)
+        )
+        assert notes[0].full and notes[0].matches == ()
+
+        rng = np.random.default_rng(9)
+        carrier = rng.normal(size=LENGTH).cumsum()
+        carrier[10:18] = pattern  # plant one exact occurrence
+        gid = evaluator.insert(carrier)
+        assert len(notes) == 2
+        match_gids = {g for g, _, _ in notes[1].matches}
+        assert match_gids == {gid}
+        start = notes[1].matches[0][1]
+        window = carrier[start : start + 8]
+        assert float(np.linalg.norm(window - pattern)) <= 0.5
+
+        evaluator.insert(rng.normal(size=LENGTH).cumsum() + 100.0)  # no match
+        assert len(notes) == 2
+        assert evaluator.delete(gid)
+        assert notes[-1].removed == (gid,) and notes[-1].matches == ()
+
+
+class TestAnomalyWatch:
+    def test_alerts_reproduce_the_standalone_scorer(self):
+        db = make_db(count=4)
+        evaluator = ContinuousEvaluator(db)
+        watch = AnomalyWatch(window=8, threshold=0.8, stride=2, history=32)
+        sid, notes = collect(evaluator, watch)
+
+        rng = np.random.default_rng(11)
+        rows = [np.sin(np.linspace(0, 4 * np.pi, LENGTH)) for _ in range(3)]
+        spike = rows[0].copy()
+        spike[12:20] += 8.0  # an obvious discord
+        rows.append(spike)
+        for row in rows:
+            evaluator.insert(row)
+
+        alerts = [n for n in notes if n.alert is not None]
+        assert alerts, "the injected discord never raised an alert"
+        scorer = OnlineDiscordScorer(
+            window=8, threshold=0.8, stride=2, history=32
+        )
+        expected = [a for row in rows for a in scorer.extend(row)]
+        assert [n.alert for n in alerts] == [a.to_payload() for a in expected]
+
+    def test_deletes_do_not_rewind_the_stream(self):
+        db = make_db(count=4)
+        evaluator = ContinuousEvaluator(db)
+        sid, notes = collect(evaluator, AnomalyWatch(window=8, threshold=0.8))
+        gid = evaluator.insert(np.zeros(LENGTH))
+        before = len(notes)
+        assert evaluator.delete(gid)
+        assert len(notes) == before
+
+
+class TestDeliveryGuarantee:
+    def test_sink_failure_leaves_the_seq_unacked_and_resync_reemits(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[1] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=3))
+        acked = evaluator.registry.get(sid).seq
+        assert acked == 1  # the initial snapshot was delivered and acked
+
+        def broken_sink(note):
+            raise ConnectionResetError("consumer went away mid-delivery")
+
+        evaluator.attach_sink(sid, broken_sink)
+        with pytest.raises(ConnectionResetError):
+            evaluator.insert(query + 0.001)
+        assert evaluator.registry.get(sid).seq == acked  # sink first, ack second
+
+        # recovery: resync re-emits the lost delta with the seq it would
+        # have carried, so a seq-deduplicating consumer converges
+        evaluator.attach_sink(sid, notes.append)
+        emitted = evaluator.resync(sid)
+        assert len(emitted) == 1 and emitted[0].seq == acked + 1
+        reference = db.knn_batch(query[None, :], QueryOptions(k=3)).results[0]
+        assert list(emitted[0].ids) == list(reference.ids)
+        assert list(emitted[0].distances) == list(reference.distances)
+
+    def test_resync_is_silent_when_everything_is_acked(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[1] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=3))
+        evaluator.insert(query + 0.001)
+        assert evaluator.resync() == []
+
+    def test_refresh_always_reemits_a_full_snapshot(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[1] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=3))
+        note = evaluator.refresh(sid)  # the post-backpressure catch-up path
+        assert note is not None and note.full and note.seq == 2
+        reference = db.knn_batch(query[None, :], QueryOptions(k=3)).results[0]
+        assert list(note.ids) == list(reference.ids)
+        assert list(note.distances) == list(reference.distances)
+        assert evaluator.refresh("sub-999999") is None
+
+    def test_unsubscribe_stops_delivery(self):
+        db = make_db()
+        evaluator = ContinuousEvaluator(db)
+        query = np.asarray(db.data)[1] + 0.01
+        sid, notes = collect(evaluator, KnnWatch(query=query, k=3))
+        assert evaluator.unsubscribe(sid) is True
+        evaluator.insert(query + 0.001)
+        assert len(notes) == 1
+        assert evaluator.unsubscribe(sid) is False

@@ -1,0 +1,108 @@
+"""Standing-query vocabulary: validation + exact payload round-trips.
+
+The same ``to_payload`` dicts travel the TCP wire and the durable
+subscription log, so the round-trip has to be lossless — including the
+float values, which must come back bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continuous import (
+    AnomalyWatch,
+    KnnWatch,
+    Notification,
+    RangeWatch,
+    SubsequenceWatch,
+    query_from_payload,
+)
+
+
+class TestValidation:
+    def test_knn_rejects_bad_shapes_and_k(self):
+        with pytest.raises(ValueError):
+            KnnWatch(query=np.zeros((2, 4)), k=1)
+        with pytest.raises(ValueError):
+            KnnWatch(query=np.zeros(4), k=0)
+
+    def test_range_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            RangeWatch(query=np.zeros(4), radius=-1.0)
+
+    def test_subsequence_rejects_short_pattern_and_bad_stride(self):
+        with pytest.raises(ValueError):
+            SubsequenceWatch(pattern=np.zeros(1), radius=1.0)
+        with pytest.raises(ValueError):
+            SubsequenceWatch(pattern=np.zeros(4), radius=1.0, stride=0)
+
+    def test_anomaly_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            AnomalyWatch(window=1, threshold=1.0)
+        with pytest.raises(ValueError):
+            AnomalyWatch(window=8, threshold=-0.1)
+        with pytest.raises(ValueError):
+            AnomalyWatch(window=8, threshold=1.0, history=0)
+
+
+class TestPayloadRoundTrip:
+    def test_each_kind_round_trips_exactly(self):
+        rng = np.random.default_rng(3)
+        watches = [
+            KnnWatch(query=rng.normal(size=16), k=5),
+            RangeWatch(query=rng.normal(size=16), radius=2.25),
+            SubsequenceWatch(pattern=rng.normal(size=8), radius=0.75, stride=2),
+            AnomalyWatch(window=8, threshold=1.5, stride=2, max_segments=4, history=32),
+        ]
+        for watch in watches:
+            rebuilt = query_from_payload(watch.to_payload())
+            assert type(rebuilt) is type(watch)
+            assert rebuilt.to_payload() == watch.to_payload()
+
+    def test_array_fields_come_back_bit_identical(self):
+        query = np.random.default_rng(5).normal(size=12)
+        rebuilt = query_from_payload(KnnWatch(query=query, k=2).to_payload())
+        assert np.array_equal(rebuilt.query, query)
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown standing-query kind"):
+            query_from_payload({"kind": "percentile"})
+
+
+class TestNotification:
+    def test_payload_round_trip(self):
+        note = Notification(
+            subscription_id="sub-000003",
+            seq=7,
+            kind="knn",
+            generation=12,
+            ids=(4, 9),
+            distances=(0.125, 1.5),
+            added=(9,),
+            removed=(2,),
+            full=False,
+        )
+        assert Notification.from_payload(note.to_payload()) == note
+
+    def test_sharded_generation_survives_as_tuple(self):
+        note = Notification(
+            subscription_id="sub-000001", seq=1, kind="range", generation=(3, 4)
+        )
+        payload = note.to_payload()
+        assert payload["generation"] == [3, 4]  # JSON-safe on the wire
+        assert Notification.from_payload(payload).generation == (3, 4)
+
+    def test_matches_and_alert_round_trip(self):
+        note = Notification(
+            subscription_id="sub-000002",
+            seq=2,
+            kind="subsequence",
+            matches=((11, 4, 0.5), (12, 0, 0.25)),
+        )
+        assert Notification.from_payload(note.to_payload()).matches == note.matches
+        alert = Notification(
+            subscription_id="sub-000004",
+            seq=3,
+            kind="anomaly",
+            alert={"start": 40, "score": 2.5},
+        )
+        assert Notification.from_payload(alert.to_payload()).alert == alert.alert

@@ -1,0 +1,127 @@
+"""Durable subscription registry: replay, torn tails, ack semantics.
+
+Mirrors the WAL tests in ``tests/lifecycle``: the log must reopen to
+exactly the state it acknowledged, tolerate a record cut mid-write, and
+refuse files that are not subscription logs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continuous import (
+    KnnWatch,
+    RangeWatch,
+    SubscriptionRegistry,
+)
+from repro.continuous.registry import MAGIC, _PREFIX
+from repro.lifecycle import DurabilityOptions, FsyncPolicy
+
+
+def watch(seed=0, k=3):
+    return KnnWatch(query=np.random.default_rng(seed).normal(size=8), k=k)
+
+
+class TestInMemory:
+    def test_subscribe_ack_unsubscribe_round_trip(self):
+        registry = SubscriptionRegistry()
+        sid = registry.subscribe(watch(), from_row=5)
+        assert sid == "sub-000001"
+        assert len(registry) == 1
+        sub = registry.get(sid)
+        assert sub.from_row == 5 and sub.seq == 0
+
+        registry.ack(sid, 3, 17, {"ids": [1, 2], "distances": [0.5, 1.5]})
+        sub = registry.get(sid)
+        assert sub.seq == 3 and sub.generation == 17
+        assert sub.state == {"ids": [1, 2], "distances": [0.5, 1.5]}
+
+        assert registry.unsubscribe(sid) is True
+        assert registry.unsubscribe(sid) is False
+        assert registry.get(sid) is None and len(registry) == 0
+
+    def test_duplicate_sid_is_rejected(self):
+        registry = SubscriptionRegistry()
+        registry.subscribe(watch(), sid="mine")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.subscribe(watch(1), sid="mine")
+
+    def test_ack_for_unknown_sid_is_a_no_op(self):
+        registry = SubscriptionRegistry()
+        registry.ack("sub-999999", 1, None, {})  # racing unsubscribe
+        assert len(registry) == 0
+
+    def test_path_is_none(self):
+        assert SubscriptionRegistry().path is None
+
+
+class TestDurableReplay:
+    def test_reopen_restores_subscriptions_and_acked_state(self, tmp_path):
+        log = tmp_path / "subscriptions.log"
+        registry = SubscriptionRegistry(log)
+        knn_sid = registry.subscribe(watch(seed=1, k=4), from_row=3)
+        range_sid = registry.subscribe(
+            RangeWatch(query=np.arange(6, dtype=float), radius=2.5)
+        )
+        gone_sid = registry.subscribe(watch(seed=2))
+        registry.ack(knn_sid, 5, (7, 8), {"ids": [10], "distances": [0.25]})
+        registry.unsubscribe(gone_sid)
+        registry.close()
+
+        reopened = SubscriptionRegistry(log)
+        assert sorted(reopened.subscriptions()) == sorted([knn_sid, range_sid])
+        sub = reopened.get(knn_sid)
+        assert sub.seq == 5
+        assert sub.generation == (7, 8)  # tuple restored from the JSON list
+        assert sub.state == {"ids": [10], "distances": [0.25]}
+        assert sub.from_row == 3
+        assert sub.query.to_payload() == watch(seed=1, k=4).to_payload()
+        assert reopened.get(range_sid).query.radius == 2.5
+        # the counter resumed: a new subscription never reuses a burned id
+        fresh = reopened.subscribe(watch(seed=3))
+        assert fresh not in {knn_sid, range_sid, gone_sid}
+        reopened.close()
+
+    def test_torn_tail_is_dropped_and_truncated(self, tmp_path):
+        log = tmp_path / "subscriptions.log"
+        registry = SubscriptionRegistry(
+            log, durability=DurabilityOptions(fsync=FsyncPolicy.ALWAYS)
+        )
+        sid = registry.subscribe(watch(), from_row=2)
+        registry.ack(sid, 1, 9, {"ids": [], "distances": []})
+        registry.close()
+        intact = log.read_bytes()
+
+        # a crash mid-append: a length/crc prefix with only half its payload
+        log.write_bytes(intact + _PREFIX.pack(64, 123456789) + b"torn")
+        reopened = SubscriptionRegistry(log)
+        sub = reopened.get(sid)
+        assert sub is not None and sub.seq == 1 and sub.generation == 9
+        # reopening truncated the garbage, so new appends replay cleanly
+        assert log.read_bytes() == intact
+        reopened.ack(sid, 2, 10, {"ids": [4], "distances": [1.0]})
+        reopened.close()
+        final = SubscriptionRegistry(log)
+        assert final.get(sid).seq == 2
+        final.close()
+
+    def test_corrupt_length_prefix_stops_replay(self, tmp_path):
+        log = tmp_path / "subscriptions.log"
+        registry = SubscriptionRegistry(log)
+        sid = registry.subscribe(watch())
+        registry.close()
+        intact = log.read_bytes()
+        log.write_bytes(intact + _PREFIX.pack(1 << 30, 0))  # claims a gigabyte
+        reopened = SubscriptionRegistry(log)
+        assert reopened.get(sid) is not None
+        reopened.close()
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        bogus = tmp_path / "subscriptions.log"
+        bogus.write_bytes(b"not-a-subscription-log")
+        with pytest.raises(ValueError, match="bad magic"):
+            SubscriptionRegistry(bogus)
+
+    def test_magic_prefix_is_written(self, tmp_path):
+        log = tmp_path / "subscriptions.log"
+        SubscriptionRegistry(log).close()
+        assert log.read_bytes() == MAGIC
