@@ -1,8 +1,8 @@
 # Convenience targets for the SAPLA reproduction.
 
-.PHONY: install test bench bench-full examples results clean verify-obs verify-engine \
+.PHONY: install test bench bench-full examples results clean verify verify-obs verify-engine \
 	verify-lifecycle verify-experiments verify-cascade verify-serving verify-continuous \
-	crash-matrix baseline
+	verify-reduction crash-matrix baseline
 
 install:
 	pip install -e . || python setup.py develop
@@ -81,6 +81,19 @@ verify-continuous:
 		--report benchmarks/results/continuous_loadtest.report.json
 	PYTHONPATH=src python -m repro stats \
 		--report benchmarks/results/continuous_loadtest.report.json
+
+# batched write side: lint + the transform_batch bit-identity grid and the
+# batched core/streaming tests, then the batch-vs-scalar micro-benchmark
+# whose report is committed
+verify-reduction:
+	python scripts/check_metric_names.py
+	PYTHONPATH=src pytest tests/reduction tests/core -q
+	PYTHONPATH=src python benchmarks/bench_reduction_batch.py \
+		--report benchmarks/results/reduction_batch.report.json
+
+# the default verify chain: every subsystem gate in sequence
+verify: verify-obs verify-engine verify-lifecycle verify-experiments \
+	verify-cascade verify-serving verify-continuous verify-reduction
 
 # regenerate the committed perf baseline: BENCH_medium.json at the repo
 # root plus a JSON export of the results store

@@ -120,6 +120,7 @@ def main() -> int:
         "server.",
         "shard.",
         "continuous.",
+        "reduce.",
     )
     for name in sorted(CATALOG):
         if name.startswith(reverse_prefixes) and name not in used:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..reduction.base import Reducer
+from ..reduction.base import Reducer, reduce_rows
 
 __all__ = ["ClusteringResult", "kmeans_time_series"]
 
@@ -47,7 +47,7 @@ def kmeans_time_series(
     if not 1 <= k <= data.shape[0]:
         raise ValueError("k must be in [1, count]")
     if reducer is not None:
-        points = np.stack([reducer.reconstruct(reducer.transform(row)) for row in data])
+        points = np.stack([reducer.reconstruct(rep) for rep in reduce_rows(reducer, data)])
     else:
         points = data
 

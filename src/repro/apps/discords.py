@@ -20,7 +20,7 @@ import numpy as np
 
 from ..distance.euclidean import euclidean
 from ..distance.segmentwise import aligned_distance
-from ..reduction.base import Reducer
+from ..reduction.base import Reducer, reduce_rows
 from ..reduction.paa import PAA
 from .discord_core import nearest_nonoverlapping
 from .windows import sliding_windows, windows_overlap
@@ -50,7 +50,7 @@ def find_discord(
     windows, starts = sliding_windows(series, window, stride)
     if len(windows) < 2:
         raise ValueError("series too short for discord discovery at this window")
-    representations = [reducer.transform(w) for w in windows]
+    representations = reduce_rows(reducer, windows)
 
     best_start = best_nn_start = -1
     best_nn = -np.inf

@@ -14,7 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..distance.dist_par import dist_par
-from ..reduction.base import Reducer
+from ..reduction.base import Reducer, reduce_rows
 
 __all__ = ["Dendrogram", "agglomerative_cluster"]
 
@@ -58,7 +58,7 @@ def agglomerative_cluster(
         raise ValueError("n_clusters must be in [1, count]")
 
     if reducer is not None:
-        items = [reducer.transform(row) for row in data]
+        items = reduce_rows(reducer, data)
         metric = dist_par
     else:
         items = list(data)

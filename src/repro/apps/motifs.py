@@ -17,7 +17,7 @@ import numpy as np
 
 from ..distance.euclidean import euclidean
 from ..distance.segmentwise import aligned_distance
-from ..reduction.base import Reducer
+from ..reduction.base import Reducer, reduce_rows
 from ..reduction.paa import PAA
 from .windows import sliding_windows, windows_overlap
 
@@ -56,7 +56,7 @@ def find_motifs(
         raise ValueError("top_k must be >= 1")
     reducer = reducer or PAA(12)
     windows, starts = sliding_windows(series, window, stride)
-    representations = [reducer.transform(w) for w in windows]
+    representations = reduce_rows(reducer, windows)
 
     pairs = []
     for i in range(len(windows)):

@@ -238,6 +238,34 @@ class ContinuousEvaluator:
                         self._deliver(sid, note, started)
             return gid
 
+    def insert_batch(self, data) -> "List[int]":
+        """Insert many series, re-evaluating subscriptions per row in order.
+
+        The target's batched insert runs one reduction pass over the whole
+        matrix; subscription evaluation stays per-row (each watch folds in
+        one ``(gid, series)`` at a time, independent of the other rows), so
+        notifications match a loop of :meth:`insert` exactly.
+        """
+        started = time.perf_counter()
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("insert_batch expects a (count, n) array of series")
+        with self._lock:
+            batch = getattr(self._target, "insert_batch", None)
+            if batch is not None and matrix.shape[0] > 1:
+                gids = list(batch(matrix))
+            else:
+                gids = [self._target.insert(row) for row in matrix]
+            with obs.span("continuous.evaluate"):
+                for gid, row in zip(gids, matrix):
+                    for sid, sub in self.registry.subscriptions().items():
+                        runtime = self._runtime.get(sid)
+                        if runtime is None:
+                            continue
+                        for note in self._on_insert(sid, sub.query, runtime, gid, row):
+                            self._deliver(sid, note, started)
+            return gids
+
     def delete(self, gid: int) -> bool:
         """Delete one series, then re-evaluate every affected subscription."""
         started = time.perf_counter()

@@ -14,10 +14,25 @@ from typing import Optional
 
 from .. import obs
 from .bounds import segment_bound
+from .kernels import segment_bounds_vector
 from .linefit import SeriesStats
 from .segment import Segment
 
 __all__ = ["move_endpoints"]
+
+
+def _cached_bound(cache: "dict[Segment, float]", values, seg: Segment, mode: str) -> float:
+    """``segment_bound`` memoised on the (frozen, hashable) segment.
+
+    The bound is a pure function of the segment and the series, both fixed
+    for the duration of one ``move_endpoints`` call, so caching cannot change
+    any value — only skip recomputation when trial moves revisit a segment.
+    """
+    bound = cache.get(seg)
+    if bound is None:
+        bound = segment_bound(values, seg, mode)
+        cache[seg] = bound
+    return bound
 
 # the four movement cases of Fig. 9: (boundary between i-1 and i, direction)
 _MOVES = (
@@ -35,6 +50,7 @@ def _try_move(
     side: str,
     direction: int,
     bound_mode: str,
+    cache: "Optional[dict[Segment, float]]" = None,
 ) -> "Optional[tuple[int, Segment, Segment, float]]":
     """Evaluate one endpoint move of segment ``i``.
 
@@ -42,6 +58,8 @@ def _try_move(
     the change in the summed bound of the affected pair, or ``None`` when the
     move is impossible (no neighbour, or a segment would vanish).
     """
+    if cache is None:
+        cache = {}
     values = stats.values
     if side == "right":
         j = i + 1
@@ -61,11 +79,11 @@ def _try_move(
         return None  # a segment would become empty
     new_left = Segment.fit(stats, left_seg.start, boundary)
     new_right = Segment.fit(stats, boundary + 1, right_seg.end)
-    old = segment_bound(values, left_seg, bound_mode) + segment_bound(
-        values, right_seg, bound_mode
+    old = _cached_bound(cache, values, left_seg, bound_mode) + _cached_bound(
+        cache, values, right_seg, bound_mode
     )
-    new = segment_bound(values, new_left, bound_mode) + segment_bound(
-        values, new_right, bound_mode
+    new = _cached_bound(cache, values, new_left, bound_mode) + _cached_bound(
+        cache, values, new_right, bound_mode
     )
     return pair_index, new_left, new_right, new - old
 
@@ -83,10 +101,15 @@ def move_endpoints(
     values = stats.values
     budget = max_moves if max_moves is not None else 4 * len(stats)
 
-    # visit segments from the largest bound downwards (the paper's priority queue)
+    # visit segments from the largest bound downwards (the paper's priority
+    # queue); one kernel pass seeds the bound cache used by the trial moves
+    cache: "dict[Segment, float]" = {}
+    if bound_mode == "paper":
+        for seg, bound in zip(segments, segment_bounds_vector(values, segments)):
+            cache[seg] = bound
     order = sorted(
         range(len(segments)),
-        key=lambda i: segment_bound(values, segments[i], bound_mode),
+        key=lambda i: _cached_bound(cache, values, segments[i], bound_mode),
         reverse=True,
     )
     for i in order:
@@ -94,7 +117,7 @@ def move_endpoints(
             candidates = [
                 move
                 for move in (
-                    _try_move(stats, segments, i, side, direction, bound_mode)
+                    _try_move(stats, segments, i, side, direction, bound_mode, cache)
                     for side, direction in _MOVES
                 )
                 if move is not None

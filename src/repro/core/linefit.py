@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LineFit", "SeriesStats", "fit_line"]
+__all__ = ["LineFit", "SeriesStats", "SeriesPrefix", "fit_line"]
 
 
 def _moment_sums(length: int) -> tuple[float, float]:
@@ -241,6 +241,11 @@ class SeriesStats:
         sum_y, sum_yy = self.window_sums(start, end)
         length = end - start + 1
         return max(sum_yy - sum_y * sum_y / length, 0.0)
+
+
+# The kernel layer's name for the sufficient-statistics view: cumulative
+# sums of y, t*y and y**2 computed once per series with np.cumsum.
+SeriesPrefix = SeriesStats
 
 
 def fit_line(values: np.ndarray) -> tuple[float, float]:

@@ -20,7 +20,7 @@ import numpy as np
 
 from .. import obs
 from .endpoint_movement import move_endpoints
-from .initialization import initialize
+from .initialization import initialize_fast
 from .linefit import SeriesStats
 from .segment import LinearSegmentation
 from .split_merge import split_merge
@@ -84,7 +84,7 @@ class SAPLA:
             obs.count("sapla.transforms")
             stats = SeriesStats(series)
             with obs.span("sapla.initialize"):
-                segments = initialize(stats, self.n_segments)
+                segments = initialize_fast(stats, self.n_segments)
             with obs.span("sapla.split_merge"):
                 segments = split_merge(
                     stats, segments, self.n_segments, self.bound_mode, split_mode=self.split_mode

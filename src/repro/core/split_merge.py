@@ -26,10 +26,25 @@ import numpy as np
 from .. import obs
 from .areas import reconstruction_area
 from .bounds import segment_bound
+from .kernels import adjacent_pair_areas, segment_bounds_vector, split_point_areas
 from .linefit import SeriesStats
 from .segment import Segment
 
 __all__ = ["split_merge", "find_split_point", "merge_pair_area"]
+
+
+def _segment_bounds(values: np.ndarray, segments: "list[Segment]", mode: str) -> np.ndarray:
+    """Per-segment bounds as one vector — the kernel for the paper bound,
+    a scalar loop for the ``exact`` ablation (O(l) per segment either way)."""
+    if mode == "paper":
+        return segment_bounds_vector(values, segments)
+    return np.array([segment_bound(values, seg, mode) for seg in segments])
+
+
+def _adjacent_areas(stats: SeriesStats, segments: "list[Segment]") -> np.ndarray:
+    """Merge Reconstruction Area of every adjacent pair in one kernel pass."""
+    obs.count("sapla.area_evaluations", len(segments) - 1)
+    return adjacent_pair_areas(stats, segments)
 
 
 def merge_pair_area(stats: SeriesStats, left: Segment, right: Segment) -> float:
@@ -66,13 +81,11 @@ def find_split_point(
         return reconstruction_area(left, right, whole)
 
     if mode == "scan":
-        best_t, best_area = segment.start, -1.0
-        for t in range(segment.start, segment.end):
-            area = area_at(t)
-            if area > best_area:
-                best_area = area
-                best_t = t
-        return best_t
+        # one kernel pass over every candidate; areas are non-negative and
+        # np.argmax keeps the scalar loop's first-strict-maximum semantics
+        areas = split_point_areas(stats, segment)
+        obs.count("sapla.area_evaluations", areas.shape[0])
+        return segment.start + int(np.argmax(areas))
     if mode == "peak":
         return _peak_split_point(segment, area_at)
     raise ValueError(f"unknown split-point mode: {mode!r}")
@@ -114,9 +127,13 @@ def _merge_down(stats: SeriesStats, segments: "list[Segment]", target: int) -> "
     nxt = {i: i + 1 for i in range(len(segments) - 1)}
     prv = {i + 1: i for i in range(len(segments) - 1)}
     next_id = len(segments)
+    # seed the heap from one adjacent-pair kernel pass; pop order only depends
+    # on the (area, i, j) keys, so heapify matches the scalar push sequence
     heap: "list[tuple[float, int, int]]" = []
-    for i in range(len(segments) - 1):
-        heapq.heappush(heap, (merge_pair_area(stats, segments[i], segments[i + 1]), i, i + 1))
+    if len(segments) > 1:
+        areas = _adjacent_areas(stats, segments)
+        heap = [(areas[i], i, i + 1) for i in range(len(segments) - 1)]
+        heapq.heapify(heap)
     count = len(nodes)
     while count > target and heap:
         _, li, ri = heapq.heappop(heap)
@@ -161,11 +178,8 @@ def _split_up(
     values = stats.values
     segments = list(segments)
     while len(segments) < target:
-        order = sorted(
-            range(len(segments)),
-            key=lambda i: segment_bound(values, segments[i], bound_mode),
-            reverse=True,
-        )
+        bounds = _segment_bounds(values, segments, bound_mode)
+        order = sorted(range(len(segments)), key=lambda i: bounds[i], reverse=True)
         for i in order:
             t = find_split_point(stats, segments[i], split_mode)
             if t is not None:
@@ -179,7 +193,9 @@ def _split_up(
 
 
 def _total_bound(values: np.ndarray, segments: "list[Segment]", mode: str) -> float:
-    return sum(segment_bound(values, seg, mode) for seg in segments)
+    # left-to-right Python sum over the kernel's lanes: the same sequential
+    # additions as summing per-segment scalar calls
+    return sum(_segment_bounds(values, segments, mode).tolist())
 
 
 def _probe_split_then_merge(
@@ -190,16 +206,14 @@ def _probe_split_then_merge(
 ) -> "Optional[list[Segment]]":
     """Split the worst segment, then merge the cheapest pair (back to N)."""
     values = stats.values
-    worst = max(range(len(segments)), key=lambda i: segment_bound(values, segments[i], bound_mode))
+    bounds = _segment_bounds(values, segments, bound_mode)
+    worst = max(range(len(segments)), key=lambda i: bounds[i])
     t = find_split_point(stats, segments[worst], split_mode)
     if t is None:
         return None
     expanded = list(segments)
     expanded[worst : worst + 1] = list(_split(stats, segments[worst], t))
-    best_pair = min(
-        range(len(expanded) - 1),
-        key=lambda i: merge_pair_area(stats, expanded[i], expanded[i + 1]),
-    )
+    best_pair = int(np.argmin(_adjacent_areas(stats, expanded)))
     expanded[best_pair : best_pair + 2] = [
         _merge(stats, expanded[best_pair], expanded[best_pair + 1])
     ]
@@ -216,15 +230,13 @@ def _probe_merge_then_split(
     if len(segments) < 2:
         return None
     values = stats.values
-    best_pair = min(
-        range(len(segments) - 1),
-        key=lambda i: merge_pair_area(stats, segments[i], segments[i + 1]),
-    )
+    best_pair = int(np.argmin(_adjacent_areas(stats, segments)))
     reduced = list(segments)
     reduced[best_pair : best_pair + 2] = [
         _merge(stats, segments[best_pair], segments[best_pair + 1])
     ]
-    worst = max(range(len(reduced)), key=lambda i: segment_bound(values, reduced[i], bound_mode))
+    bounds = _segment_bounds(values, reduced, bound_mode)
+    worst = max(range(len(reduced)), key=lambda i: bounds[i])
     t = find_split_point(stats, reduced[worst], split_mode)
     if t is None:
         return None

@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from .areas import increment_area, reconstruction_area
+from .kernels import areas_between_lines, line_coefficients
 from .linefit import LineFit
 from .segment import LinearSegmentation, Segment
 
@@ -120,8 +121,93 @@ class StreamingSAPLA:
         if not np.isfinite(chunk).all():
             raise ValueError("stream values must be finite")
         ingest = self._ingest
-        for value in chunk.tolist():
-            ingest(value)
+        capacity = self.max_segments - 1
+        idx, m = 0, chunk.size
+        while idx < m:
+            if self._open is None or len(self._threshold_heap) < capacity:
+                # seeding a fresh two-point segment, or the eta heap is still
+                # filling (every candidate splits immediately): scalar append
+                ingest(float(chunk[idx]))
+                idx += 1
+                continue
+            if capacity == 0:
+                # a budget of one segment never splits; absorb the rest
+                self._absorb_run(chunk, idx, m)
+                break
+            hit = self._scan_quiet_run(chunk, idx)
+            if hit < 0:
+                break
+            # the hit point re-runs the scalar append: its increment area is
+            # bit-identical to the kernel lane, so the split (and the eta
+            # heap update) lands exactly as in the point-at-a-time loop
+            ingest(float(chunk[hit]))
+            idx = hit + 1
+
+    def _absorb_run(self, chunk: np.ndarray, idx: int, stop: int) -> None:
+        """Fold ``chunk[idx:stop]`` into the open fit as sequential appends.
+
+        Seeding the cumulative sums with the open fit's statistics reproduces
+        ``extend_right``'s left-to-right additions exactly — ``cumsum`` over
+        ``[seed, v0, v1, ...]``, never ``seed + cumsum(v)``, which would
+        associate the additions differently.
+        """
+        window = chunk[idx:stop]
+        fit = self._open
+        offsets = np.arange(window.size)
+        sums_y = np.cumsum(np.concatenate(([fit.sum_y], window)))
+        sums_ty = np.cumsum(np.concatenate(([fit.sum_ty], (fit.length + offsets) * window)))
+        self._open = LineFit(
+            length=fit.length + window.size,
+            sum_y=float(sums_y[-1]),
+            sum_ty=float(sums_ty[-1]),
+        )
+        self._count += window.size
+
+    def _scan_quiet_run(self, chunk: np.ndarray, idx: int) -> int:
+        """Absorb points until one's Increment Area crosses the threshold.
+
+        Returns the index of the first splitting point, or ``-1`` after the
+        whole remainder was absorbed.  Within a quiet run the threshold is
+        constant (the eta heap only changes when a split fires), so a whole
+        window of candidates is evaluated in one kernel pass and the first
+        crossing located with ``argmax`` — the streaming counterpart of
+        ``initialize_fast``.
+        """
+        threshold = self._threshold_heap[0]
+        n = chunk.size
+        cursor = idx
+        span, max_span = 16, 1024
+        while cursor < n:
+            stop = min(cursor + span, n)
+            window = chunk[cursor:stop]
+            fit = self._open
+            offsets = np.arange(window.size)
+            lengths = fit.length + offsets
+            sums_y = np.cumsum(np.concatenate(([fit.sum_y], window)))
+            sums_ty = np.cumsum(np.concatenate(([fit.sum_ty], lengths * window)))
+            a2, b2 = line_coefficients(lengths, sums_y[:-1], sums_ty[:-1])
+            a1, b1 = line_coefficients(lengths + 1, sums_y[1:], sums_ty[1:])
+            areas = areas_between_lines(a1, b1, a2, b2, lengths.astype(float))
+            above = areas > threshold
+            if above.any():
+                k = int(np.argmax(above))
+                if k > 0:
+                    self._open = LineFit(
+                        length=int(lengths[k]),
+                        sum_y=float(sums_y[k]),
+                        sum_ty=float(sums_ty[k]),
+                    )
+                    self._count += k
+                return cursor + k
+            self._open = LineFit(
+                length=fit.length + window.size,
+                sum_y=float(sums_y[-1]),
+                sum_ty=float(sums_ty[-1]),
+            )
+            self._count += window.size
+            cursor = stop
+            span = min(span * 2, max_span)
+        return -1
 
     def _ingest(self, value: float) -> None:
         """The append fast path: ``value`` is already a finite float."""

@@ -365,6 +365,20 @@ class PairwiseAccel:
             return _deflate(abs(na - nb) - residuals, na + nb + residuals)
         return _deflate(abs(na - nb), na + nb)
 
+    def upper(self, rep_a, rep_b) -> float:
+        """Triangle upper bound of the pairwise distance through the zero
+        anchor: ``d(a, b) <= d(a, 0) + d(0, b)``, where ``d(x, 0)`` is the
+        representation norm (plus the residual slack in triangle mode).
+        Valid only when :attr:`metric`; callers must feed it through
+        :meth:`certainly_not_above`, which supplies the floating-point
+        margin.
+        """
+        na = self.cascade.rep_norm(rep_a)
+        nb = self.cascade.rep_norm(rep_b)
+        if self.cascade.mode == "triangle":
+            return na + nb + float(rep_a.residual_norm) + float(rep_b.residual_norm)
+        return na + nb
+
     @staticmethod
     def certainly_not_above(upper: float, best: float) -> bool:
         """Whether a triangle upper bound proves ``d <= best`` with margin."""

@@ -89,8 +89,13 @@ CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics(name);
 """
 
 
-def environment_facts() -> "Dict[str, str]":
-    """Interpreter and platform facts recorded with every experiment."""
+def environment_facts() -> "Dict[str, object]":
+    """Interpreter and platform facts recorded with every experiment.
+
+    Numeric facts stay numbers (``cpu_count: 1``, not ``"1"``) so exported
+    JSON reports are typed correctly; sqlite's TEXT affinity still stores
+    them as text in the ``environment`` table.
+    """
     import numpy
 
     return {
@@ -98,8 +103,16 @@ def environment_facts() -> "Dict[str, str]":
         "platform": platform.platform(),
         "machine": platform.machine(),
         "numpy": numpy.__version__,
-        "cpu_count": str(os.cpu_count() or 1),
+        "cpu_count": os.cpu_count() or 1,
     }
+
+
+def _typed_fact(value: str):
+    """Recover a numeric environment fact from its TEXT-column string."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return value
 
 
 class ResultsStore:
@@ -254,10 +267,15 @@ class ResultsStore:
             )
         return out
 
-    def environment(self, experiment_id: int) -> "Dict[str, str]":
-        """The environment facts recorded with one experiment."""
+    def environment(self, experiment_id: int) -> "Dict[str, object]":
+        """The environment facts recorded with one experiment.
+
+        Numeric facts (``cpu_count``) come back as numbers even though the
+        TEXT column stores them as strings, so the round trip matches
+        :func:`environment_facts`.
+        """
         return {
-            row["key"]: row["value"]
+            row["key"]: _typed_fact(row["value"])
             for row in self._conn.execute(
                 "SELECT key, value FROM environment WHERE experiment_id = ? ORDER BY key",
                 (experiment_id,),

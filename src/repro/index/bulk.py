@@ -21,6 +21,7 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from .. import obs
 from .dbch import DBCHNode, DBCHTree
 from .entries import Entry
 from .rtree import RTree, RTreeNode
@@ -82,6 +83,31 @@ def bulk_load_rtree(
     return tree
 
 
+def _farthest_from(entries: "Sequence[Entry]", distance: Callable, seed_rep, accel) -> Entry:
+    """The entry farthest from ``seed_rep`` (first one wins ties, as ``max``).
+
+    With a metric :class:`repro.distance.PairwiseAccel`, candidates whose
+    norm-tier triangle upper bound certainly cannot exceed the running
+    maximum skip the forced pairwise evaluation.  The replace rule is strict
+    ``>``, so the winner is identical to the full scan.
+    """
+    if accel is None or not accel.metric:
+        return max(entries, key=lambda e: distance(seed_rep, e.representation))
+    best = -math.inf
+    best_entry = entries[0]
+    skipped = 0
+    for entry in entries:
+        if accel.certainly_not_above(accel.upper(seed_rep, entry.representation), best):
+            skipped += 1
+            continue
+        d = distance(seed_rep, entry.representation)
+        if d > best:
+            best, best_entry = d, entry
+    if skipped and obs.is_enabled():
+        obs.count("cascade.pairwise_skipped", skipped)
+    return best_entry
+
+
 def bulk_load_dbch(
     entries: "Sequence[Entry]",
     distance: Callable,
@@ -103,7 +129,7 @@ def bulk_load_dbch(
     # farthest-point pivot: order entries by distance from the entry most
     # distant to an arbitrary seed, so consecutive entries are similar
     seed_rep = entries[0].representation
-    pivot = max(entries, key=lambda e: distance(seed_rep, e.representation))
+    pivot = _farthest_from(entries, distance, seed_rep, accel)
     keyed = sorted(entries, key=lambda e: distance(pivot.representation, e.representation))
 
     level: "List[DBCHNode]" = []

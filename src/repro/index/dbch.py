@@ -124,6 +124,27 @@ class DBCHTree:
         self.accel = accel
         self.root = DBCHNode(is_leaf=True)
         self.size = 0
+        #: build-path distance memo: every insert recomputes its leaf's (and
+        #: ancestors') hulls, re-evaluating almost exclusively pairs already
+        #: measured on the previous insert.  Values are cached per object
+        #: pair (strong references pin the ids), so maintenance replays the
+        #: exact float — the tree is bit-identical to the uncached one.  The
+        #: query path (:meth:`node_distance`) stays uncached: query
+        #: representations are transient and would only grow the memo.
+        self._memo: "dict[tuple[int, int], tuple[object, object, float]]" = {}
+
+    _MEMO_LIMIT = 1 << 20  # crude bound; clearing only costs recomputation
+
+    def _dist(self, rep_a, rep_b) -> float:
+        key = (id(rep_a), id(rep_b))
+        hit = self._memo.get(key)
+        if hit is not None and hit[0] is rep_a and hit[1] is rep_b:
+            return hit[2]
+        d = self.distance(rep_a, rep_b)
+        if len(self._memo) >= self._MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = (rep_a, rep_b, d)
+        return d
 
     # ------------------------------------------------------------------
     # insertion (branch picking = minimum distance increase)
@@ -140,7 +161,7 @@ class DBCHTree:
         if node.hull is None:
             return 0.0
         u, l = node.hull
-        reach = max(self.distance(representation, u), self.distance(representation, l))
+        reach = max(self._dist(representation, u), self._dist(representation, l))
         return max(0.0, reach - node.volume)
 
     def _choose_leaf(self, node: DBCHNode, representation) -> DBCHNode:
@@ -178,7 +199,7 @@ class DBCHTree:
             if len(node.items()) > self.max_entries:
                 self._split(node)
                 return
-            node.recompute_hull(self.distance, self.accel)
+            node.recompute_hull(self._dist, self.accel)
             node = node.parent
 
     # ------------------------------------------------------------------
@@ -216,10 +237,10 @@ class DBCHTree:
                 parent.children.remove(node)
                 orphans.extend(self._collect_entries(node))
             else:
-                node.recompute_hull(self.distance, self.accel)
+                node.recompute_hull(self._dist, self.accel)
             node = parent
         if node.items():
-            node.recompute_hull(self.distance, self.accel)
+            node.recompute_hull(self._dist, self.accel)
         if not node.is_leaf and len(node.children) == 1:
             self.root = node.children[0]
             self.root.parent = None
@@ -261,8 +282,8 @@ class DBCHTree:
             elif len(groups[1]) + remaining <= self.min_entries:
                 target = 1
             else:
-                d0 = self.distance(reps[i], anchors[0])
-                d1 = self.distance(reps[i], anchors[1])
+                d0 = self._dist(reps[i], anchors[0])
+                d1 = self._dist(reps[i], anchors[1])
                 target = int(d1 < d0)
             groups[target].append(items[i])
 
@@ -275,14 +296,14 @@ class DBCHTree:
                 child.parent = sibling
             for child in node.children:
                 child.parent = node
-        node.recompute_hull(self.distance, self.accel)
+        node.recompute_hull(self._dist, self.accel)
         sibling.recompute_hull(self.distance, self.accel)
 
         if node.parent is None:
             new_root = DBCHNode(is_leaf=False)
             new_root.children = [node, sibling]
             node.parent = sibling.parent = new_root
-            new_root.recompute_hull(self.distance, self.accel)
+            new_root.recompute_hull(self._dist, self.accel)
             self.root = new_root
         else:
             parent = node.parent
@@ -297,7 +318,7 @@ class DBCHTree:
             # same anchor-row + triangle-upper-bound scheme as recompute_hull
             d0 = [0.0] * len(reps)
             for j in range(1, len(reps)):
-                d = self.distance(reps[0], reps[j])
+                d = self._dist(reps[0], reps[j])
                 d0[j] = d
                 if d > worst:
                     worst, pair = d, (0, j)
@@ -307,7 +328,7 @@ class DBCHTree:
                     if accel.certainly_not_above(d0[i] + d0[j], worst):
                         skipped += 1
                         continue
-                    d = self.distance(reps[i], reps[j])
+                    d = self._dist(reps[i], reps[j])
                     if d > worst:
                         worst, pair = d, (i, j)
             if skipped and obs.is_enabled():
@@ -315,7 +336,7 @@ class DBCHTree:
             return pair
         for i in range(len(reps)):
             for j in range(i + 1, len(reps)):
-                d = self.distance(reps[i], reps[j])
+                d = self._dist(reps[i], reps[j])
                 if d > worst:
                     worst, pair = d, (i, j)
         return pair

@@ -315,18 +315,30 @@ class SeriesDatabase(MutableDatabase):
             )
         with obs.span("db.ingest"):
             budget = getattr(self.reducer, "n_segments", None)
-            entries = []
-            for position, series_id in enumerate(ids):
-                representation = (
-                    representations[position]
-                    if representations is not None
-                    else self.reducer.transform(data[series_id])
+            if representations is None:
+                representations = self._reduce_rows(
+                    data if live_ids is None else data[np.array(ids, dtype=int)]
                 )
-                feature = feature_vector(representation, budget)
-                entries.append(
-                    Entry(series_id=series_id, representation=representation, feature=feature)
+            entries = [
+                Entry(
+                    series_id=series_id,
+                    representation=representation,
+                    feature=feature_vector(representation, budget),
                 )
+                for series_id, representation in zip(ids, representations)
+            ]
             self._install(data, entries, bulk)
+
+    def _reduce_rows(self, rows: np.ndarray) -> "List":
+        """Reduce a ``(count, n)`` matrix through the batch protocol.
+
+        Rows are bit-identical to per-row ``transform`` calls (the
+        ``transform_batch`` contract); reducers outside the protocol fall
+        back to the per-row loop.
+        """
+        from ..reduction.base import reduce_rows
+
+        return reduce_rows(self.reducer, rows)
 
     def _install(self, data, entries: "List[Entry]", bulk: bool = False) -> None:
         """Adopt ``data`` + ``entries`` wholesale and (re)build the index.
@@ -545,6 +557,46 @@ class SeriesDatabase(MutableDatabase):
         self._register(series_id, series)
         return series_id
 
+    def insert_batch(self, data: np.ndarray) -> "List[int]":
+        """Append many series in one batched reduction; returns their ids.
+
+        Equivalent to calling :meth:`insert` per row — same ids, same WAL
+        record order, and bit-identical entries (the ``transform_batch``
+        contract) — but the reduction runs array-at-a-time.  WAL records for
+        the whole batch are logged before any state changes; a crash
+        mid-batch therefore replays cleanly (replay re-applies the logged
+        prefix row by row).
+        """
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("insert_batch expects a (count, n) array of series")
+        if matrix.shape[0] == 0:
+            return []
+        if self.data is None:
+            ids = list(range(matrix.shape[0]))
+            if self._wal is not None:
+                for series_id, row in zip(ids, matrix):
+                    self._wal.append_insert(series_id, row)
+            self.ingest(matrix)
+            return ids
+        if not isinstance(self.data, np.ndarray):
+            raise RuntimeError(
+                "raw rows live behind a paged store; insert through the owning "
+                "DiskBackedDatabase"
+            )
+        if matrix.shape[1] != self.data.shape[1]:
+            raise ValueError(
+                f"series length {matrix.shape[1]} does not match stored {self.data.shape[1]}"
+            )
+        ids = list(range(self._count, self._count + matrix.shape[0]))
+        if self._wal is not None:
+            for series_id, row in zip(ids, matrix):
+                self._wal.append_insert(series_id, row)
+        for row in matrix:
+            self._append_row(row)
+        self._register_batch(ids, matrix)
+        return ids
+
     def _append_row(self, series: np.ndarray) -> None:
         """Append one raw row to the capacity-doubling buffer.
 
@@ -574,6 +626,21 @@ class SeriesDatabase(MutableDatabase):
         self._live_ids.add(series_id)
         obs.count("db.inserts")
         self._stage("insert", entry)
+
+    def _register_batch(self, series_ids: "List[int]", rows: np.ndarray) -> None:
+        """Batched :meth:`_register`: one reduction pass, entries staged in order."""
+        representations = self._reduce_rows(np.asarray(rows, dtype=float))
+        budget = getattr(self.reducer, "n_segments", None)
+        for series_id, representation in zip(series_ids, representations):
+            entry = Entry(
+                series_id=series_id,
+                representation=representation,
+                feature=feature_vector(representation, budget),
+            )
+            self._count = max(self._count, series_id + 1)
+            self._live_ids.add(series_id)
+            obs.count("db.inserts")
+            self._stage("insert", entry)
 
     def delete(self, series_id: int) -> bool:
         """Remove one series from the database and its index.
@@ -629,6 +696,39 @@ class SeriesDatabase(MutableDatabase):
             )
         self._append_row(series)
         self._register(series_id, series)
+
+    def _replay_insert_batch(self, records: "List[tuple]") -> None:
+        """Recovery hook: re-apply a run of consecutive WAL inserts.
+
+        Validates the same invariants as per-record :meth:`_replay_insert`
+        (a violation is fatal to recovery either way), appends every row,
+        then reduces the whole run in one batch pass.
+        """
+        from ..lifecycle.recovery import RecoveryError
+
+        pending = [(int(sid), np.asarray(series, dtype=float)) for sid, series in records]
+        if not pending:
+            return
+        if self.data is None:
+            series_id, series = pending[0]
+            if series_id != 0:
+                raise RecoveryError(
+                    f"WAL insert for id {series_id} into an empty database"
+                )
+            self.ingest(series[None, :])
+            pending = pending[1:]
+            if not pending:
+                return
+        expected = self._count
+        for series_id, _ in pending:
+            if series_id != expected:
+                raise RecoveryError(
+                    f"WAL insert for id {series_id} but the next row id is {expected}"
+                )
+            expected += 1
+        for _, series in pending:
+            self._append_row(series)
+        self._register_batch([sid for sid, _ in pending], np.vstack([s for _, s in pending]))
 
     def _replay_delete(self, series_id: int) -> bool:
         """Recovery hook: re-apply one WAL delete (idempotent)."""

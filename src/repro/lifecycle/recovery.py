@@ -66,21 +66,38 @@ def recover_database(db, wal_path: PathLike, base_count: int) -> RecoveryReport:
     """
     records, torn_bytes = read_wal(wal_path)
     replayed_inserts = replayed_deletes = skipped = 0
+    replay_batch = getattr(db, "_replay_insert_batch", None)
+    pending_inserts: "list[tuple]" = []
+
+    def flush_inserts() -> None:
+        nonlocal replayed_inserts
+        if not pending_inserts:
+            return
+        if replay_batch is not None:
+            replay_batch(pending_inserts)
+        else:
+            for series_id, series in pending_inserts:
+                db._replay_insert(series_id, series)
+        replayed_inserts += len(pending_inserts)
+        pending_inserts.clear()
+
     with obs.span("lifecycle.recover"):
         for record in records:
             if record.op == "insert":
                 if record.series_id < base_count:
                     skipped += 1
                     continue
-                db._replay_insert(record.series_id, record.series)
-                replayed_inserts += 1
+                # runs of consecutive inserts replay as one batch reduction
+                pending_inserts.append((record.series_id, record.series))
             elif record.op == "delete":
+                flush_inserts()
                 if db._replay_delete(record.series_id):
                     replayed_deletes += 1
                 else:
                     skipped += 1
             else:  # checkpoint markers carry no state
                 skipped += 1
+        flush_inserts()
     if obs.is_enabled():
         obs.count("recovery.runs")
         obs.count("recovery.replayed_inserts", replayed_inserts)

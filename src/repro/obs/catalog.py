@@ -73,6 +73,10 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "sapla.endpoint.moves": (COUNTER, "endpoint moves accepted in stage 3"),
     "sapla.area_evaluations": (COUNTER, "Reconstruction Area evaluations"),
     "sapla.segment_count": (HISTOGRAM, "segments per reduced series"),
+    # ----------------------------------------------------------- reduction
+    "reduce.batch_calls": (COUNTER, "transform_batch invocations"),
+    "reduce.batch_rows": (COUNTER, "series reduced through the batch path"),
+    "reduce.scalar_fallback": (COUNTER, "batch rows reduced by the per-row fallback loop"),
     # ----------------------------------------------------------- distances
     "dist.par.calls": (COUNTER, "Dist_PAR invocations"),
     "dist.lb.calls": (COUNTER, "Dist_LB invocations"),
@@ -158,6 +162,7 @@ CATALOG: "dict[str, tuple[str, str]]" = {
     "knn.search": (SPAN, "one filter-and-refine k-NN query"),
     "engine.knn_batch": (SPAN, "one batched k-NN execution"),
     "knn.ground_truth": (SPAN, "one exact linear-scan reference query"),
+    "reduce.batch": (SPAN, "batch-reduce every row of one matrix"),
     "sapla.transform": (SPAN, "full three-stage SAPLA reduction of one series"),
     "sapla.initialize": (SPAN, "SAPLA stage 1 — single-scan initialization"),
     "sapla.split_merge": (SPAN, "SAPLA stage 2 — split & merge iteration"),

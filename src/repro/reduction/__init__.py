@@ -3,7 +3,7 @@
 from .apca import APCA
 from .apla import APLA, error_matrix
 from .auto import SelectionReport, select_method
-from .base import Reducer, SegmentReducer, equal_length_bounds
+from .base import Reducer, SegmentReducer, equal_length_bounds, reduce_rows
 from .batch import batch_paa, batch_pla
 from .cheby import CHEBY, ChebyshevRepresentation
 from .error_bounded import ErrorBoundedPLA
@@ -24,6 +24,7 @@ __all__ = [
     "Reducer",
     "SegmentReducer",
     "equal_length_bounds",
+    "reduce_rows",
     "SAPLAReducer",
     "APLA",
     "error_matrix",

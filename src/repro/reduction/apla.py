@@ -69,6 +69,14 @@ class APLA(SegmentReducer):
 
     def transform(self, series: np.ndarray) -> LinearSegmentation:
         series = self._validated(series)
+        return self._transform_validated(series)
+
+    def _transform_batch_rows(self, matrix: np.ndarray) -> "list[LinearSegmentation]":
+        # one shared validation pass; each row runs the (already vectorised
+        # per window start) error-matrix build and the DP over it
+        return [self._transform_validated(row) for row in matrix]
+
+    def _transform_validated(self, series: np.ndarray) -> LinearSegmentation:
         n = len(series)
         target = min(self.n_segments, n)
         errors = error_matrix(series)

@@ -9,13 +9,29 @@ one (``N = M``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar
+from typing import Any, ClassVar, List
 
 import numpy as np
 
+from .. import obs
 from ..core.segment import LinearSegmentation
 
-__all__ = ["Reducer", "SegmentReducer", "equal_length_bounds"]
+__all__ = ["Reducer", "SegmentReducer", "equal_length_bounds", "reduce_rows"]
+
+
+def reduce_rows(reducer, matrix: np.ndarray) -> "List[Any]":
+    """Reduce every row of ``matrix`` through ``reducer``'s batch path.
+
+    Uses :meth:`Reducer.transform_batch` when the reducer provides it (every
+    built-in does; rows are bit-identical to per-row ``transform``), falling
+    back to the per-row loop for duck-typed reducers outside the protocol.
+    """
+    if len(matrix) == 0:
+        return []
+    transform_batch = getattr(reducer, "transform_batch", None)
+    if transform_batch is not None:
+        return transform_batch(matrix)
+    return [reducer.transform(row) for row in matrix]
 
 
 class Reducer(ABC):
@@ -45,6 +61,47 @@ class Reducer(ABC):
     @abstractmethod
     def reconstruct(self, representation: Any) -> np.ndarray:
         """Rebuild the approximate series from a representation."""
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+    def transform_batch(self, data: np.ndarray, parallelism: int = 1) -> "List[Any]":
+        """Reduce every row of a ``(count, n)`` matrix.
+
+        Bit-identical to ``[self.transform(row) for row in data]`` for every
+        reducer: subclasses with a vectorised kernel override
+        :meth:`_transform_batch_rows` with array-at-a-time arithmetic that
+        replicates the scalar operation order exactly; the base fallback runs
+        the per-row loop (counted as ``reduce.scalar_fallback``).
+
+        ``parallelism > 1`` opts large batches into a ``fork`` fan-out that
+        reuses the engine's shared-memory worker-pool idiom; it degrades to
+        the sequential path when unavailable.
+        """
+        matrix = self._validated_matrix(data)
+        with obs.span("reduce.batch"):
+            obs.count("reduce.batch_calls")
+            obs.count("reduce.batch_rows", matrix.shape[0])
+            if parallelism > 1:
+                from .fanout import transform_rows_parallel
+
+                results = transform_rows_parallel(self, matrix, parallelism)
+                if results is not None:
+                    return results
+            return self._transform_batch_rows(matrix)
+
+    def _transform_batch_rows(self, matrix: np.ndarray) -> "List[Any]":
+        """Per-row fallback; vectorised reducers override this hook."""
+        obs.count("reduce.scalar_fallback", matrix.shape[0])
+        return [self.transform(row) for row in matrix]
+
+    def _validated_matrix(self, data: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ValueError(f"{self.name} batch-reduces a non-empty (count, n) matrix")
+        if not np.isfinite(matrix).all():
+            raise ValueError(f"{self.name} input contains NaN or infinite values")
+        return matrix
 
     # ------------------------------------------------------------------
     def max_deviation(self, series: np.ndarray) -> float:

@@ -1,10 +1,10 @@
 """Vectorised batch transforms for equal-length methods.
 
-Ingesting a collection calls ``transform`` per row; for the equal-length
-methods the whole collection reduces in a handful of numpy operations
-instead.  Results are bit-identical to the per-row path (tested), so
-callers can hand them straight to ``SeriesDatabase.ingest(...,
-representations=...)``.
+These predate the first-class :meth:`repro.reduction.Reducer.transform_batch`
+protocol and now delegate to it: each call builds the reducer and runs its
+vectorised batch kernel, whose rows are bit-identical to the per-row
+``transform`` path (tested).  Callers can hand the results straight to
+``SeriesDatabase.ingest(..., representations=...)``.
 """
 
 from __future__ import annotations
@@ -13,16 +13,11 @@ from typing import List
 
 import numpy as np
 
-from ..core.segment import LinearSegmentation, Segment
-from .base import equal_length_bounds
+from ..core.segment import LinearSegmentation
 from .paa import PAA
 from .pla import PLA
 
 __all__ = ["batch_paa", "batch_pla"]
-
-
-def _window_matrix(data: np.ndarray, bounds) -> "List[np.ndarray]":
-    return [data[:, start : end + 1] for start, end in bounds]
 
 
 def batch_paa(data: np.ndarray, n_coefficients: int) -> "List[LinearSegmentation]":
@@ -30,20 +25,7 @@ def batch_paa(data: np.ndarray, n_coefficients: int) -> "List[LinearSegmentation
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:
         raise ValueError("batch_paa expects a (count, n) array")
-    reducer = PAA(n_coefficients)
-    bounds = equal_length_bounds(data.shape[1], reducer.n_segments)
-    means = np.column_stack([w.mean(axis=1) for w in _window_matrix(data, bounds)])
-    out = []
-    for row_means in means:
-        out.append(
-            LinearSegmentation(
-                [
-                    Segment(start=s, end=e, a=0.0, b=float(m))
-                    for (s, e), m in zip(bounds, row_means)
-                ]
-            )
-        )
-    return out
+    return PAA(n_coefficients).transform_batch(data)
 
 
 def batch_pla(data: np.ndarray, n_coefficients: int) -> "List[LinearSegmentation]":
@@ -51,34 +33,4 @@ def batch_pla(data: np.ndarray, n_coefficients: int) -> "List[LinearSegmentation
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:
         raise ValueError("batch_pla expects a (count, n) array")
-    reducer = PLA(n_coefficients)
-    bounds = equal_length_bounds(data.shape[1], reducer.n_segments)
-    slopes, intercepts = [], []
-    for window in _window_matrix(data, bounds):
-        l = window.shape[1]
-        if l == 1:
-            slopes.append(np.zeros(window.shape[0]))
-            intercepts.append(window[:, 0])
-            continue
-        t = np.arange(l, dtype=float)
-        sum_y = window.sum(axis=1)
-        sum_ty = window @ t
-        s1 = l * (l - 1) / 2.0
-        s2 = l * (l - 1) * (2 * l - 1) / 6.0
-        det = l * s2 - s1 * s1
-        a = (l * sum_ty - s1 * sum_y) / det
-        slopes.append(a)
-        intercepts.append((sum_y - a * s1) / l)
-    slopes = np.column_stack(slopes)
-    intercepts = np.column_stack(intercepts)
-    out = []
-    for row_a, row_b in zip(slopes, intercepts):
-        out.append(
-            LinearSegmentation(
-                [
-                    Segment(start=s, end=e, a=float(a), b=float(b))
-                    for (s, e), a, b in zip(bounds, row_a, row_b)
-                ]
-            )
-        )
-    return out
+    return PLA(n_coefficients).transform_batch(data)

@@ -1,0 +1,89 @@
+"""Fork fan-out for large batch reductions.
+
+``transform_rows_parallel`` splits a batch's rows across a ``fork`` process
+pool, reusing the engine's worker-pool idiom (:mod:`repro.engine.parallel`):
+the matrix is copied once into POSIX shared memory, forked workers inherit
+the mapping and reduce their row slice with the ordinary sequential batch
+path, and results come back in row order.  Each worker records into a fresh
+enabled registry (when the parent is collecting) and the parent folds the
+snapshots back in, excluding the ``reduce.*`` batch accounting the parent
+records itself — merged counters therefore match a sequential run exactly.
+As with the engine pool, the workers' span trees are the one documented
+loss; the parent's enclosing ``reduce.batch`` span covers the fan-out wall
+time.  Degrades gracefully: no ``fork`` start method or a batch too small
+to split returns ``None`` and the caller stays sequential.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["transform_rows_parallel", "RERECORDED_METRICS"]
+
+#: names the parent records itself around the fan-out — excluded from
+#: worker-snapshot merging to avoid double counts.
+RERECORDED_METRICS = ("reduce.batch_calls", "reduce.batch_rows")
+
+#: set by the parent just before the pool forks; inherited by workers.
+_WORKER_REDUCER = None
+_WORKER_MATRIX = None
+
+
+def transform_rows_parallel(reducer, matrix: np.ndarray, parallelism: int) -> "Optional[List]":
+    """Fan the rows of ``matrix`` across ``parallelism`` worker processes.
+
+    Returns representations in row order, or ``None`` when fan-out is
+    unavailable and the caller should reduce sequentially.
+    """
+    workers = min(parallelism, matrix.shape[0])
+    if workers < 2:
+        return None
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    chunks = [c for c in np.array_split(np.arange(matrix.shape[0]), workers) if len(c)]
+    block = shared_memory.SharedMemory(create=True, size=max(matrix.nbytes, 1))
+    shared = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=block.buf)
+    shared[:] = matrix
+    global _WORKER_REDUCER, _WORKER_MATRIX
+    _WORKER_REDUCER, _WORKER_MATRIX = reducer, shared
+    try:
+        with context.Pool(processes=len(chunks)) as pool:
+            outputs = pool.map(
+                _reduce_chunk, [(int(chunk[0]), int(chunk[-1]) + 1) for chunk in chunks]
+            )
+    except OSError:
+        return None
+    finally:
+        _WORKER_REDUCER = _WORKER_MATRIX = None
+        del shared
+        block.close()
+        block.unlink()
+    from .. import obs
+
+    results: "List" = []
+    for chunk_results, snap in outputs:
+        results.extend(chunk_results)
+        if snap is not None and obs.is_enabled():
+            obs.registry().merge_snapshot(snap, exclude=RERECORDED_METRICS)
+    return results
+
+
+def _reduce_chunk(payload):
+    """Worker body: reduce one contiguous row slice of the shared matrix."""
+    lo, hi = payload
+    from .. import obs
+
+    collecting = obs.is_enabled()
+    obs.disable()
+    if collecting:
+        obs.set_registry(obs.MetricsRegistry(enabled=True))
+    rows = _WORKER_MATRIX[lo:hi]
+    results = _WORKER_REDUCER._transform_batch_rows(np.array(rows))
+    snap = obs.registry().snapshot() if collecting else None
+    return results, snap

@@ -27,3 +27,17 @@ class PAA(SegmentReducer):
             for start, end in equal_length_bounds(len(series), self.n_segments)
         ]
         return LinearSegmentation(segments)
+
+    def _transform_batch_rows(self, matrix: np.ndarray) -> "list[LinearSegmentation]":
+        # row slices of a 2-D mean(axis=1) equal the per-row window means
+        bounds = equal_length_bounds(matrix.shape[1], self.n_segments)
+        means = [matrix[:, start : end + 1].mean(axis=1) for start, end in bounds]
+        return [
+            LinearSegmentation(
+                [
+                    Segment(start=start, end=end, a=0.0, b=float(col[i]))
+                    for (start, end), col in zip(bounds, means)
+                ]
+            )
+            for i in range(matrix.shape[0])
+        ]

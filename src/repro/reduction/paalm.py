@@ -23,7 +23,17 @@ from scipy.linalg import solveh_banded
 from ..core.segment import LinearSegmentation, Segment
 from .base import SegmentReducer, equal_length_bounds
 
-__all__ = ["PAALM", "lagrangian_smooth"]
+__all__ = ["PAALM", "lagrangian_smooth", "lagrangian_smooth_batch"]
+
+
+def _smoothing_bands(n: int, lam: float) -> np.ndarray:
+    """Banded form of ``I + lam * D'D`` for :func:`scipy.linalg.solveh_banded`."""
+    # D'D is tridiagonal: diag (1, 2, ..., 2, 1), off-diagonal -1
+    upper = np.full(n, -lam)
+    upper[0] = 0.0  # solveh_banded ignores the first superdiagonal slot
+    diag = np.full(n, 1.0 + 2.0 * lam)
+    diag[0] = diag[-1] = 1.0 + lam
+    return np.vstack([upper, diag])
 
 
 def lagrangian_smooth(series: np.ndarray, lam: float) -> np.ndarray:
@@ -31,13 +41,20 @@ def lagrangian_smooth(series: np.ndarray, lam: float) -> np.ndarray:
     n = series.shape[0]
     if n == 1 or lam == 0.0:
         return series.astype(float)
-    # D'D is tridiagonal: diag (1, 2, ..., 2, 1), off-diagonal -1
-    upper = np.full(n, -lam)
-    upper[0] = 0.0  # solveh_banded ignores the first superdiagonal slot
-    diag = np.full(n, 1.0 + 2.0 * lam)
-    diag[0] = diag[-1] = 1.0 + lam
-    banded = np.vstack([upper, diag])
-    return solveh_banded(banded, series.astype(float))
+    return solveh_banded(_smoothing_bands(n, lam), series.astype(float))
+
+
+def lagrangian_smooth_batch(matrix: np.ndarray, lam: float) -> np.ndarray:
+    """Smooth every row of ``matrix`` through one multi-RHS banded solve.
+
+    ``solveh_banded`` factors the band once and back-substitutes each
+    right-hand-side column independently, so row ``i`` of the result is
+    bit-identical to ``lagrangian_smooth(matrix[i], lam)``.
+    """
+    n = matrix.shape[1]
+    if n == 1 or lam == 0.0:
+        return matrix.astype(float)
+    return solveh_banded(_smoothing_bands(n, lam), matrix.astype(float).T).T
 
 
 class PAALM(SegmentReducer):
@@ -60,3 +77,17 @@ class PAALM(SegmentReducer):
             for start, end in equal_length_bounds(len(series), self.n_segments)
         ]
         return LinearSegmentation(segments)
+
+    def _transform_batch_rows(self, matrix: np.ndarray) -> "list[LinearSegmentation]":
+        smoothed = lagrangian_smooth_batch(matrix, self.lam)
+        bounds = equal_length_bounds(matrix.shape[1], self.n_segments)
+        means = [smoothed[:, start : end + 1].mean(axis=1) for start, end in bounds]
+        return [
+            LinearSegmentation(
+                [
+                    Segment(start=start, end=end, a=0.0, b=float(col[i]))
+                    for (start, end), col in zip(bounds, means)
+                ]
+            )
+            for i in range(matrix.shape[0])
+        ]

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.kernels import line_coefficients
 from ..core.linefit import SeriesStats
 from ..core.segment import LinearSegmentation, Segment
 from .base import SegmentReducer, equal_length_bounds
@@ -29,3 +30,27 @@ class PLA(SegmentReducer):
             for start, end in equal_length_bounds(len(series), self.n_segments)
         ]
         return LinearSegmentation(segments)
+
+    def _transform_batch_rows(self, matrix: np.ndarray) -> "list[LinearSegmentation]":
+        # per-row prefix sums (cumsum along axis=1 equals each row's own
+        # cumsum) feed the same window-fit closed form as Segment.fit
+        count, n = matrix.shape
+        t = np.arange(n, dtype=float)
+        zeros = np.zeros((count, 1))
+        prefix_y = np.concatenate([zeros, np.cumsum(matrix, axis=1)], axis=1)
+        prefix_ty = np.concatenate([zeros, np.cumsum(t * matrix, axis=1)], axis=1)
+        bounds = equal_length_bounds(n, self.n_segments)
+        lines = []
+        for start, end in bounds:
+            sum_y = prefix_y[:, end + 1] - prefix_y[:, start]
+            sum_ty = (prefix_ty[:, end + 1] - prefix_ty[:, start]) - start * sum_y
+            lines.append(line_coefficients(end - start + 1, sum_y, sum_ty))
+        return [
+            LinearSegmentation(
+                [
+                    Segment(start=start, end=end, a=a[i], b=b[i])
+                    for (start, end), (a, b) in zip(bounds, lines)
+                ]
+            )
+            for i in range(count)
+        ]

@@ -27,3 +27,9 @@ class SAPLAReducer(SegmentReducer):
 
     def transform(self, series: np.ndarray) -> LinearSegmentation:
         return self._pipeline.transform(self._validated(series))
+
+    def _transform_batch_rows(self, matrix: np.ndarray) -> "list[LinearSegmentation]":
+        # the matrix is validated once; each row then runs the adaptive
+        # pipeline, whose stages are already prefix-kernel vectorised
+        # (initialisation runs, split scans, pair areas, bound orderings)
+        return [self._pipeline.transform(row) for row in matrix]

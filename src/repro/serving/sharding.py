@@ -451,6 +451,37 @@ class ShardedEngine:
             self._next_id += 1
             return gid
 
+    def insert_batch(self, data: np.ndarray) -> "List[int]":
+        """Insert many series; returns their *global* ids.
+
+        Ids are allocated sequentially and routed round-robin exactly as a
+        loop of :meth:`insert` would, but each shard receives its rows as
+        one :meth:`repro.index.SeriesDatabase.insert_batch` call, so the
+        reduction runs array-at-a-time per shard.  Per-shard WAL record
+        order is unchanged (each shard's rows arrive in global-id order).
+        """
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("insert_batch expects a (count, n) array of series")
+        if matrix.shape[0] == 0:
+            return []
+        with self._lock:
+            n = len(self._shards)
+            gids = list(range(self._next_id, self._next_id + matrix.shape[0]))
+            for s in range(n):
+                positions = [p for p, gid in enumerate(gids) if gid % n == s]
+                if not positions:
+                    continue
+                locals_ = self._shards[s].insert_batch(matrix[positions])
+                expected = [gids[p] // n for p in positions]
+                if list(locals_) != expected:
+                    raise RuntimeError(
+                        f"shard {s} assigned local ids {locals_}, expected {expected}; "
+                        "the round-robin invariant is broken"
+                    )
+            self._next_id += matrix.shape[0]
+            return gids
+
     def delete(self, series_id: int) -> bool:
         """Tombstone one global series id in its shard."""
         series_id = int(series_id)

@@ -93,6 +93,26 @@ class TestDistPar:
         with pytest.raises(ValueError):
             dist_par(rep_a, rep_b)
 
+    @pytest.mark.parametrize("reducer", [SAPLAReducer(12), APCA(8), PLA(12), PAA(12)])
+    def test_bit_identical_to_scalar_partition_route(self, reducer):
+        """The lane-vectorised Dist_PAR equals partition + dist_s to the bit."""
+        r = np.random.default_rng(11)
+        for n in (7, 64, 130):
+            rows = r.normal(size=(4, n)).cumsum(axis=1)
+            reps = [reducer.transform(row) for row in rows]
+            for rep_q in reps:
+                for rep_c in reps:
+                    union = sorted(
+                        set(rep_q.right_endpoints) | set(rep_c.right_endpoints)
+                    )
+                    total = sum(
+                        dist_s(sq, sc)
+                        for sq, sc in zip(rep_q.partition(union), rep_c.partition(union))
+                    )
+                    ref = float(np.sqrt(max(total, 0.0)))
+                    got = dist_par(rep_q, rep_c)
+                    assert np.float64(got).tobytes() == np.float64(ref).tobytes()
+
     @pytest.mark.parametrize("seed", range(10))
     def test_lower_bounds_euclidean_in_practice(self, seed):
         """Dist_PAR <= Dist on typical data (the paper's lemma; see the
